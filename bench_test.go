@@ -1,0 +1,320 @@
+package marvel_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§V): one testing.B benchmark per experiment, printing the
+// same rows/series the paper plots. Campaign sizes default to a scaled
+// sample (MARVEL_FAULTS, default 24 faults per structure) so the whole
+// harness completes in minutes; cmd/marvel-figures runs the full-resolution
+// version (1,000 faults per structure, the paper's sample size).
+//
+//	go test -bench=. -benchmem
+//	MARVEL_FAULTS=200 go test -bench=Fig04 -benchtime=1x
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"marvel/internal/campaign"
+	"marvel/internal/config"
+	"marvel/internal/core"
+	"marvel/internal/figures"
+	"marvel/internal/isa"
+	"marvel/internal/program"
+	"marvel/internal/soc"
+	"marvel/internal/workloads"
+)
+
+func benchParams() figures.Params {
+	p := figures.Params{Faults: 24, W: os.Stdout}
+	if v := os.Getenv("MARVEL_FAULTS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			p.Faults = n
+		}
+	}
+	if v := os.Getenv("MARVEL_WORKLOADS"); v != "" {
+		p.Workloads = strings.Split(v, ",")
+	}
+	return p
+}
+
+func benchCPUFigure(b *testing.B, id string) {
+	var spec figures.CPUFigureSpec
+	for _, s := range figures.CPUFigures() {
+		if s.ID == id {
+			spec = s
+		}
+	}
+	if spec.ID == "" {
+		b.Fatalf("unknown figure %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		rows, err := figures.CPUFigure(p, spec.Target, spec.Model, spec.Metric)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			figures.PrintCPUFigure(os.Stdout, spec.Title, rows)
+		}
+	}
+}
+
+// --- Figures 4-8: transient AVF per structure ---
+
+func BenchmarkFig04_PRF_AVF(b *testing.B) { benchCPUFigure(b, "fig04") }
+func BenchmarkFig05_L1I_AVF(b *testing.B) { benchCPUFigure(b, "fig05") }
+func BenchmarkFig06_L1D_AVF(b *testing.B) { benchCPUFigure(b, "fig06") }
+func BenchmarkFig07_LQ_AVF(b *testing.B)  { benchCPUFigure(b, "fig07") }
+func BenchmarkFig08_SQ_AVF(b *testing.B)  { benchCPUFigure(b, "fig08") }
+
+// --- Figures 9-11: SDC contribution to the AVF ---
+
+func BenchmarkFig09_PRF_SDC(b *testing.B) { benchCPUFigure(b, "fig09") }
+func BenchmarkFig10_L1I_SDC(b *testing.B) { benchCPUFigure(b, "fig10") }
+func BenchmarkFig11_L1D_SDC(b *testing.B) { benchCPUFigure(b, "fig11") }
+
+// --- Figures 12-13: SDC probability under permanent faults ---
+
+func BenchmarkFig12_L1I_Perm_SDC(b *testing.B) { benchCPUFigure(b, "fig12") }
+func BenchmarkFig13_L1D_Perm_SDC(b *testing.B) { benchCPUFigure(b, "fig13") }
+
+// --- Figure 14: DSA component AVF (SDC/Crash breakdown) ---
+
+func BenchmarkFig14_DSA_AVF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Faults *= 2
+		if i > 0 {
+			p.W = nullWriter{}
+		}
+		if err := figures.Fig14(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 15: PRF-size sensitivity (RISC-V) ---
+
+func BenchmarkFig15_PRF_Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		if i > 0 {
+			p.W = nullWriter{}
+		}
+		if err := figures.Fig15(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 16: CPU vs DSA — AVF breakdown and OPF for 4 algorithms ---
+
+func BenchmarkFig16_CPU_vs_DSA_OPF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Faults *= 2
+		if i > 0 {
+			p.W = nullWriter{}
+		}
+		if err := figures.Fig16(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 17: gemm design-space exploration ---
+
+func BenchmarkFig17_GEMM_DSE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Faults *= 3
+		if i > 0 {
+			p.W = nullWriter{}
+		}
+		if err := figures.Fig17(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 18: HVF vs AVF ---
+
+func BenchmarkFig18_HVF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Workloads = nil // fixed six-benchmark set
+		if i > 0 {
+			p.W = nullWriter{}
+		}
+		if err := figures.Fig18(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Listing 1: injector validation ---
+
+func BenchmarkListing1Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Faults *= 2
+		if i > 0 {
+			p.W = nullWriter{}
+		}
+		avf, err := figures.Listing1(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if avf < 0.95 {
+			b.Fatalf("validation AVF %.3f, want ~1.0", avf)
+		}
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// --- Ablation benches (DESIGN.md design-choice studies) ---
+
+// BenchmarkAblation_EarlyTermination measures the §IV-B optimization's
+// effect on campaign wall time.
+func BenchmarkAblation_EarlyTermination(b *testing.B) {
+	spec, err := workloads.ByName("dijkstra")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := program.Compile(isa.RV64L{}, spec.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, et := range []bool{false, true} {
+		et := et
+		b.Run(fmt.Sprintf("earlyterm=%v", et), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := campaign.Run(campaign.Config{
+					Image:            img,
+					Preset:           config.TableII(),
+					Target:           "prf",
+					Model:            core.Transient,
+					Faults:           benchParams().Faults,
+					Seed:             5,
+					EarlyTermination: et,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_CheckpointForking compares forking faulty runs from the
+// checkpoint snapshot (what campaigns do) against cold-started simulations.
+func BenchmarkAblation_CheckpointForking(b *testing.B) {
+	spec, err := workloads.ByName("rijndael")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := program.Compile(isa.RV64L{}, spec.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre := config.TableII()
+	b.Run("fork-from-checkpoint", func(b *testing.B) {
+		sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var base *soc.System
+		sys.CheckpointHook = func(uint64) { base = sys.Clone() }
+		if res := sys.Run(50_000_000); res.Status != soc.RunCompleted {
+			b.Fatal(res.Status)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := base.Clone()
+			if res := s.Run(50_000_000); res.Status != soc.RunCompleted {
+				b.Fatal(res.Status)
+			}
+		}
+	})
+	b.Run("cold-start", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res := sys.Run(50_000_000); res.Status != soc.RunCompleted {
+				b.Fatal(res.Status)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_InjectionDomain compares whole-array and valid-only
+// fault populations for the L1D (the DESIGN.md domain decision).
+func BenchmarkAblation_InjectionDomain(b *testing.B) {
+	spec, err := workloads.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := program.Compile(isa.RV64L{}, spec.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		var avfs [2]float64
+		for di, dom := range []core.Domain{core.DomainWholeArray, core.DomainValidOnly} {
+			res, err := campaign.Run(campaign.Config{
+				Image:  img,
+				Preset: config.TableII(),
+				Target: "l1d",
+				Model:  core.Transient,
+				Faults: benchParams().Faults * 2,
+				Seed:   3,
+				Domain: dom,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			avfs[di] = res.Counts.AVF()
+		}
+		if i == 0 {
+			fmt.Printf("\nAblation: L1D AVF whole-array %.1f%% vs valid-only %.1f%%\n",
+				100*avfs[0], 100*avfs[1])
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation speed (cycles/sec of
+// the golden RISC-V sha run), the "typical use of microarchitectural
+// simulators" the abstract mentions.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, err := workloads.ByName("sha")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := program.Compile(isa.RV64L{}, spec.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre := config.TableII()
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sys.Run(50_000_000)
+		if res.Status != soc.RunCompleted {
+			b.Fatal(res.Status)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}

@@ -1,0 +1,87 @@
+// Command marvel-figures regenerates every table and figure of the paper's
+// evaluation section at a configurable statistical scale.
+//
+//	marvel-figures                         # all figures, 24 faults/structure
+//	marvel-figures -faults 1000            # the paper's sample size
+//	marvel-figures -only fig04,fig17       # a subset
+//	marvel-figures -workloads sha,crc32    # a workload subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"marvel/internal/figures"
+)
+
+func main() {
+	faults := flag.Int("faults", 24, "faults per structure per benchmark (paper: 1000)")
+	only := flag.String("only", "", "comma-separated figure ids (fig04..fig18, tab4, listing1)")
+	wls := flag.String("workloads", "", "comma-separated workload subset (default: all 15)")
+	parallel := flag.Int("parallel", 3, "concurrent campaigns")
+	flag.Parse()
+
+	sel := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			sel[strings.TrimSpace(s)] = true
+		}
+	}
+	want := func(id string) bool { return len(sel) == 0 || sel[id] }
+
+	p := figures.Params{Faults: *faults, Parallel: *parallel, W: os.Stdout}
+	if *wls != "" {
+		p.Workloads = strings.Split(*wls, ",")
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "marvel-figures:", err)
+		os.Exit(1)
+	}
+
+	if want("tab4") {
+		figures.TableIVText(os.Stdout)
+	}
+	if want("listing1") {
+		if _, err := figures.Listing1(p); err != nil {
+			fail(err)
+		}
+	}
+	for _, spec := range figures.CPUFigures() {
+		if !want(spec.ID) {
+			continue
+		}
+		rows, err := figures.CPUFigure(p, spec.Target, spec.Model, spec.Metric)
+		if err != nil {
+			fail(err)
+		}
+		figures.PrintCPUFigure(os.Stdout, spec.Title, rows)
+	}
+	if want("fig14") {
+		if err := figures.Fig14(p); err != nil {
+			fail(err)
+		}
+	}
+	if want("fig15") {
+		if err := figures.Fig15(p); err != nil {
+			fail(err)
+		}
+	}
+	if want("fig16") {
+		if err := figures.Fig16(p); err != nil {
+			fail(err)
+		}
+	}
+	if want("fig17") {
+		if err := figures.Fig17(p); err != nil {
+			fail(err)
+		}
+	}
+	if want("fig18") {
+		if err := figures.Fig18(p); err != nil {
+			fail(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command marvel is the campaign-runner CLI: it lists the framework's
+// workloads, targets and accelerator designs, and runs individual fault
+// injection campaigns from the command line.
+//
+//	marvel list
+//	marvel campaign -isa riscv -workload sha -target prf -faults 1000 -hvf
+//	marvel accel -design gemm -component MATRIX1 -faults 1000
+//	marvel golden -isa arm -workload dijkstra
+//	marvel soc -isa riscv -design gemm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"marvel"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
+	case "accel":
+		err = cmdAccel(os.Args[2:])
+	case "golden":
+		err = cmdGolden(os.Args[2:])
+	case "soc":
+		err = cmdSoC(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "marvel: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marvel:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Println(`marvel — microarchitecture-level fault injection for heterogeneous SoCs
+
+commands:
+  list                      show workloads, CPU targets, designs and components
+  campaign [flags]          run a CPU fault-injection campaign
+  accel    [flags]          run an accelerator fault-injection campaign
+  golden   [flags]          run a workload without faults (performance)
+  soc      [flags]          run a CPU+accelerator full-system demo
+
+run 'marvel <command> -h' for flags`)
+}
+
+func cmdList() error {
+	fmt.Println("ISAs:      ", marvel.ISAs())
+	fmt.Println("targets:   ", marvel.CPUTargets())
+	fmt.Println("workloads: ", marvel.WorkloadNames())
+	fmt.Println("designs:   ", marvel.DesignNames())
+	fmt.Println("\nTable IV components:")
+	for _, c := range marvel.TableIV() {
+		fmt.Printf("  %-11s %-9s %7s paper %6dB, modeled %5dB\n",
+			c.Design, c.Name, c.Kind, c.PaperBytes, c.ModelBytes)
+	}
+	return nil
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	isaName := fs.String("isa", "riscv", "ISA: arm, x86, riscv")
+	wl := fs.String("workload", "sha", "workload name")
+	target := fs.String("target", "prf", "injection target: prf, l1i, l1d, l2, lq, sq")
+	model := fs.String("model", "transient", "fault model: transient, stuck-at-0, stuck-at-1")
+	faults := fs.Int("faults", 1000, "statistical sample size")
+	seed := fs.Int64("seed", 1, "mask generation seed")
+	hvf := fs.Bool("hvf", false, "also run HVF analysis")
+	validOnly := fs.Bool("validonly", true, "draw faults over live entries only")
+	earlyTerm := fs.Bool("earlyterm", false, "enable early-termination optimizations")
+	physRegs := fs.Int("physregs", 0, "override physical register count (0 = 128)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := marvel.RunCampaign(marvel.CampaignOptions{
+		ISA:              *isaName,
+		Workload:         *wl,
+		Target:           *target,
+		Model:            marvel.FaultModel(*model),
+		Faults:           *faults,
+		Seed:             *seed,
+		HVF:              *hvf,
+		ValidOnly:        *validOnly,
+		EarlyTermination: *earlyTerm,
+		PhysRegs:         *physRegs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload=%s isa=%s target=%s model=%s\n", rep.Workload, rep.ISA, rep.Target, rep.Model)
+	fmt.Printf("golden: %d cycles, %d insts, IPC %.2f\n", rep.GoldenCycles, rep.GoldenInsts, rep.IPC)
+	fmt.Printf("faults: %d (margin ±%.2f%% at 95%%)\n", rep.Faults, 100*rep.Margin)
+	fmt.Printf("masked=%d sdc=%d crash=%d early-stops=%d\n", rep.Masked, rep.SDC, rep.Crash, rep.EarlyStops)
+	fmt.Printf("AVF=%.4f (SDC %.4f + Crash %.4f)\n", rep.AVF, rep.SDCAVF, rep.CrashAVF)
+	if *hvf {
+		fmt.Printf("HVF=%.4f\n", rep.HVF)
+	}
+	return nil
+}
+
+func cmdAccel(args []string) error {
+	fs := flag.NewFlagSet("accel", flag.ExitOnError)
+	design := fs.String("design", "gemm", "accelerator design")
+	comp := fs.String("component", "MATRIX1", "Table IV component")
+	model := fs.String("model", "transient", "fault model")
+	faults := fs.Int("faults", 1000, "statistical sample size")
+	seed := fs.Int64("seed", 1, "seed")
+	mults := fs.Int("gemm-multipliers", 0, "gemm datapath multipliers (DSE)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := marvel.RunAccelCampaign(marvel.AccelOptions{
+		Design:          *design,
+		Component:       *comp,
+		Model:           marvel.FaultModel(*model),
+		Faults:          *faults,
+		Seed:            *seed,
+		GemmMultipliers: *mults,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design=%s component=%s task=%d cycles area=%.1f\n",
+		rep.Design, rep.Component, rep.TaskCycles, rep.AreaUnits)
+	fmt.Printf("faults: %d (margin ±%.2f%%)\n", rep.Faults, 100*rep.Margin)
+	fmt.Printf("masked=%d sdc=%d crash=%d\n", rep.Masked, rep.SDC, rep.Crash)
+	fmt.Printf("AVF=%.4f (SDC %.4f + Crash %.4f)\n", rep.AVF, rep.SDCAVF, rep.CrashAVF)
+	return nil
+}
+
+func cmdGolden(args []string) error {
+	fs := flag.NewFlagSet("golden", flag.ExitOnError)
+	isaName := fs.String("isa", "riscv", "ISA")
+	wl := fs.String("workload", "sha", "workload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := marvel.RunGolden(*isaName, *wl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: %d cycles, %d insts, IPC %.2f, code %d bytes\n",
+		rep.Workload, rep.ISA, rep.Cycles, rep.Insts, rep.IPC, rep.CodeSize)
+	fmt.Printf("OPS at 1GHz: %.4g\n", marvel.OPS(rep.Ops, rep.Cycles))
+	return nil
+}
+
+func cmdSoC(args []string) error {
+	fs := flag.NewFlagSet("soc", flag.ExitOnError)
+	isaName := fs.String("isa", "riscv", "ISA")
+	design := fs.String("design", "gemm", "accelerator design")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := marvel.RunSoC(*isaName, *design)
+	if err != nil {
+		return err
+	}
+	status := "output OK"
+	if !rep.OutputOK {
+		status = "OUTPUT MISMATCH"
+	}
+	fmt.Printf("%s + %s via %s: SoC %d cycles, accel task %d cycles, CPU %d insts — %s\n",
+		rep.ISA, rep.Design, rep.IntCtrl, rep.SoCCycles, rep.AccelCycles, rep.CPUInsts, status)
+	return nil
+}

@@ -1,0 +1,42 @@
+// Command designspace reproduces the paper's §V-H accelerator design-space
+// exploration (Figure 17): the gemm accelerator is instantiated with
+// 1..16 parallel multipliers, and for each configuration the framework
+// reports the MATRIX1 scratchpad's AVF, the task latency and the area
+// estimate — the three axes of the reliability/performance/area trade-off.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"marvel"
+)
+
+func main() {
+	fmt.Println("gemm design-space exploration: parallel multipliers vs AVF/perf/area")
+	fmt.Println()
+	fmt.Printf("%-6s %-10s %-8s %-8s %-8s\n", "FUs", "AVF", "±margin", "cycles", "area")
+
+	for _, fus := range []int{1, 2, 4, 8, 16} {
+		rep, err := marvel.RunAccelCampaign(marvel.AccelOptions{
+			Design:          "gemm",
+			Component:       "MATRIX1",
+			Model:           marvel.Transient,
+			Faults:          150,
+			Seed:            21,
+			GemmMultipliers: fus,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-10.3f %-8.3f %-8d %-8.1f\n",
+			fus, rep.AVF, rep.Margin, rep.TaskCycles, rep.AreaUnits)
+	}
+
+	fmt.Println()
+	fmt.Println("fewer functional units -> longer task -> each SPM bit stays")
+	fmt.Println("architecturally live for a larger share of the injection window,")
+	fmt.Println("so the AVF rises as the datapath shrinks (Observation #8).")
+}

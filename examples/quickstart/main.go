@@ -1,0 +1,48 @@
+// Command quickstart runs a first fault-injection campaign: transient
+// faults in the physical register file while the sha benchmark runs on the
+// RISC-V-flavoured out-of-order core, with HVF analysis on the same runs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"marvel"
+)
+
+func main() {
+	fmt.Println("marvel quickstart: PRF transient faults under sha (riscv)")
+	fmt.Println()
+
+	rep, err := marvel.RunCampaign(marvel.CampaignOptions{
+		ISA:      marvel.ISARiscv,
+		Workload: "sha",
+		Target:   "prf",
+		Model:    marvel.Transient,
+		Faults:   200,
+		Seed:     42,
+		HVF:      true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("golden run: %d cycles, %d instructions, IPC %.2f\n",
+		rep.GoldenCycles, rep.GoldenInsts, rep.IPC)
+	fmt.Printf("injections: %d (±%.1f%% at 95%% confidence)\n",
+		rep.Faults, rep.Margin*100)
+	fmt.Println()
+	fmt.Printf("  masked : %4d  (%.1f%%)\n", rep.Masked, 100*float64(rep.Masked)/float64(rep.Faults))
+	fmt.Printf("  SDC    : %4d  (%.1f%%)\n", rep.SDC, 100*float64(rep.SDC)/float64(rep.Faults))
+	fmt.Printf("  crash  : %4d  (%.1f%%)\n", rep.Crash, 100*float64(rep.Crash)/float64(rep.Faults))
+	fmt.Println()
+	fmt.Printf("AVF  = %.3f  (SDC %.3f + Crash %.3f)\n", rep.AVF, rep.SDCAVF, rep.CrashAVF)
+	fmt.Printf("HVF  = %.3f  (always >= AVF: hardware-visible corruptions)\n", rep.HVF)
+
+	// How many injections would the paper's 3% margin need for this
+	// structure?
+	n := marvel.SampleSize(128*64, 0.03)
+	fmt.Printf("\nfor a 3%% margin on this PRF, inject %d faults (paper uses 1000)\n", n)
+}

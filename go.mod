@@ -1,0 +1,3 @@
+module marvel
+
+go 1.24

@@ -1,0 +1,381 @@
+package accel
+
+import (
+	"fmt"
+
+	"marvel/internal/program/ir"
+)
+
+// FUConfig constrains the compute unit's parallelism — the design-space
+// exploration knob of Figure 17.
+type FUConfig struct {
+	Adders      int // single-cycle integer units (add/logic/compare/select)
+	Multipliers int
+	Dividers    int
+	MemPorts    int // concurrent SPM/RegBank accesses per cycle
+}
+
+// DefaultFUs is a mid-size datapath: accelerators trade silicon for
+// parallel ports and units, which is where their speed advantage over the
+// general-purpose core comes from.
+func DefaultFUs() FUConfig {
+	return FUConfig{Adders: 8, Multipliers: 4, Dividers: 1, MemPorts: 4}
+}
+
+// Latencies per functional-unit class.
+const (
+	latAdder = 1
+	latMul   = 3
+	latDiv   = 8
+)
+
+// engine executes an ir.Program as a dynamic dataflow graph: within a
+// basic block, instructions issue out of order as their operands become
+// available, bounded by the functional-unit counts; blocks chain through
+// terminators. This mirrors gem5-SALAM's LLVM-IR runtime engine (§III-B1).
+type engine struct {
+	prog  *ir.Program
+	fus   FUConfig
+	banks []*Bank
+	vals  []uint64
+
+	// deps[b][i] lists the in-block instruction indices i depends on.
+	deps [][][]int16
+
+	cur      int // current block
+	issued   []bool
+	done     []bool
+	doneCnt  int
+	events   []engEvent
+	running  bool
+	finished bool
+	fault    error
+	cycle    uint64
+}
+
+type engEvent struct {
+	cycle uint64
+	instr int
+	value uint64
+	write bool
+	dst   ir.Val
+}
+
+func newEngine(prog *ir.Program, fus FUConfig, banks []*Bank) (*engine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		prog:  prog,
+		fus:   fus,
+		banks: banks,
+		vals:  make([]uint64, prog.NumVals),
+	}
+	e.buildDeps()
+	return e, nil
+}
+
+// buildDeps precomputes intra-block dependencies: RAW, WAR and WAW on
+// virtual registers, plus conservative memory ordering (a store waits for
+// every earlier memory op; a load waits for earlier stores).
+func (e *engine) buildDeps() {
+	e.deps = make([][][]int16, len(e.prog.Blocks))
+	for bi := range e.prog.Blocks {
+		instrs := e.prog.Blocks[bi].Instrs
+		deps := make([][]int16, len(instrs))
+		lastStore := -1
+		var memOps []int
+		for i := range instrs {
+			in := &instrs[i]
+			var d []int16
+			add := func(j int) {
+				for _, x := range d {
+					if int(x) == j {
+						return
+					}
+				}
+				d = append(d, int16(j))
+			}
+			reads := [3]ir.Val{in.A, in.B, in.C}
+			for j := 0; j < i; j++ {
+				pj := &instrs[j]
+				if pj.Dst != ir.NoVal {
+					for _, r := range reads {
+						if r != ir.NoVal && r == pj.Dst {
+							add(j) // RAW
+						}
+					}
+					if in.Dst != ir.NoVal && in.Dst == pj.Dst {
+						add(j) // WAW
+					}
+				}
+				if in.Dst != ir.NoVal {
+					for _, r := range [3]ir.Val{pj.A, pj.B, pj.C} {
+						if r != ir.NoVal && r == in.Dst {
+							add(j) // WAR
+						}
+					}
+				}
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				if lastStore >= 0 {
+					add(lastStore)
+				}
+				memOps = append(memOps, i)
+			case ir.OpStore:
+				for _, m := range memOps {
+					add(m)
+				}
+				memOps = append(memOps, i)
+				lastStore = i
+			}
+			if in.Op.IsTerm() {
+				// Terminators wait for the whole block.
+				for j := 0; j < i; j++ {
+					add(j)
+				}
+			}
+			deps[i] = d
+		}
+		e.deps[bi] = deps
+	}
+}
+
+// start arms the engine at the program entry.
+func (e *engine) start() {
+	e.cur = e.prog.Entry
+	e.running = true
+	e.finished = false
+	e.fault = nil
+	e.cycle = 0
+	e.enterBlock(e.cur)
+}
+
+func (e *engine) enterBlock(bi int) {
+	n := len(e.prog.Blocks[bi].Instrs)
+	e.cur = bi
+	e.issued = make([]bool, n)
+	e.done = make([]bool, n)
+	e.doneCnt = 0
+	e.events = e.events[:0]
+}
+
+func (e *engine) bankFor(addr uint64, n int) (*Bank, error) {
+	for _, b := range e.banks {
+		if b.Contains(addr, n) {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("accel: access at %#x (%d bytes) outside every bank", addr, n)
+}
+
+// tick advances the compute unit one cycle. It returns false once the
+// kernel has finished or faulted.
+func (e *engine) tick() bool {
+	if !e.running {
+		return false
+	}
+	e.cycle++
+
+	// Completions.
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cycle > e.cycle {
+			kept = append(kept, ev)
+			continue
+		}
+		if ev.write {
+			e.vals[ev.dst] = ev.value
+		}
+		e.done[ev.instr] = true
+		e.doneCnt++
+	}
+	e.events = kept
+
+	instrs := e.prog.Blocks[e.cur].Instrs
+	// Terminator handling: when everything else is done, resolve it and
+	// keep executing the next block within the same cycle (block-to-block
+	// control costs no datapath cycle, as in a pipelined controller). The
+	// transition count per cycle is bounded so an empty infinite loop in a
+	// kernel still consumes simulated time.
+	for hops := 0; e.doneCnt == len(instrs)-1 && !e.issued[len(instrs)-1] && hops < 8; hops++ {
+		e.resolveTerminator(&instrs[len(instrs)-1])
+		if !e.running {
+			return false
+		}
+		instrs = e.prog.Blocks[e.cur].Instrs
+	}
+
+	adders, muls, divs, ports := e.fus.Adders, e.fus.Multipliers, e.fus.Dividers, e.fus.MemPorts
+	for i := range instrs {
+		in := &instrs[i]
+		if e.issued[i] || in.Op.IsTerm() {
+			continue
+		}
+		if !e.ready(i) {
+			continue
+		}
+		switch in.Op {
+		case ir.OpMul, ir.OpMulHU:
+			if muls == 0 {
+				continue
+			}
+			muls--
+			e.issueALU(i, in, latMul)
+		case ir.OpDiv, ir.OpDivU, ir.OpRem, ir.OpRemU:
+			if divs == 0 {
+				continue
+			}
+			divs--
+			e.issueALU(i, in, latDiv)
+		case ir.OpLoad, ir.OpStore:
+			if ports == 0 {
+				continue
+			}
+			ports--
+			if !e.issueMem(i, in) {
+				return false
+			}
+		case ir.OpCheckpoint, ir.OpSwitchCPU, ir.OpWFI:
+			e.issued[i] = true
+			e.events = append(e.events, engEvent{cycle: e.cycle + 1, instr: i})
+		default:
+			if adders == 0 {
+				continue
+			}
+			adders--
+			e.issueALU(i, in, latAdder)
+		}
+	}
+	return e.running
+}
+
+func (e *engine) ready(i int) bool {
+	for _, d := range e.deps[e.cur][i] {
+		if !e.done[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *engine) issueALU(i int, in *ir.Instr, lat int) {
+	e.issued[i] = true
+	var v uint64
+	switch in.Op {
+	case ir.OpConst:
+		v = uint64(in.Imm)
+	case ir.OpMov:
+		v = e.vals[in.A]
+	case ir.OpSelect:
+		if e.vals[in.A] != 0 {
+			v = e.vals[in.B]
+		} else {
+			v = e.vals[in.C]
+		}
+	default:
+		a := e.vals[in.A]
+		bv := uint64(in.Imm)
+		if in.B != ir.NoVal {
+			bv = e.vals[in.B]
+		}
+		v = ir.EvalBinary(in.Op, a, bv)
+	}
+	e.events = append(e.events, engEvent{
+		cycle: e.cycle + uint64(lat), instr: i,
+		write: in.Dst != ir.NoVal, dst: in.Dst, value: v,
+	})
+}
+
+func (e *engine) issueMem(i int, in *ir.Instr) bool {
+	e.issued[i] = true
+	addr := e.vals[in.A] + uint64(in.Imm)
+	bank, err := e.bankFor(addr, int(in.Size))
+	if err != nil {
+		e.fault = err
+		e.running = false
+		return false
+	}
+	if in.Op == ir.OpStore {
+		var buf [8]byte
+		v := e.vals[in.B]
+		for k := 0; k < int(in.Size); k++ {
+			buf[k] = byte(v >> (8 * k))
+		}
+		if err := bank.Write(addr, buf[:in.Size]); err != nil {
+			e.fault = err
+			e.running = false
+			return false
+		}
+		e.events = append(e.events, engEvent{cycle: e.cycle + uint64(bank.Latency()), instr: i})
+		return true
+	}
+	var buf [8]byte
+	if err := bank.Read(addr, buf[:in.Size]); err != nil {
+		e.fault = err
+		e.running = false
+		return false
+	}
+	var v uint64
+	for k := 0; k < int(in.Size); k++ {
+		v |= uint64(buf[k]) << (8 * k)
+	}
+	v = extendLoad(v, in.Size, in.Signed)
+	e.events = append(e.events, engEvent{
+		cycle: e.cycle + uint64(bank.Latency()), instr: i,
+		write: in.Dst != ir.NoVal, dst: in.Dst, value: v,
+	})
+	return true
+}
+
+func extendLoad(v uint64, size uint8, signed bool) uint64 {
+	switch size {
+	case 1:
+		if signed {
+			return uint64(int64(int8(v)))
+		}
+		return v & 0xFF
+	case 2:
+		if signed {
+			return uint64(int64(int16(v)))
+		}
+		return v & 0xFFFF
+	case 4:
+		if signed {
+			return uint64(int64(int32(v)))
+		}
+		return v & 0xFFFFFFFF
+	}
+	return v
+}
+
+func (e *engine) resolveTerminator(in *ir.Instr) {
+	switch in.Op {
+	case ir.OpHalt:
+		e.running = false
+		e.finished = true
+	case ir.OpBr:
+		e.enterBlock(in.Then)
+	case ir.OpBrIf:
+		if e.vals[in.A] != 0 {
+			e.enterBlock(in.Then)
+		} else {
+			e.enterBlock(in.Else)
+		}
+	default:
+		e.fault = fmt.Errorf("accel: bad terminator %v", in.Op)
+		e.running = false
+	}
+}
+
+// clone deep-copies engine state (same immutable prog/deps).
+func (e *engine) clone(banks []*Bank) *engine {
+	n := *e
+	n.banks = banks
+	n.vals = append([]uint64(nil), e.vals...)
+	n.issued = append([]bool(nil), e.issued...)
+	n.done = append([]bool(nil), e.done...)
+	n.events = append([]engEvent(nil), e.events...)
+	return &n
+}

@@ -1,0 +1,223 @@
+package accel
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"marvel/internal/classify"
+	"marvel/internal/core"
+	"marvel/internal/mem"
+	"marvel/internal/metrics"
+)
+
+// HostBuf is one host-memory buffer bound to an accelerator argument.
+type HostBuf struct {
+	Arg  int
+	Addr uint64
+	Init []byte // initial contents (inputs); nil for outputs
+	Len  int
+}
+
+// Task describes a standalone accelerator invocation: argument buffers in
+// host memory plus which buffer holds the compared output.
+type Task struct {
+	Bufs   []HostBuf
+	OutArg int // index into Bufs of the output buffer
+}
+
+// Standalone is the no-CPU harness of §V-G's "standalone DSA" platform: a
+// host memory, one cluster, and a driver that pokes MMRs directly.
+type Standalone struct {
+	Host    *mem.Memory
+	Cluster *Cluster
+	task    Task
+}
+
+// NewStandalone instantiates a design with the given task.
+func NewStandalone(d *Design, task Task) (*Standalone, error) {
+	host := mem.NewMemory(0, 1<<20, 1)
+	cl, err := NewCluster(d, MemHostPort{host})
+	if err != nil {
+		return nil, err
+	}
+	s := &Standalone{Host: host, Cluster: cl, task: task}
+	for _, b := range task.Bufs {
+		if b.Init != nil {
+			if err := host.Write(b.Addr, b.Init); err != nil {
+				return nil, err
+			}
+		}
+		cl.SetArg(b.Arg, b.Addr)
+	}
+	return s, nil
+}
+
+// Run starts the task and ticks until completion or the budget expires.
+func (s *Standalone) Run(budget uint64) error {
+	s.Cluster.Start()
+	for !s.Cluster.Done() && s.Cluster.Cycle() < budget {
+		s.Cluster.Tick()
+	}
+	if !s.Cluster.Done() {
+		return fmt.Errorf("accel: %s task exceeded %d cycles", s.Cluster.design.Name, budget)
+	}
+	return s.Cluster.Faulted()
+}
+
+// Output reads the task's output buffer from host memory.
+func (s *Standalone) Output() ([]byte, error) {
+	ob := s.task.Bufs[s.task.OutArg]
+	buf := make([]byte, ob.Len)
+	if err := s.Host.Read(ob.Addr, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// CampaignConfig drives a statistical fault-injection campaign against one
+// accelerator memory component (the Figure 14/17 experiments).
+type CampaignConfig struct {
+	Design *Design
+	Task   Task
+	Target string // bank name
+	Model  core.Model
+	Faults int
+	Seed   int64
+	// WatchdogFactor bounds faulty tasks at factor × golden cycles.
+	WatchdogFactor float64
+	// WindowOverride, when non-zero, draws injection cycles from
+	// [0, WindowOverride) instead of the task's own duration. Design-space
+	// sweeps use the slowest configuration's window so every design sees
+	// the same fault population (the paper's same-masks comparability
+	// requirement); faults landing after a faster design completes are
+	// architecturally masked.
+	WindowOverride uint64
+}
+
+// CampaignResult aggregates one accelerator campaign.
+type CampaignResult struct {
+	Target       string
+	GoldenCycles uint64
+	GoldenOutput []byte
+	TargetBits   uint64
+	Counts       metrics.Counts
+	Margin       float64
+}
+
+// AVF returns the component's architectural vulnerability factor.
+func (r *CampaignResult) AVF() float64 { return r.Counts.AVF() }
+
+// RunCampaign executes the campaign. Accelerator tasks are short, so each
+// faulty run re-executes the whole task with a flip scheduled at a random
+// cycle of the task window — injections land during DMA-in, compute, or
+// DMA-out, exactly the full-task window the paper's DSE insight relies on.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.WatchdogFactor <= 1 {
+		cfg.WatchdogFactor = 4
+	}
+	golden, err := NewStandalone(cfg.Design, cfg.Task)
+	if err != nil {
+		return nil, err
+	}
+	if err := golden.Run(50_000_000); err != nil {
+		return nil, fmt.Errorf("accel: golden run: %w", err)
+	}
+	goldenOut, err := golden.Output()
+	if err != nil {
+		return nil, err
+	}
+	gb, err := golden.Cluster.Bank(cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	bankIdx := -1
+	for i, b := range golden.Cluster.Banks() {
+		if b == gb {
+			bankIdx = i
+		}
+	}
+	goldenCycles := golden.Cluster.TaskCycles()
+
+	res := &CampaignResult{
+		Target:       cfg.Target,
+		GoldenCycles: goldenCycles,
+		GoldenOutput: goldenOut,
+		TargetBits:   gb.BitLen(),
+		Margin:       core.MarginFor(gb.BitLen(), cfg.Faults, 1.96),
+	}
+
+	window := goldenCycles
+	if cfg.WindowOverride > 0 {
+		window = cfg.WindowOverride
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	budget := uint64(float64(goldenCycles)*cfg.WatchdogFactor) + 5000
+	for i := 0; i < cfg.Faults; i++ {
+		bit := uint64(rng.Int63n(int64(gb.BitLen())))
+		cyc := uint64(rng.Int63n(int64(window))) + 1
+		v := runFaulty(cfg, bankIdx, bit, cyc, budget, goldenOut)
+		res.Counts.Add(v)
+	}
+	return res, nil
+}
+
+func runFaulty(cfg CampaignConfig, bankIdx int, bit, cyc, budget uint64, goldenOut []byte) classify.Verdict {
+	s, err := NewStandalone(cfg.Design, cfg.Task)
+	if err != nil {
+		return classify.Verdict{Outcome: classify.Crash, CrashCode: "setup"}
+	}
+	switch cfg.Model {
+	case core.Transient:
+		s.Cluster.ScheduleFlip(bankIdx, bit, cyc)
+	default:
+		v := uint8(0)
+		if cfg.Model == core.StuckAt1 {
+			v = 1
+		}
+		s.Cluster.Banks()[bankIdx].Stick(bit, v)
+	}
+	s.Cluster.Start()
+	for !s.Cluster.Done() && s.Cluster.Cycle() < budget {
+		s.Cluster.Tick()
+	}
+	switch {
+	case !s.Cluster.Done():
+		return classify.Verdict{Outcome: classify.Crash, CrashCode: "watchdog-timeout", Cycles: s.Cluster.Cycle()}
+	case s.Cluster.Faulted() != nil:
+		return classify.Verdict{Outcome: classify.Crash, CrashCode: "accel-fault", Cycles: s.Cluster.Cycle()}
+	}
+	out, err := s.Output()
+	if err != nil || !bytes.Equal(out, goldenOut) {
+		return classify.Verdict{Outcome: classify.SDC, Cycles: s.Cluster.Cycle()}
+	}
+	return classify.Verdict{Outcome: classify.Masked, Cycles: s.Cluster.Cycle()}
+}
+
+// --- Area model (Figure 17b) ---
+
+// AreaUnits estimates a design's area in normalized units: functional
+// units plus memory macros plus fixed control overhead.
+func AreaUnits(d *Design) float64 {
+	const (
+		adderArea = 1.0
+		mulArea   = 3.5
+		divArea   = 9.0
+		spmPerKB  = 0.9
+		rbPerKB   = 1.6
+		control   = 2.0
+	)
+	a := control +
+		float64(d.FUs.Adders)*adderArea +
+		float64(d.FUs.Multipliers)*mulArea +
+		float64(d.FUs.Dividers)*divArea
+	for _, b := range d.Banks {
+		kb := float64(b.Size) / 1024
+		if b.Kind == RegBank {
+			a += kb * rbPerKB
+		} else {
+			a += kb * spmPerKB
+		}
+	}
+	return a
+}

@@ -1,0 +1,422 @@
+// Package campaign is the statistical fault injection controller of
+// Figure 2: it runs the fault-free (golden) simulation once, snapshots the
+// system at the program's checkpoint directive, generates a statistical
+// sample of fault masks, forks one faulty simulation per mask across
+// parallel workers, classifies every outcome (Masked / SDC / Crash, plus
+// the HVF Benign/Corruption view), and aggregates AVF, HVF and the
+// campaign's statistical error margin.
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"marvel/internal/classify"
+	"marvel/internal/config"
+	"marvel/internal/core"
+	"marvel/internal/cpu"
+	"marvel/internal/metrics"
+	"marvel/internal/program"
+	"marvel/internal/soc"
+	"marvel/internal/trace"
+)
+
+// CPU target names accepted by TargetOf.
+var CPUTargets = []string{"prf", "l1i", "l1d", "l2", "lq", "sq", "rob", "iq"}
+
+// TargetOf resolves a CPU-side injection target by name on a system
+// instance (each clone resolves its own).
+func TargetOf(s *soc.System, name string) (core.Target, error) {
+	switch name {
+	case "prf":
+		return s.CPU.PRF(), nil
+	case "lq":
+		return s.CPU.LQ(), nil
+	case "sq":
+		return s.CPU.SQ(), nil
+	case "l1i":
+		return s.Hier.L1I, nil
+	case "l1d":
+		return s.Hier.L1D, nil
+	case "l2":
+		return s.Hier.L2, nil
+	case "rob":
+		return s.CPU.ROBTarget(), nil
+	case "iq":
+		return s.CPU.IQTarget(), nil
+	}
+	return nil, fmt.Errorf("campaign: unknown CPU target %q", name)
+}
+
+// Config describes one campaign: one workload image, one hardware preset,
+// one target structure, one fault model.
+type Config struct {
+	Image  *program.Image
+	Preset config.Preset
+
+	Target string
+	// MultiTargets, when non-empty, selects the paper's multi-structure
+	// mode: every mask carries one fault in each listed structure
+	// (spatially distributed multi-fault injection). Target is ignored.
+	MultiTargets []string
+	Model        core.Model
+	Faults       int
+	// BitsPerFault > 1 selects multi-bit masks (spatial multi-fault mode).
+	BitsPerFault int
+	Seed         int64
+	Domain       core.Domain
+
+	Workers int
+	// HVF enables commit-trace comparison alongside AVF classification
+	// (same masks, same runs — the paper's combined mode).
+	HVF bool
+	// EarlyTermination enables the invalid-entry and
+	// overwritten-before-read optimizations of §IV-B.
+	EarlyTermination bool
+	// WatchdogFactor bounds faulty runs at factor × golden cycles;
+	// expiry classifies as Crash. Default 3.
+	WatchdogFactor float64
+}
+
+// GoldenInfo describes the fault-free reference run.
+type GoldenInfo struct {
+	Cycles   uint64
+	Insts    uint64
+	WindowLo uint64
+	WindowHi uint64
+	Output   []byte
+	Stats    cpu.Stats
+}
+
+// Record is the outcome of one fault injection.
+type Record struct {
+	Mask    core.Mask
+	Verdict classify.Verdict
+}
+
+// Result aggregates one campaign.
+type Result struct {
+	Target     string
+	Model      core.Model
+	Golden     GoldenInfo
+	TargetBits uint64
+	Records    []Record
+	Counts     metrics.Counts
+	// Margin is the statistical error at 95% confidence for this sample
+	// size over the target's bit population.
+	Margin float64
+}
+
+// AVF returns the campaign's architectural vulnerability factor.
+func (r *Result) AVF() float64 { return r.Counts.AVF() }
+
+// Run executes a campaign.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Image == nil {
+		return nil, fmt.Errorf("campaign: no workload image")
+	}
+	if cfg.Faults <= 0 {
+		return nil, fmt.Errorf("campaign: fault count must be positive")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.WatchdogFactor <= 1 {
+		cfg.WatchdogFactor = 3
+	}
+
+	golden, base, goldenTrace, commitsAtCkpt, err := runGolden(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var masks []core.Mask
+	var bits uint64
+	if len(cfg.MultiTargets) > 0 {
+		masks, bits, err = multiTargetMasks(cfg, base, golden)
+	} else {
+		var tgt core.Target
+		tgt, err = TargetOf(base, cfg.Target)
+		if err != nil {
+			return nil, err
+		}
+		bits = tgt.BitLen()
+		masks, err = core.Generate(core.GenSpec{
+			Target:   cfg.Target,
+			Bits:     bits,
+			Model:    cfg.Model,
+			Count:    cfg.Faults,
+			WindowLo: golden.WindowLo,
+			WindowHi: golden.WindowHi,
+			BitsPer:  cfg.BitsPerFault,
+			Seed:     cfg.Seed,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Target:     cfg.Target,
+		Model:      cfg.Model,
+		Golden:     *golden,
+		TargetBits: bits,
+		Records:    make([]Record, len(masks)),
+		Margin:     core.MarginFor(bits, len(masks), 1.96),
+	}
+
+	var subTrace *trace.Golden
+	if cfg.HVF {
+		subTrace = goldenTrace.Slice(commitsAtCkpt)
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res.Records[i] = Record{
+					Mask:    masks[i],
+					Verdict: runOne(cfg, base, golden, subTrace, masks[i]),
+				}
+			}
+		}()
+	}
+	for i := range masks {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for _, r := range res.Records {
+		res.Counts.Add(r.Verdict)
+	}
+	return res, nil
+}
+
+// runGolden performs the fault-free run, returning the reference info, the
+// checkpoint snapshot faulty runs fork from, the golden commit trace, and
+// the commit index at the checkpoint.
+func runGolden(cfg Config) (*GoldenInfo, *soc.System, *trace.Golden, int, error) {
+	sys, err := soc.New(cfg.Image, cfg.Preset.CPU, cfg.Preset.Hier, cfg.Preset.MemLatency)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	rec := trace.NewRecorder()
+	hook := rec.Hook()
+	sys.CPU.CommitHook = hook
+
+	base := sys.Clone() // fallback snapshot at cycle 0
+	commitsAtCkpt := 0
+	sys.CheckpointHook = func(cycle uint64) {
+		base = sys.Clone()
+		commitsAtCkpt = rec.Len()
+	}
+
+	res := sys.Run(500_000_000)
+	if res.Status != soc.RunCompleted {
+		return nil, nil, nil, 0, fmt.Errorf("campaign: golden run %v (trap %v)", res.Status, res.Trap)
+	}
+	lo, hi, ok := sys.HasWindow()
+	if !ok {
+		lo, hi = 0, res.Cycles
+	}
+	g := &GoldenInfo{
+		Cycles:   res.Cycles,
+		Insts:    res.Stats.Insts,
+		WindowLo: lo,
+		WindowHi: hi,
+		Output:   res.Output,
+		Stats:    res.Stats,
+	}
+	return g, base, rec.Golden(), commitsAtCkpt, nil
+}
+
+// multiTargetMasks builds masks with one fault in every listed structure
+// (the paper's spatial multi-structure combination mode).
+func multiTargetMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.Mask, uint64, error) {
+	var total uint64
+	perTarget := make([][]core.Mask, len(cfg.MultiTargets))
+	for ti, name := range cfg.MultiTargets {
+		tgt, err := TargetOf(base, name)
+		if err != nil {
+			return nil, 0, err
+		}
+		total += tgt.BitLen()
+		ms, err := core.Generate(core.GenSpec{
+			Target:   name,
+			Bits:     tgt.BitLen(),
+			Model:    cfg.Model,
+			Count:    cfg.Faults,
+			WindowLo: golden.WindowLo,
+			WindowHi: golden.WindowHi,
+			Seed:     cfg.Seed + int64(ti)*7919,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		perTarget[ti] = ms
+	}
+	masks := make([]core.Mask, cfg.Faults)
+	for i := range masks {
+		masks[i].ID = i
+		for ti := range cfg.MultiTargets {
+			masks[i].Faults = append(masks[i].Faults, perTarget[ti][i].Faults...)
+		}
+	}
+	return masks, total, nil
+}
+
+// runOne forks one faulty simulation from the checkpoint snapshot, applies
+// the mask, runs to completion (or early termination) and classifies.
+func runOne(cfg Config, base *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, mask core.Mask) classify.Verdict {
+	s := base.Clone()
+	targets := map[string]core.Target{}
+	targetFor := func(name string) core.Target {
+		if t, ok := targets[name]; ok {
+			return t
+		}
+		t, err := TargetOf(s, name)
+		if err != nil {
+			return nil
+		}
+		targets[name] = t
+		return t
+	}
+	tgt := targetFor(cfg.Target)
+	if len(cfg.MultiTargets) > 0 {
+		tgt = targetFor(cfg.MultiTargets[0])
+	}
+	if tgt == nil {
+		return classify.Verdict{Outcome: classify.Crash, CrashCode: "bad-target"}
+	}
+
+	var comp *trace.Comparator
+	if cfg.HVF && goldenTrace != nil {
+		comp = trace.NewComparator(goldenTrace)
+		s.CPU.CommitHook = comp.Hook()
+	}
+
+	budget := uint64(float64(golden.Cycles)*cfg.WatchdogFactor) + 20_000
+
+	// Permanent faults hold for the whole run: apply at the fork point.
+	single := len(mask.Faults) == 1
+	transients := make([]core.Fault, 0, len(mask.Faults))
+	for _, f := range mask.Faults {
+		if f.Model.Permanent() {
+			if ft := targetFor(f.Target); ft != nil {
+				ft.Stick(f.Bit, stuckVal(f.Model))
+			}
+		} else {
+			transients = append(transients, f)
+		}
+	}
+	sort.Slice(transients, func(i, j int) bool { return transients[i].Cycle < transients[j].Cycle })
+
+	appliedBit := uint64(0)
+	for _, f := range transients {
+		s.RunUntilCycle(f.Cycle)
+		if s.CPU.Done() {
+			break
+		}
+		ft := targetFor(f.Target)
+		if ft == nil {
+			continue
+		}
+		bit := f.Bit
+		if cfg.Domain == core.DomainValidOnly && !ft.Live(bit) {
+			bit = resampleLive(ft, f, cfg.Seed, mask.ID)
+		}
+		ft.Flip(bit)
+		appliedBit = bit
+	}
+
+	earlyOK := cfg.EarlyTermination && single && !s.CPU.Done()
+	if earlyOK && len(transients) == 1 {
+		if !tgt.Live(appliedBit) {
+			// Invalid or unused entry: provably masked (§IV-B).
+			return classify.EarlyMasked(classify.MaskedInvalidEntry, s.CPU.Cycle())
+		}
+		tgt.Watch(appliedBit)
+	}
+
+	var stop func() bool
+	if earlyOK && len(transients) == 1 {
+		stop = func() bool { return tgt.WatchState() == core.WatchDead }
+	}
+	res, stopped := s.RunChecked(budget, 128, stop)
+	if stopped {
+		return classify.EarlyMasked(classify.MaskedDeadFault, res.Cycles)
+	}
+
+	v := verdictFromRun(golden.Output, golden.Cycles, res)
+	if comp != nil {
+		v.HVFCorrupt = comp.Finalize()
+		v.DivergeCommit = comp.DivergePoint()
+		// A fault can reach architecturally-visible memory without any
+		// committed instruction touching it (a corrupted dirty line
+		// written back into the program's output). The paper's HVF
+		// definition counts data transactions as commit-visible
+		// corruptions, so an SDC is a corruption even with a clean
+		// commit stream; this also preserves HVF >= AVF by construction.
+		if v.Outcome != classify.Masked {
+			v.HVFCorrupt = true
+		}
+	}
+	return v
+}
+
+// verdictFromRun classifies a completed faulty simulation against the
+// golden output (§IV-A2): completed+equal = Masked, completed+different =
+// SDC, everything else = Crash (hangs included).
+func verdictFromRun(goldenOutput []byte, goldenCycles uint64, res soc.RunResult) classify.Verdict {
+	v := classify.Verdict{
+		Cycles:        res.Cycles,
+		CycleDelta:    int64(res.Cycles) - int64(goldenCycles),
+		DivergeCommit: -1,
+	}
+	switch res.Status {
+	case soc.RunCompleted:
+		if bytes.Equal(res.Output, goldenOutput) {
+			v.Outcome = classify.Masked
+		} else {
+			v.Outcome = classify.SDC
+		}
+	case soc.RunCrashed:
+		v.Outcome = classify.Crash
+		if res.Trap != nil {
+			v.CrashCode = res.Trap.Code.String()
+		}
+	default:
+		v.Outcome = classify.Crash
+		v.CrashCode = "watchdog-timeout"
+	}
+	return v
+}
+
+func stuckVal(m core.Model) uint8 {
+	if m == core.StuckAt1 {
+		return 1
+	}
+	return 0
+}
+
+// resampleLive redraws the bit coordinate until it lands in a live entry
+// (valid-only injection domain), deterministically per mask.
+func resampleLive(tgt core.Target, f core.Fault, seed int64, maskID int) uint64 {
+	rng := rand.New(rand.NewSource(seed ^ int64(maskID)<<20 ^ int64(f.Bit)))
+	bits := tgt.BitLen()
+	for tries := 0; tries < 512; tries++ {
+		b := uint64(rng.Int63n(int64(bits)))
+		if tgt.Live(b) {
+			return b
+		}
+	}
+	return f.Bit
+}

@@ -1,0 +1,82 @@
+// Package classify implements the fault-effect classification of the
+// paper's §IV-A2: every faulty simulation lands in Masked, SDC or Crash
+// for AVF analysis, and Benign or Corruption for HVF analysis. Hangs
+// (watchdog expiry) fold into Crash, following the paper's treatment of
+// "excessively long execution times".
+package classify
+
+import "fmt"
+
+// Outcome is the AVF fault-effect class.
+type Outcome uint8
+
+const (
+	// Masked: the run finished and the output matches the fault-free run.
+	Masked Outcome = iota
+	// SDC: the run finished normally but produced different output, with
+	// no observable indication — a silent data corruption.
+	SDC
+	// Crash: an exception, deadlock or hang prevented the program from
+	// producing output.
+	Crash
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case SDC:
+		return "sdc"
+	case Crash:
+		return "crash"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// MaskReason records why a Masked verdict was reached without (or before)
+// completing the simulation — the §IV-B early-termination optimizations.
+type MaskReason uint8
+
+const (
+	// MaskedByRun: the simulation completed with matching output.
+	MaskedByRun MaskReason = iota
+	// MaskedInvalidEntry: the fault landed in an invalid or unused entry.
+	MaskedInvalidEntry
+	// MaskedDeadFault: the faulty bit was overwritten before being read.
+	MaskedDeadFault
+)
+
+func (m MaskReason) String() string {
+	switch m {
+	case MaskedByRun:
+		return "full-run"
+	case MaskedInvalidEntry:
+		return "invalid-entry"
+	case MaskedDeadFault:
+		return "overwritten-before-read"
+	}
+	return fmt.Sprintf("reason(%d)", uint8(m))
+}
+
+// Verdict is the complete classification of one faulty run, carrying both
+// the AVF and the HVF views of the same fault so their correlation can be
+// studied (paper Figure 3b).
+type Verdict struct {
+	Outcome Outcome
+	Reason  MaskReason // meaningful when Outcome == Masked
+
+	// HVF view (valid when the campaign enabled HVF analysis).
+	HVFCorrupt    bool
+	DivergeCommit int // first mismatching commit index, -1 if none
+
+	CrashCode  string // trap description for crashes
+	Cycles     uint64
+	CycleDelta int64 // faulty cycles - golden cycles (timing deviation)
+	EarlyStop  bool  // simulation cut short by an optimization
+}
+
+// EarlyMasked builds the verdict for a run resolved by an early-termination
+// optimization.
+func EarlyMasked(reason MaskReason, cycles uint64) Verdict {
+	return Verdict{Outcome: Masked, Reason: reason, Cycles: cycles, EarlyStop: true, DivergeCommit: -1}
+}

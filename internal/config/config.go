@@ -1,0 +1,56 @@
+// Package config holds the hardware configuration presets of the paper
+// (Table II) and a small text-based system-description parser standing in
+// for gem5-SALAM's YAML configuration generator: one description produces a
+// full CPU or SoC instance without recompiling anything.
+package config
+
+import (
+	"marvel/internal/cpu"
+	"marvel/internal/mem"
+)
+
+// Preset bundles the knobs a system instance needs.
+type Preset struct {
+	Name       string
+	CPU        cpu.Config
+	Hier       mem.HierarchyConfig
+	MemLatency int // main memory access latency, cycles
+	ClockHz    float64
+}
+
+// TableII returns the paper's Table II configuration: 64-bit 8-issue OoO
+// pipeline, 32KB 4-way L1I and L1D (64B lines, 128 sets), 1MB 8-way L2
+// (2048 sets), 128 integer physical registers, and 32/32/64/128
+// LQ/SQ/IQ/ROB entries. The same microarchitecture is used for all three
+// ISAs, exactly as in the paper.
+func TableII() Preset {
+	return Preset{
+		Name: "table2",
+		CPU:  cpu.DefaultConfig(),
+		Hier: mem.HierarchyConfig{
+			L1I: mem.CacheConfig{Name: "l1i", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLat: 2},
+			L1D: mem.CacheConfig{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLat: 2},
+			L2:  mem.CacheConfig{Name: "l2", SizeBytes: 1 << 20, LineBytes: 64, Ways: 8, HitLat: 12},
+		},
+		MemLatency: 80,
+		ClockHz:    1e9,
+	}
+}
+
+// Fast returns a scaled-down preset for unit tests: small caches so misses
+// and evictions happen quickly.
+func Fast() Preset {
+	p := TableII()
+	p.Name = "fast"
+	p.Hier.L1I.SizeBytes = 4 << 10
+	p.Hier.L1D.SizeBytes = 4 << 10
+	p.Hier.L2.SizeBytes = 32 << 10
+	return p
+}
+
+// WithPhysRegs returns a copy of the preset with a different integer
+// physical register file size (the Figure 15 sensitivity study).
+func (p Preset) WithPhysRegs(n int) Preset {
+	p.CPU.NumPhysRegs = n
+	return p
+}

@@ -1,0 +1,127 @@
+package config_test
+
+import (
+	"strings"
+	"testing"
+
+	"marvel/internal/config"
+	"marvel/internal/isa"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	p := config.TableII()
+	// The paper's Table II values.
+	if p.CPU.Width != 8 {
+		t.Errorf("pipeline width %d, want 8-issue", p.CPU.Width)
+	}
+	if p.CPU.NumPhysRegs != 128 {
+		t.Errorf("physical registers %d, want 128", p.CPU.NumPhysRegs)
+	}
+	if p.CPU.LQSize != 32 || p.CPU.SQSize != 32 || p.CPU.IQSize != 64 || p.CPU.ROBSize != 128 {
+		t.Errorf("LQ/SQ/IQ/ROB = %d/%d/%d/%d, want 32/32/64/128",
+			p.CPU.LQSize, p.CPU.SQSize, p.CPU.IQSize, p.CPU.ROBSize)
+	}
+	for _, c := range []struct {
+		name      string
+		size, way int
+		sets      int
+	}{
+		{"l1i", 32 << 10, 4, 128},
+		{"l1d", 32 << 10, 4, 128},
+		{"l2", 1 << 20, 8, 2048},
+	} {
+		var cc = p.Hier.L1I
+		switch c.name {
+		case "l1d":
+			cc = p.Hier.L1D
+		case "l2":
+			cc = p.Hier.L2
+		}
+		if cc.SizeBytes != c.size || cc.Ways != c.way || cc.LineBytes != 64 {
+			t.Errorf("%s: %d bytes %d-way %dB lines", c.name, cc.SizeBytes, cc.Ways, cc.LineBytes)
+		}
+		if sets := cc.SizeBytes / (cc.LineBytes * cc.Ways); sets != c.sets {
+			t.Errorf("%s: %d sets, want %d", c.name, sets, c.sets)
+		}
+	}
+	for _, a := range isa.All() {
+		if err := p.CPU.Validate(a); err != nil {
+			t.Errorf("Table II invalid for %s: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestWithPhysRegs(t *testing.T) {
+	for _, n := range []int{96, 128, 192} {
+		p := config.TableII().WithPhysRegs(n)
+		if p.CPU.NumPhysRegs != n {
+			t.Errorf("WithPhysRegs(%d) = %d", n, p.CPU.NumPhysRegs)
+		}
+	}
+	// The original preset must not be mutated.
+	if config.TableII().CPU.NumPhysRegs != 128 {
+		t.Error("WithPhysRegs mutated the base preset")
+	}
+}
+
+func TestParseOverrides(t *testing.T) {
+	p, err := config.Parse(`
+		# a custom small system
+		preset   = table2
+		physregs = 96
+		l1d.kb   = 16
+		memlat   = 120
+		clock.mhz = 2000
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPU.NumPhysRegs != 96 {
+		t.Errorf("physregs %d", p.CPU.NumPhysRegs)
+	}
+	if p.Hier.L1D.SizeBytes != 16<<10 {
+		t.Errorf("l1d %d", p.Hier.L1D.SizeBytes)
+	}
+	if p.Hier.L1I.SizeBytes != 32<<10 {
+		t.Errorf("l1i should keep the preset value, got %d", p.Hier.L1I.SizeBytes)
+	}
+	if p.MemLatency != 120 {
+		t.Errorf("memlat %d", p.MemLatency)
+	}
+	if p.ClockHz != 2e9 {
+		t.Errorf("clock %g", p.ClockHz)
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	bad := []string{
+		"width",         // no value
+		"width = fast",  // not a number
+		"width = -1",    // not positive
+		"turbo = 9",     // unknown key
+		"preset = gem5", // unknown preset
+		"l1d.kb = 7",    // breaks power-of-two set count
+	}
+	for _, in := range bad {
+		if _, err := config.Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseEmptyGivesTableII(t *testing.T) {
+	p, err := config.Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := config.TableII()
+	if p.CPU != ref.CPU || p.Hier != ref.Hier || p.MemLatency != ref.MemLatency {
+		t.Error("empty description must equal Table II")
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	if _, err := config.Parse(strings.Repeat("# only comments\n\n", 5)); err != nil {
+		t.Fatal(err)
+	}
+}

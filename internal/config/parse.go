@@ -1,0 +1,126 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"marvel/internal/mem"
+)
+
+// Parse builds a Preset from a plain-text system description, the stand-in
+// for gem5-SALAM's automatic configuration-script generator (§III-C2): one
+// description file produces a complete system instance without recompiling
+// anything.
+//
+// Syntax: one `key = value` pair per line; `#` starts a comment. An
+// optional `preset = table2|fast` line selects the base configuration that
+// the remaining keys override.
+//
+//	preset      = table2
+//	width       = 8
+//	rob         = 128
+//	iq          = 64
+//	lq          = 32
+//	sq          = 32
+//	physregs    = 128
+//	l1i.kb      = 32
+//	l1d.kb      = 32
+//	l2.kb       = 1024
+//	line        = 64
+//	l1.ways     = 4
+//	l2.ways     = 8
+//	memlat      = 80
+//	clock.mhz   = 1000
+func Parse(text string) (Preset, error) {
+	p := TableII()
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return Preset{}, fmt.Errorf("config: line %d: want key = value, got %q", ln+1, raw)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if err := apply(&p, key, val); err != nil {
+			return Preset{}, fmt.Errorf("config: line %d: %w", ln+1, err)
+		}
+	}
+	if err := validatePreset(p); err != nil {
+		return Preset{}, err
+	}
+	return p, nil
+}
+
+func apply(p *Preset, key, val string) error {
+	if key == "preset" {
+		switch val {
+		case "table2":
+			*p = TableII()
+		case "fast":
+			*p = Fast()
+		default:
+			return fmt.Errorf("unknown preset %q", val)
+		}
+		return nil
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return fmt.Errorf("key %q: %v", key, err)
+	}
+	if n <= 0 {
+		return fmt.Errorf("key %q: value must be positive", key)
+	}
+	switch key {
+	case "width":
+		p.CPU.Width = n
+	case "rob":
+		p.CPU.ROBSize = n
+	case "iq":
+		p.CPU.IQSize = n
+	case "lq":
+		p.CPU.LQSize = n
+	case "sq":
+		p.CPU.SQSize = n
+	case "physregs":
+		p.CPU.NumPhysRegs = n
+	case "l1i.kb":
+		p.Hier.L1I.SizeBytes = n << 10
+	case "l1d.kb":
+		p.Hier.L1D.SizeBytes = n << 10
+	case "l2.kb":
+		p.Hier.L2.SizeBytes = n << 10
+	case "line":
+		p.Hier.L1I.LineBytes = n
+		p.Hier.L1D.LineBytes = n
+		p.Hier.L2.LineBytes = n
+	case "l1.ways":
+		p.Hier.L1I.Ways = n
+		p.Hier.L1D.Ways = n
+	case "l2.ways":
+		p.Hier.L2.Ways = n
+	case "memlat":
+		p.MemLatency = n
+	case "clock.mhz":
+		p.ClockHz = float64(n) * 1e6
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+func validatePreset(p Preset) error {
+	for _, c := range []mem.CacheConfig{p.Hier.L1I, p.Hier.L1D, p.Hier.L2} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestModelStrings(t *testing.T) {
+	if Transient.String() == "" || StuckAt0.String() == "" || StuckAt1.String() == "" {
+		t.Fatal("empty model string")
+	}
+	if Transient.Permanent() {
+		t.Error("transient is not permanent")
+	}
+	if !StuckAt0.Permanent() || !StuckAt1.Permanent() {
+		t.Error("stuck-at models are permanent")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Target: "prf", Bit: 7, Cycle: 100, Model: Transient}
+	if f.String() == "" {
+		t.Fatal("empty fault string")
+	}
+	p := Fault{Target: "l1d", Bit: 9, Model: StuckAt1}
+	if p.String() == f.String() {
+		t.Fatal("distinct faults must print differently")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenSpec{Target: "x", Bits: 0, Count: 1}); err == nil {
+		t.Error("zero bits should fail")
+	}
+	if _, err := Generate(GenSpec{Target: "x", Bits: 10, Count: 0}); err == nil {
+		t.Error("zero count should fail")
+	}
+	if _, err := Generate(GenSpec{
+		Target: "x", Bits: 10, Count: 1, Model: Transient, WindowLo: 5, WindowHi: 5,
+	}); err == nil {
+		t.Error("empty window should fail")
+	}
+}
+
+func TestGenerateFixedCycle(t *testing.T) {
+	masks, err := Generate(GenSpec{
+		Target: "x", Bits: 128, Count: 20, Model: Transient,
+		WindowLo: 77, FixedCycle: true, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range masks {
+		if m.Faults[0].Cycle != 77 {
+			t.Fatalf("directed mode must pin the cycle, got %d", m.Faults[0].Cycle)
+		}
+	}
+}
+
+func TestGeneratePermanentNeedsNoWindow(t *testing.T) {
+	masks, err := Generate(GenSpec{
+		Target: "x", Bits: 64, Count: 5, Model: StuckAt0, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(masks) != 5 {
+		t.Fatalf("got %d masks", len(masks))
+	}
+}
+
+func TestGenerateBoundsProperty(t *testing.T) {
+	f := func(seed int64, bits uint16, lo uint16, span uint16) bool {
+		b := uint64(bits)%1000 + 1
+		w := uint64(span)%500 + 1
+		masks, err := Generate(GenSpec{
+			Target: "t", Bits: b, Count: 30, Model: Transient,
+			WindowLo: uint64(lo), WindowHi: uint64(lo) + w, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for _, m := range masks {
+			for _, fa := range m.Faults {
+				if fa.Bit >= b || fa.Cycle < uint64(lo) || fa.Cycle >= uint64(lo)+w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleSizeMonotonicity(t *testing.T) {
+	// Tighter margins need more samples; bigger populations saturate.
+	if SampleSize(1<<20, 0.01, 1.96) <= SampleSize(1<<20, 0.05, 1.96) {
+		t.Error("tighter margin must need more samples")
+	}
+	big := SampleSize(1<<30, 0.03, 1.96)
+	if big < 1000 || big > 1100 {
+		t.Errorf("saturated 3%%/95%% sample = %d, want ~1067", big)
+	}
+	if SampleSize(0, 0.03, 1.96) != 0 {
+		t.Error("empty population needs no samples")
+	}
+}
+
+func TestMarginInverse(t *testing.T) {
+	n := uint64(32 * 1024 * 8)
+	s := SampleSize(n, 0.03, 1.96)
+	m := MarginFor(n, s, 1.96)
+	if m < 0.025 || m > 0.035 {
+		t.Fatalf("round trip margin %f", m)
+	}
+	if MarginFor(n, int(n), 1.96) != 0 {
+		t.Error("exhaustive sampling has zero margin")
+	}
+	if MarginFor(0, 10, 1.96) != 1 {
+		t.Error("empty population margin is trivial")
+	}
+}
+
+func TestWatchStateStrings(t *testing.T) {
+	for _, w := range []WatchState{WatchPending, WatchRead, WatchDead} {
+		if w.String() == "" {
+			t.Fatal("empty watch state string")
+		}
+	}
+}
+
+func TestMultiBitMasksSortedByCycle(t *testing.T) {
+	masks, err := Generate(GenSpec{
+		Target: "x", Bits: 4096, Count: 10, Model: Transient,
+		WindowLo: 0, WindowHi: 10000, BitsPer: 4, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range masks {
+		if len(m.Faults) != 4 {
+			t.Fatalf("mask has %d faults", len(m.Faults))
+		}
+		for i := 1; i < len(m.Faults); i++ {
+			if m.Faults[i].Cycle < m.Faults[i-1].Cycle {
+				t.Fatal("faults must be cycle-sorted for application order")
+			}
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package cpu implements the cycle-level out-of-order core used for every
+// ISA in marvel: an 8-issue pipeline with fetch through an L1 instruction
+// cache, decode of raw (possibly fault-corrupted) instruction bytes,
+// register renaming over a physical register file, out-of-order issue with
+// functional-unit constraints, a load queue with store-to-load forwarding,
+// a store queue that writes the data cache at commit, bimodal branch
+// prediction with ROB-walk mispredict recovery, and precise exceptions at
+// commit.
+//
+// The microarchitectural storage structures — physical register file, load
+// queue, store queue, and the caches of internal/mem — implement
+// core.Target, so faults are injected into the same state the pipeline
+// reads, and masking emerges from real mechanisms: dead registers, squashed
+// wrong-path work, overwritten lines and forwarded stores.
+package cpu
+
+import (
+	"fmt"
+
+	"marvel/internal/isa"
+	"marvel/internal/mem"
+)
+
+// Config parameterizes the core. DefaultConfig reproduces the paper's
+// Table II.
+type Config struct {
+	Width      int // superscalar width: decode/rename/issue/commit
+	FetchBytes int // max instruction bytes fetched per cycle
+
+	ROBSize int
+	IQSize  int
+	LQSize  int
+	SQSize  int
+
+	NumPhysRegs int // integer physical register file size
+
+	IntALUs  int
+	MulUnits int
+	DivUnits int
+	MemPorts int
+
+	MulLat int
+	DivLat int
+
+	BimodalSize int // branch predictor entries (power of two)
+
+	DeadlockCycles uint64 // commit-stall watchdog
+}
+
+// DefaultConfig returns the Table II configuration: a 64-bit 8-issue OoO
+// core with 128 integer physical registers and 32/32/64/128 LQ/SQ/IQ/ROB
+// entries.
+func DefaultConfig() Config {
+	return Config{
+		Width:          8,
+		FetchBytes:     32,
+		ROBSize:        128,
+		IQSize:         64,
+		LQSize:         32,
+		SQSize:         32,
+		NumPhysRegs:    128,
+		IntALUs:        4,
+		MulUnits:       2,
+		DivUnits:       1,
+		MemPorts:       2,
+		MulLat:         3,
+		DivLat:         12,
+		BimodalSize:    4096,
+		DeadlockCycles: 20000,
+	}
+}
+
+// Validate rejects configurations the pipeline cannot run.
+func (c Config) Validate(arch isa.Arch) error {
+	if c.Width <= 0 || c.ROBSize <= 0 || c.IQSize <= 0 || c.LQSize <= 0 || c.SQSize <= 0 {
+		return fmt.Errorf("cpu: non-positive pipeline structure size")
+	}
+	if c.NumPhysRegs < arch.NumRegs()+8 {
+		return fmt.Errorf("cpu: %d physical registers cannot rename %d architectural registers",
+			c.NumPhysRegs, arch.NumRegs())
+	}
+	if c.FetchBytes < arch.MaxInstLen() {
+		return fmt.Errorf("cpu: fetch width %d below max instruction length %d",
+			c.FetchBytes, arch.MaxInstLen())
+	}
+	if c.BimodalSize&(c.BimodalSize-1) != 0 {
+		return fmt.Errorf("cpu: bimodal size must be a power of two")
+	}
+	return nil
+}
+
+// CommitRec describes one committed micro-op, consumed by the HVF trace
+// comparator: any mismatch against the fault-free trace is an architectural
+// corruption (the paper's Figure 3(a) flow).
+type CommitRec struct {
+	PC      uint64
+	Kind    isa.Kind
+	Dst     isa.Reg
+	Result  uint64
+	MemAddr uint64
+	MemData uint64
+	Last    bool
+}
+
+// Stats counts pipeline events.
+type Stats struct {
+	Cycles       uint64
+	Insts        uint64 // committed instructions
+	Uops         uint64 // committed micro-ops
+	Branches     uint64
+	Mispredicts  uint64
+	Squashes     uint64
+	LoadsExec    uint64
+	StoresCommit uint64
+	Forwards     uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+type robEntry struct {
+	valid bool
+	idx   int // position in the ROB ring (stable)
+	seq   uint64
+	uop   isa.MicroOp
+
+	ps1, ps2, ps3, psp PReg
+	pdst, oldPdst      PReg
+
+	issued bool
+	done   bool
+
+	trapCode TrapCode
+	trapAddr uint64
+
+	predTaken bool
+	nullified bool // predicated-false memory op
+	lqSlot    int
+	sqSlot    int
+
+	result  uint64
+	memAddr uint64
+	memData uint64
+}
+
+type iqEntry struct {
+	robIdx int
+	seq    uint64
+}
+
+type event struct {
+	cycle  uint64
+	robIdx int
+	seq    uint64
+	value  uint64
+	isLoad bool // value comes from the LQ entry at completion time
+}
+
+type fqUop struct {
+	uop       isa.MicroOp
+	predTaken bool
+}
+
+// CPU is one out-of-order core attached to a memory hierarchy.
+type CPU struct {
+	cfg    Config
+	arch   isa.Arch
+	traits isa.Traits
+	hier   *mem.Hierarchy
+
+	cycle uint64
+	seq   uint64
+
+	// Front end.
+	fetchPC        uint64
+	fetchBusyUntil uint64
+	fetchFault     bool
+	fbuf           []byte
+	fbufPC         uint64
+	uq             []fqUop
+
+	bimodal []uint8
+
+	// Rename state.
+	rmap     []PReg
+	freeList []PReg
+	prf      *PhysRegFile
+
+	// Windows.
+	rob      []robEntry
+	robHead  int
+	robCount int
+	iq       []iqEntry
+	lq, sq   *LSQ
+
+	events []event
+
+	// Execution status.
+	halted          bool
+	trap            *Trap
+	waiting         bool // stalled in WFI
+	irq             bool
+	lastCommitCycle uint64
+
+	// MagicHook observes simulator directives (checkpoint, switch-cpu).
+	MagicHook func(sel int64, cycle uint64)
+	// CommitHook observes every committed micro-op (HVF tracing).
+	CommitHook func(CommitRec)
+
+	Stats Stats
+}
+
+// New builds a core. Call Boot before stepping.
+func New(arch isa.Arch, cfg Config, hier *mem.Hierarchy) (*CPU, error) {
+	if err := cfg.Validate(arch); err != nil {
+		return nil, err
+	}
+	c := &CPU{
+		cfg:     cfg,
+		arch:    arch,
+		traits:  arch.Traits(),
+		hier:    hier,
+		bimodal: make([]uint8, cfg.BimodalSize),
+		rmap:    make([]PReg, arch.NumRegs()),
+		prf:     NewPhysRegFile(cfg.NumPhysRegs),
+		rob:     make([]robEntry, cfg.ROBSize),
+		lq:      NewLSQ("lq", cfg.LQSize),
+		sq:      NewLSQ("sq", cfg.SQSize),
+	}
+	return c, nil
+}
+
+// Boot resets architectural state: every architectural register maps to a
+// zeroed physical register, the stack pointer register gets sp, and fetch
+// starts at entry.
+func (c *CPU) Boot(entry, sp uint64, spReg isa.Reg) {
+	n := c.arch.NumRegs()
+	c.freeList = c.freeList[:0]
+	for i := 0; i < n; i++ {
+		c.rmap[i] = PReg(i)
+		c.prf.SetInitial(PReg(i), 0)
+	}
+	for i := n; i < c.cfg.NumPhysRegs; i++ {
+		c.prf.Free(PReg(i))
+		c.freeList = append(c.freeList, PReg(i))
+	}
+	if spReg != isa.NoReg {
+		c.prf.SetInitial(c.rmap[spReg], sp)
+	}
+	c.fetchPC = entry
+	c.fbuf = nil
+	c.uq = nil
+	c.robHead, c.robCount = 0, 0
+	c.iq = c.iq[:0]
+	c.lq.reset()
+	c.sq.reset()
+	c.events = c.events[:0]
+	c.halted = false
+	c.trap = nil
+	c.waiting = false
+	c.lastCommitCycle = 0
+}
+
+// Cycle returns the current cycle number.
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// Halted reports whether the program executed its halt instruction.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Trap returns the exception that terminated execution, if any.
+func (c *CPU) Trap() *Trap { return c.trap }
+
+// Done reports whether execution ended (halt or trap).
+func (c *CPU) Done() bool { return c.halted || c.trap != nil }
+
+// Waiting reports whether the core is sleeping in WFI.
+func (c *CPU) Waiting() bool { return c.waiting }
+
+// SetIRQ drives the external interrupt line (from the GIC or PLIC model).
+func (c *CPU) SetIRQ(v bool) { c.irq = v }
+
+// Arch returns the core's instruction set.
+func (c *CPU) Arch() isa.Arch { return c.arch }
+
+// Hier returns the attached memory hierarchy.
+func (c *CPU) Hier() *mem.Hierarchy { return c.hier }
+
+// PRF returns the physical register file injection target.
+func (c *CPU) PRF() *PhysRegFile { return c.prf }
+
+// LQ returns the load queue injection target.
+func (c *CPU) LQ() *LSQ { return c.lq }
+
+// SQ returns the store queue injection target.
+func (c *CPU) SQ() *LSQ { return c.sq }
+
+// Clone deep-copies the core onto an already-cloned hierarchy. Hooks are
+// not copied; the new owner installs its own.
+func (c *CPU) Clone(hier *mem.Hierarchy) *CPU {
+	n := *c
+	n.hier = hier
+	n.fbuf = append([]byte(nil), c.fbuf...)
+	n.uq = append([]fqUop(nil), c.uq...)
+	n.bimodal = append([]uint8(nil), c.bimodal...)
+	n.rmap = append([]PReg(nil), c.rmap...)
+	n.freeList = append([]PReg(nil), c.freeList...)
+	n.prf = c.prf.Clone()
+	n.rob = append([]robEntry(nil), c.rob...)
+	n.iq = append([]iqEntry(nil), c.iq...)
+	n.lq = c.lq.Clone()
+	n.sq = c.sq.Clone()
+	n.events = append([]event(nil), c.events...)
+	n.MagicHook = nil
+	n.CommitHook = nil
+	return &n
+}

@@ -1,0 +1,838 @@
+package cpu
+
+import (
+	"marvel/internal/isa"
+	"marvel/internal/mem"
+)
+
+// Step advances the core by one clock cycle. Stages run in reverse pipeline
+// order so results produced in cycle N wake consumers in cycle N+1.
+func (c *CPU) Step() {
+	if c.Done() {
+		return
+	}
+	if c.waiting {
+		if !c.irq {
+			// Asleep in WFI: nothing moves, the watchdog is held off.
+			c.cycle++
+			c.Stats.Cycles++
+			c.lastCommitCycle = c.cycle
+			return
+		}
+		c.waiting = false
+	}
+	c.commit()
+	if c.Done() {
+		return
+	}
+	c.complete()
+	c.memStage()
+	c.issue()
+	c.rename()
+	c.fetchDecode()
+	c.cycle++
+	c.Stats.Cycles++
+}
+
+func (c *CPU) robIdx(i int) int { return (c.robHead + i) % len(c.rob) }
+
+func (c *CPU) robTailIdx() int { return c.robIdx(c.robCount - 1) }
+
+// --- Commit ---
+
+func (c *CPU) commit() {
+	for n := 0; n < c.cfg.Width && c.robCount > 0; n++ {
+		e := &c.rob[c.robHead]
+		if !e.done {
+			break
+		}
+		if e.trapCode != TrapNone {
+			c.trap = &Trap{Code: e.trapCode, PC: e.uop.PC, Addr: e.trapAddr}
+			return
+		}
+		switch e.uop.Kind {
+		case isa.KindHalt:
+			c.halted = true
+			c.emitCommit(e)
+			return
+		case isa.KindWFI:
+			if !c.irq {
+				c.waiting = true
+				c.lastCommitCycle = c.cycle
+				return
+			}
+		case isa.KindMagic:
+			if c.MagicHook != nil {
+				c.MagicHook(e.uop.Imm, c.cycle)
+			}
+		case isa.KindStore:
+			if !c.commitStore(e) {
+				return // store raised a memory fault; trap recorded
+			}
+		case isa.KindLoad:
+			if e.lqSlot >= 0 {
+				c.lq.popHead()
+			}
+		}
+		c.emitCommit(e)
+		if e.pdst != NoPReg && e.oldPdst != NoPReg {
+			c.freePhys(e.oldPdst)
+		}
+		e.valid = false
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+		c.lastCommitCycle = c.cycle
+		c.Stats.Uops++
+		if e.uop.Last {
+			c.Stats.Insts++
+		}
+	}
+	if c.robCount > 0 && c.cycle-c.lastCommitCycle > c.cfg.DeadlockCycles {
+		head := &c.rob[c.robHead]
+		c.trap = &Trap{Code: TrapDeadlock, PC: head.uop.PC}
+	}
+}
+
+func (c *CPU) emitCommit(e *robEntry) {
+	if c.CommitHook == nil {
+		return
+	}
+	c.CommitHook(CommitRec{
+		PC:      e.uop.PC,
+		Kind:    e.uop.Kind,
+		Dst:     e.uop.Dst,
+		Result:  e.result,
+		MemAddr: e.memAddr,
+		MemData: e.memData,
+		Last:    e.uop.Last,
+	})
+}
+
+// commitStore performs the architectural memory write of the store at the
+// head of the store queue. Returns false when the write faults.
+func (c *CPU) commitStore(e *robEntry) bool {
+	if e.sqSlot < 0 {
+		return true
+	}
+	if e.nullified {
+		c.sq.popHead()
+		e.sqSlot = -1
+		return true
+	}
+	se := &c.sq.entries[e.sqSlot]
+	if !se.addrReady || !se.dataReady {
+		// Can only happen when a fault corrupted the status bits: the
+		// store's operands never became architecturally visible.
+		c.trap = &Trap{Code: TrapDeadlock, PC: e.uop.PC}
+		return false
+	}
+	c.sq.watchUsed(e.sqSlot)
+	size := int(se.size)
+	if size == 0 {
+		size = 1
+	}
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = byte(se.data >> (8 * i))
+	}
+	if _, err := c.hier.Store(se.addr, buf[:size]); err != nil {
+		c.trap = &Trap{Code: TrapMemFault, PC: e.uop.PC, Addr: se.addr}
+		return false
+	}
+	e.memAddr, e.memData = se.addr, se.data
+	c.sq.popHead()
+	e.sqSlot = -1
+	c.Stats.StoresCommit++
+	return true
+}
+
+// --- Completion ---
+
+func (c *CPU) complete() {
+	kept := c.events[:0]
+	for _, ev := range c.events {
+		if ev.cycle > c.cycle {
+			kept = append(kept, ev)
+			continue
+		}
+		e := &c.rob[ev.robIdx]
+		if !e.valid || e.seq != ev.seq {
+			continue // squashed in flight
+		}
+		value := ev.value
+		if ev.isLoad && e.lqSlot >= 0 {
+			le := &c.lq.entries[e.lqSlot]
+			if !le.nullified {
+				value = extendValue(le.data, le.size, le.signed)
+			}
+			le.dataReady = true
+		}
+		if e.pdst != NoPReg {
+			c.prf.Write(e.pdst, value)
+		}
+		e.result = value
+		e.done = true
+	}
+	c.events = kept
+}
+
+func extendValue(raw uint64, size uint8, signed bool) uint64 {
+	switch size {
+	case 1:
+		if signed {
+			return uint64(int64(int8(raw)))
+		}
+		return raw & 0xFF
+	case 2:
+		if signed {
+			return uint64(int64(int16(raw)))
+		}
+		return raw & 0xFFFF
+	case 4:
+		if signed {
+			return uint64(int64(int32(raw)))
+		}
+		return raw & 0xFFFFFFFF
+	default:
+		return raw
+	}
+}
+
+// --- Memory stage: load queue processing ---
+
+// memStage lets address-ready loads access memory, in load-queue order,
+// subject to conservative memory-dependence rules: a load waits until
+// every older store address is known; full-overlap ready stores forward,
+// partial overlaps block until the store commits.
+func (c *CPU) memStage() {
+	ports := c.cfg.MemPorts
+	for i := 0; i < c.lq.count && ports > 0; i++ {
+		slot := c.lq.slot(i)
+		le := &c.lq.entries[slot]
+		if !le.valid || le.accessed || !le.addrReady {
+			if le.valid && !le.accessed {
+				break // in-order address generation barrier
+			}
+			continue
+		}
+		status, value, lat := c.tryLoad(le)
+		switch status {
+		case loadBlocked:
+			// An older store blocks this and, conservatively, younger loads.
+			return
+		case loadForwarded:
+			le.accessed = true
+			le.data = value
+			c.lq.enforceStuck(slot)
+			c.scheduleLoadDone(slot, 1)
+			c.Stats.Forwards++
+			ports--
+		case loadFromMem:
+			le.accessed = true
+			le.data = value
+			c.lq.enforceStuck(slot)
+			c.scheduleLoadDone(slot, lat)
+			c.Stats.LoadsExec++
+			ports--
+		case loadFaulted:
+			le.accessed = true
+			le.dataReady = true
+			e := &c.rob[le.robIdx]
+			e.trapCode = TrapMemFault
+			e.trapAddr = le.addr
+			e.done = true
+			ports--
+		}
+	}
+}
+
+type loadStatus uint8
+
+const (
+	loadBlocked loadStatus = iota
+	loadForwarded
+	loadFromMem
+	loadFaulted
+)
+
+func (c *CPU) scheduleLoadDone(slot int, lat int) {
+	le := &c.lq.entries[slot]
+	c.events = append(c.events, event{
+		cycle:  c.cycle + uint64(lat),
+		robIdx: le.robIdx,
+		seq:    le.seq,
+		isLoad: true,
+	})
+}
+
+func (c *CPU) tryLoad(le *lsqEntry) (loadStatus, uint64, int) {
+	size := int(le.size)
+	if size == 0 {
+		size = 1
+	}
+	// Scan older stores, youngest first.
+	for i := c.sq.count - 1; i >= 0; i-- {
+		se := c.sq.at(i)
+		if !se.valid || se.seq >= le.seq || se.nullified {
+			continue
+		}
+		if !se.addrReady {
+			return loadBlocked, 0, 0
+		}
+		sSize := int(se.size)
+		if sSize == 0 {
+			sSize = 1
+		}
+		if se.addr+uint64(sSize) <= le.addr || le.addr+uint64(size) <= se.addr {
+			continue // disjoint
+		}
+		if se.addr <= le.addr && se.addr+uint64(sSize) >= le.addr+uint64(size) && se.dataReady {
+			// Full overlap: forward.
+			c.sq.watchUsed(c.sq.slot(i))
+			sh := (le.addr - se.addr) * 8
+			return loadForwarded, se.data >> sh, 0
+		}
+		return loadBlocked, 0, 0 // partial overlap: wait for commit
+	}
+	var buf [8]byte
+	lat, err := c.hier.Load(le.addr, buf[:size])
+	if err != nil {
+		return loadFaulted, 0, 0
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(buf[i]) << (8 * i)
+	}
+	return loadFromMem, v, lat
+}
+
+// --- Issue / execute ---
+
+func (c *CPU) issue() {
+	alu, mul, div, mem := c.cfg.IntALUs, c.cfg.MulUnits, c.cfg.DivUnits, c.cfg.MemPorts
+	kept := c.iq[:0]
+	branchResolved := false
+	for _, iqe := range c.iq {
+		e := &c.rob[iqe.robIdx]
+		if !e.valid || e.seq != iqe.seq {
+			continue // squashed
+		}
+		if branchResolved {
+			kept = append(kept, iqe)
+			continue
+		}
+		if !c.srcsReady(e) {
+			kept = append(kept, iqe)
+			continue
+		}
+		var fu *int
+		switch e.uop.Kind {
+		case isa.KindMul:
+			fu = &mul
+		case isa.KindDiv:
+			fu = &div
+		case isa.KindLoad, isa.KindStore:
+			fu = &mem
+		default:
+			fu = &alu
+		}
+		if *fu == 0 {
+			kept = append(kept, iqe)
+			continue
+		}
+		*fu--
+		if c.execute(e) {
+			// Mispredict: everything younger in the IQ is squashed.
+			branchResolved = true
+			c.Stats.Squashes++
+		}
+	}
+	c.iq = kept
+	if branchResolved {
+		// Remove squashed survivors (stale seq) from the kept list.
+		live := c.iq[:0]
+		for _, iqe := range c.iq {
+			e := &c.rob[iqe.robIdx]
+			if e.valid && e.seq == iqe.seq && !e.issued {
+				live = append(live, iqe)
+			}
+		}
+		c.iq = live
+	}
+}
+
+func (c *CPU) srcsReady(e *robEntry) bool {
+	for _, p := range [4]PReg{e.ps1, e.ps2, e.ps3, e.psp} {
+		if p != NoPReg && !c.prf.Ready(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *CPU) readSrc(p PReg) uint64 {
+	if p == NoPReg {
+		return 0
+	}
+	return c.prf.Read(p)
+}
+
+// execute performs one micro-op and returns true when a control-flow
+// mispredict squashed younger work.
+func (c *CPU) execute(e *robEntry) bool {
+	e.issued = true
+	u := &e.uop
+
+	// Predication: a false predicate turns the op into a move of the old
+	// destination value (or a suppressed memory access).
+	if u.Pred != isa.CondNone {
+		pv := c.readSrc(e.psp)
+		if !isa.EvalCond(u.Pred, pv, 0) {
+			switch u.Kind {
+			case isa.KindStore:
+				if e.sqSlot >= 0 {
+					se := &c.sq.entries[e.sqSlot]
+					se.addrReady, se.dataReady, se.nullified = true, true, true
+				}
+				e.nullified = true
+				c.finishExec(e, 0, 1)
+				return false
+			default:
+				if e.lqSlot >= 0 {
+					le := &c.lq.entries[e.lqSlot]
+					le.addrReady, le.dataReady, le.accessed, le.nullified = true, true, true, true
+				}
+				old := c.readSrc(e.ps3)
+				c.finishExec(e, old, 1)
+				return false
+			}
+		}
+	}
+
+	v1 := c.readSrc(e.ps1)
+	v2 := c.readSrc(e.ps2)
+
+	switch u.Kind {
+	case isa.KindALU, isa.KindMul, isa.KindDiv:
+		return c.execALU(e, v1, v2)
+	case isa.KindLoad:
+		c.execLoad(e, v1, v2)
+	case isa.KindStore:
+		c.execStore(e, v1, v2)
+	case isa.KindBranch:
+		return c.execBranch(e, v1, v2)
+	case isa.KindJumpReg:
+		return c.execJumpReg(e, v1)
+	default:
+		c.finishExec(e, 0, 1)
+	}
+	return false
+}
+
+func (c *CPU) finishExec(e *robEntry, value uint64, lat int) {
+	c.events = append(c.events, event{
+		cycle:  c.cycle + uint64(lat),
+		robIdx: e.idx,
+		seq:    e.seq,
+		value:  value,
+	})
+}
+
+func (c *CPU) execALU(e *robEntry, v1, v2 uint64) bool {
+	u := &e.uop
+	var result uint64
+	switch {
+	case u.Alu == isa.AluSelect:
+		f := c.readSrc(e.ps3)
+		if isa.EvalCond(u.Cond, f, 0) {
+			result = v1
+		} else {
+			result = v2
+		}
+	default:
+		b := v2
+		if e.ps2 == NoPReg {
+			b = uint64(u.Imm)
+		} else if u.Scale != 0 {
+			b <<= u.Scale // ARM64L shifted register operand
+		}
+		if u.Kind == isa.KindDiv && b == 0 && c.traits.TrapDivZero {
+			e.trapCode = TrapDivZero
+		}
+		result = isa.EvalAlu(u.Alu, v1, b)
+	}
+	lat := 1
+	switch u.Kind {
+	case isa.KindMul:
+		lat = c.cfg.MulLat
+	case isa.KindDiv:
+		lat = c.cfg.DivLat
+	}
+	c.finishExec(e, result, lat)
+	return false
+}
+
+func (c *CPU) effectiveAddr(e *robEntry, v1, v2 uint64) uint64 {
+	u := &e.uop
+	addr := v1 + uint64(u.Imm)
+	if e.ps2 != NoPReg {
+		addr += v2 << u.Scale
+	}
+	return addr
+}
+
+func (c *CPU) execLoad(e *robEntry, v1, v2 uint64) {
+	u := &e.uop
+	addr := c.effectiveAddr(e, v1, v2)
+	if c.traits.TrapUnaligned && addr%uint64(u.MemBytes) != 0 {
+		e.trapCode = TrapUnaligned
+		e.trapAddr = addr
+		e.done = true
+		if e.lqSlot >= 0 {
+			c.lq.entries[e.lqSlot].accessed = true
+			c.lq.entries[e.lqSlot].dataReady = true
+		}
+		return
+	}
+	le := &c.lq.entries[e.lqSlot]
+	le.addr = addr
+	le.size = u.MemBytes
+	le.signed = u.MemSigned
+	le.addrReady = true
+	le.mmio = c.hier.MMIOBase != 0 && addr >= c.hier.MMIOBase
+	c.lq.enforceStuck(e.lqSlot)
+	e.memAddr = addr
+	// The load now waits in the LQ; memStage performs the access.
+}
+
+func (c *CPU) execStore(e *robEntry, v1, v2 uint64) {
+	u := &e.uop
+	addr := c.effectiveAddr(e, v1, v2)
+	data := c.readSrc(e.ps3)
+	se := &c.sq.entries[e.sqSlot]
+	se.addr = addr
+	se.data = data
+	se.size = u.MemBytes
+	se.addrReady = true
+	se.dataReady = true
+	c.sq.enforceStuck(e.sqSlot)
+	if c.traits.TrapUnaligned && addr%uint64(u.MemBytes) != 0 {
+		e.trapCode = TrapUnaligned
+		e.trapAddr = addr
+	}
+	e.memAddr, e.memData = addr, data
+	c.finishExec(e, 0, 1)
+}
+
+func (c *CPU) execBranch(e *robEntry, v1, v2 uint64) bool {
+	u := &e.uop
+	taken := isa.EvalCond(u.Cond, v1, v2)
+	c.trainBimodal(u.PC, taken)
+	c.Stats.Branches++
+	actual := u.NextPC
+	if taken {
+		actual = u.Target
+	}
+	predicted := u.NextPC
+	if e.predTaken {
+		predicted = u.Target
+	}
+	c.finishExec(e, boolTo64(taken), 1)
+	if actual != predicted {
+		c.Stats.Mispredicts++
+		c.squashAfter(e.seq, actual)
+		return true
+	}
+	return false
+}
+
+func (c *CPU) execJumpReg(e *robEntry, v1 uint64) bool {
+	u := &e.uop
+	target := v1 + uint64(u.Imm)
+	var link uint64
+	if e.pdst != NoPReg {
+		link = u.NextPC
+	}
+	c.finishExec(e, link, 1)
+	if target != u.NextPC { // predicted fall-through
+		c.Stats.Mispredicts++
+		c.squashAfter(e.seq, target)
+		return true
+	}
+	return false
+}
+
+func boolTo64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- Squash (mispredict recovery) ---
+
+// squashAfter removes every in-flight micro-op younger than seq, restores
+// the rename map by walking the ROB tail-first, rolls back the load/store
+// queues, drops in-flight completions and redirects fetch.
+func (c *CPU) squashAfter(seq uint64, newPC uint64) {
+	for c.robCount > 0 {
+		idx := c.robTailIdx()
+		e := &c.rob[idx]
+		if e.seq <= seq {
+			break
+		}
+		if e.pdst != NoPReg {
+			c.rmap[e.uop.Dst] = e.oldPdst
+			c.freePhys(e.pdst)
+		}
+		e.valid = false
+		c.robCount--
+	}
+	c.lq.squashYoungerThan(seq)
+	c.sq.squashYoungerThan(seq)
+
+	kept := c.events[:0]
+	for _, ev := range c.events {
+		if ev.seq <= seq {
+			kept = append(kept, ev)
+		}
+	}
+	c.events = kept
+
+	keptIQ := c.iq[:0]
+	for _, iqe := range c.iq {
+		if iqe.seq <= seq {
+			keptIQ = append(keptIQ, iqe)
+		}
+	}
+	c.iq = keptIQ
+
+	c.uq = c.uq[:0]
+	c.fbuf = nil
+	c.fetchPC = newPC
+	c.fetchFault = false
+	if c.fetchBusyUntil > c.cycle+1 {
+		c.fetchBusyUntil = c.cycle + 1
+	}
+}
+
+// --- Rename / dispatch ---
+
+func (c *CPU) rename() {
+	n := 0
+	for n < c.cfg.Width && len(c.uq) > 0 {
+		fu := c.uq[0]
+		u := &fu.uop
+		if c.robCount == len(c.rob) {
+			return
+		}
+		needsIQ := false
+		switch u.Kind {
+		case isa.KindALU, isa.KindMul, isa.KindDiv, isa.KindBranch, isa.KindJumpReg:
+			needsIQ = true
+		case isa.KindLoad:
+			needsIQ = true
+			if c.lq.Full() {
+				return
+			}
+		case isa.KindStore:
+			needsIQ = true
+			if c.sq.Full() {
+				return
+			}
+		}
+		if needsIQ && len(c.iq) >= c.cfg.IQSize {
+			return
+		}
+		if u.Dst != isa.NoReg && len(c.freeList) == 0 {
+			return
+		}
+
+		c.seq++
+		idx := c.robIdx(c.robCount)
+		c.robCount++
+		e := &c.rob[idx]
+		*e = robEntry{
+			valid:     true,
+			idx:       idx,
+			seq:       c.seq,
+			uop:       *u,
+			ps1:       c.mapSrc(u.Src1),
+			ps2:       c.mapSrc(u.Src2),
+			ps3:       c.mapSrc(u.Src3),
+			psp:       c.mapSrc(u.SrcP),
+			pdst:      NoPReg,
+			oldPdst:   NoPReg,
+			predTaken: fu.predTaken,
+			lqSlot:    -1,
+			sqSlot:    -1,
+		}
+		if u.Dst != isa.NoReg {
+			p := c.freeList[len(c.freeList)-1]
+			c.freeList = c.freeList[:len(c.freeList)-1]
+			e.oldPdst = c.rmap[u.Dst]
+			c.rmap[u.Dst] = p
+			e.pdst = p
+			c.prf.Allocate(p)
+		}
+		switch u.Kind {
+		case isa.KindLoad:
+			slot, _ := c.lq.alloc(e.seq, idx)
+			e.lqSlot = slot
+		case isa.KindStore:
+			slot, _ := c.sq.alloc(e.seq, idx)
+			e.sqSlot = slot
+		case isa.KindJump:
+			// Direct jumps resolve at decode; the link value is known.
+			if e.pdst != NoPReg {
+				c.prf.Write(e.pdst, u.NextPC)
+				e.result = u.NextPC
+			}
+			e.done = true
+		case isa.KindNop, isa.KindHalt, isa.KindWFI, isa.KindMagic, isa.KindIllegal:
+			if u.Kind == isa.KindIllegal {
+				e.trapCode = TrapIllegal
+			}
+			e.done = true
+		}
+		if needsIQ {
+			c.iq = append(c.iq, iqEntry{robIdx: idx, seq: e.seq})
+		}
+		c.uq = c.uq[1:]
+		n++
+	}
+}
+
+// freePhys returns a physical register to the rename pool.
+func (c *CPU) freePhys(p PReg) {
+	c.prf.Free(p)
+	c.freeList = append(c.freeList, p)
+}
+
+func (c *CPU) mapSrc(r isa.Reg) PReg {
+	if r == isa.NoReg {
+		return NoPReg
+	}
+	return c.rmap[r]
+}
+
+// --- Fetch & decode ---
+
+func (c *CPU) bimodalIdx(pc uint64) int {
+	return int(pc>>1) & (c.cfg.BimodalSize - 1)
+}
+
+func (c *CPU) predictTaken(pc uint64) bool {
+	return c.bimodal[c.bimodalIdx(pc)] >= 2
+}
+
+func (c *CPU) trainBimodal(pc uint64, taken bool) {
+	i := c.bimodalIdx(pc)
+	ctr := c.bimodal[i]
+	if taken && ctr < 3 {
+		c.bimodal[i] = ctr + 1
+	} else if !taken && ctr > 0 {
+		c.bimodal[i] = ctr - 1
+	}
+}
+
+// fetchDecode fetches raw bytes through the L1I and decodes them along the
+// predicted path into the micro-op queue.
+func (c *CPU) fetchDecode() {
+	if c.fetchFault || c.cycle < c.fetchBusyUntil {
+		return
+	}
+	maxLen := c.arch.MaxInstLen()
+	decoded := 0
+	for decoded < c.cfg.Width && len(c.uq) < c.cfg.Width*4 {
+		// Ensure enough contiguous bytes for the longest instruction; a
+		// chunk stops at the cache-line boundary, so refilling may take
+		// more than one chunk.
+		for len(c.fbuf) < maxLen {
+			if !c.fetchChunk() {
+				return
+			}
+			if c.cycle < c.fetchBusyUntil {
+				return // miss in flight; bytes decode when it completes
+			}
+		}
+		pc := c.fbufPC
+		d := c.arch.Decode(pc, c.fbuf)
+		redirect := uint64(0)
+		hasRedirect := false
+		stop := false
+		for _, u := range d.Uops {
+			fu := fqUop{uop: u}
+			switch u.Kind {
+			case isa.KindJump:
+				fu.predTaken = true
+				redirect, hasRedirect = u.Target, true
+			case isa.KindBranch:
+				fu.predTaken = c.predictTaken(u.PC)
+				if fu.predTaken {
+					redirect, hasRedirect = u.Target, true
+				}
+			case isa.KindHalt, isa.KindIllegal:
+				stop = true
+			}
+			c.uq = append(c.uq, fu)
+		}
+		decoded++
+		if hasRedirect {
+			c.fbuf = nil
+			c.fetchPC = redirect
+			return // taken-control-flow fetch break
+		}
+		if stop {
+			// Do not speculate past a halt or an undecodable region.
+			c.fbuf = nil
+			c.fetchFault = true
+			return
+		}
+		c.fbuf = c.fbuf[d.Size:]
+		c.fbufPC += uint64(d.Size)
+	}
+}
+
+// fetchChunk appends the next contiguous chunk of instruction bytes to the
+// fetch buffer, stopping at the cache line boundary. Returns false when no
+// bytes could be fetched this cycle.
+func (c *CPU) fetchChunk() bool {
+	next := c.fetchPC
+	if len(c.fbuf) > 0 {
+		next = c.fbufPC + uint64(len(c.fbuf))
+	} else {
+		c.fbufPC = c.fetchPC
+	}
+	line := uint64(c.hier.L1I.Config().LineBytes)
+	n := int(line - next&(line-1))
+	if n > c.cfg.FetchBytes {
+		n = c.cfg.FetchBytes
+	}
+	buf := make([]byte, n)
+	lat, err := c.hier.Fetch(next, buf)
+	if err != nil {
+		if len(c.fbuf) >= 1 {
+			// Pad with zeros so the trailing instruction decodes (likely
+			// to an illegal op) instead of wedging fetch.
+			pad := make([]byte, c.arch.MaxInstLen())
+			c.fbuf = append(c.fbuf, pad...)
+			return true
+		}
+		// Fetching from an unmapped address: synthesize an illegal op so
+		// the fault is raised architecturally if this path commits.
+		bad := isa.NewUop(next, next+4)
+		bad.Kind, bad.Last = isa.KindIllegal, true
+		c.uq = append(c.uq, fqUop{uop: bad})
+		c.fetchFault = true
+		return false
+	}
+	c.fbuf = append(c.fbuf, buf...)
+	c.fetchPC = next + uint64(n)
+	if lat > c.hier.L1I.Config().HitLat {
+		c.fetchBusyUntil = c.cycle + uint64(lat)
+	}
+	return true
+}
+
+var _ = mem.AccessError{}

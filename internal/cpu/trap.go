@@ -1,0 +1,50 @@
+package cpu
+
+import "fmt"
+
+// TrapCode classifies architectural exceptions. Any trap reaching the
+// commit stage terminates the simulated program and is classified as a
+// Crash by the fault-effect analysis.
+type TrapCode uint8
+
+// Trap codes.
+const (
+	TrapNone TrapCode = iota
+	TrapIllegal
+	TrapMemFault
+	TrapUnaligned
+	TrapDivZero
+	TrapDeadlock
+)
+
+func (c TrapCode) String() string {
+	switch c {
+	case TrapNone:
+		return "none"
+	case TrapIllegal:
+		return "illegal-instruction"
+	case TrapMemFault:
+		return "memory-fault"
+	case TrapUnaligned:
+		return "unaligned-access"
+	case TrapDivZero:
+		return "divide-by-zero"
+	case TrapDeadlock:
+		return "pipeline-deadlock"
+	}
+	return fmt.Sprintf("trap(%d)", uint8(c))
+}
+
+// Trap is an architectural exception raised at commit.
+type Trap struct {
+	Code TrapCode
+	PC   uint64 // instruction that faulted
+	Addr uint64 // faulting address for memory traps
+}
+
+func (t *Trap) Error() string {
+	if t.Code == TrapMemFault || t.Code == TrapUnaligned {
+		return fmt.Sprintf("cpu: %s at pc %#x (addr %#x)", t.Code, t.PC, t.Addr)
+	}
+	return fmt.Sprintf("cpu: %s at pc %#x", t.Code, t.PC)
+}

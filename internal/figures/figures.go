@@ -1,0 +1,425 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation section. Each generator runs the necessary fault-injection
+// campaigns and writes the same rows/series the paper plots. The package
+// backs both the bench_test.go harness (scaled samples) and the
+// cmd/marvel-figures tool (full-resolution, 1,000 faults per structure).
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"marvel/internal/accel"
+	"marvel/internal/campaign"
+	"marvel/internal/config"
+	"marvel/internal/core"
+	"marvel/internal/isa"
+	"marvel/internal/machsuite"
+	"marvel/internal/metrics"
+	"marvel/internal/program"
+	"marvel/internal/workloads"
+)
+
+// Params scales the experiments.
+type Params struct {
+	Faults    int      // faults per structure per benchmark (paper: 1000)
+	Workloads []string // nil = all fifteen
+	Parallel  int      // concurrent campaigns (default 3)
+	W         io.Writer
+}
+
+func (p *Params) defaults() error {
+	if p.Faults <= 0 {
+		p.Faults = 24
+	}
+	if p.Parallel <= 0 {
+		p.Parallel = 3
+	}
+	if p.W == nil {
+		return fmt.Errorf("figures: no output writer")
+	}
+	return nil
+}
+
+func (p *Params) specs() ([]workloads.Spec, error) {
+	if len(p.Workloads) == 0 {
+		return workloads.All(), nil
+	}
+	return workloads.Subset(p.Workloads)
+}
+
+// Row is one benchmark line of a CPU-side figure.
+type Row struct {
+	Name   string
+	Vals   map[string]float64 // per ISA
+	Cycles map[string]float64
+}
+
+// CPUFigure sweeps the workload suite across the three ISAs for one
+// structure and fault model, extracting the plotted metric.
+func CPUFigure(p Params, target string, model core.Model, metric func(*campaign.Result) float64) ([]Row, error) {
+	if err := p.defaults(); err != nil {
+		return nil, err
+	}
+	specs, err := p.specs()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(specs))
+	errs := make([]error, len(specs)*3)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.Parallel)
+	for wi, spec := range specs {
+		rows[wi] = Row{Name: spec.Name, Vals: map[string]float64{}, Cycles: map[string]float64{}}
+		for ai, a := range isa.All() {
+			wi, ai, spec, a := wi, ai, spec, a
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				img, err := program.Compile(a, spec.Build())
+				if err != nil {
+					errs[wi*3+ai] = err
+					return
+				}
+				res, err := campaign.Run(campaign.Config{
+					Image:  img,
+					Preset: config.TableII(),
+					Target: target,
+					Model:  model,
+					Faults: p.Faults,
+					Seed:   int64(wi)*31 + 7,
+					Domain: core.DomainValidOnly,
+				})
+				if err != nil {
+					errs[wi*3+ai] = err
+					return
+				}
+				rows[wi].Vals[a.Name()] = metric(res)
+				rows[wi].Cycles[a.Name()] = float64(res.Golden.Cycles)
+			}()
+		}
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return rows, nil
+}
+
+// PrintCPUFigure writes the figure with the wAVF aggregate row.
+func PrintCPUFigure(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	fmt.Fprintf(w, "%-14s %8s %8s %8s\n", "benchmark", "arm", "x86", "riscv")
+	archs := []string{"arm", "x86", "riscv"}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s", r.Name)
+		for _, a := range archs {
+			fmt.Fprintf(w, " %7.1f%%", 100*r.Vals[a])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-14s", "wAVF")
+	for _, a := range archs {
+		var avfs, ts []float64
+		for _, r := range rows {
+			avfs = append(avfs, r.Vals[a])
+			ts = append(ts, r.Cycles[a])
+		}
+		fmt.Fprintf(w, " %7.1f%%", 100*metrics.WeightedAVF(avfs, ts))
+	}
+	fmt.Fprintln(w)
+}
+
+// AVF extracts the total AVF.
+func AVF(r *campaign.Result) float64 { return r.Counts.AVF() }
+
+// SDCAVF extracts the SDC component.
+func SDCAVF(r *campaign.Result) float64 { return r.Counts.SDCAVF() }
+
+// CPUFigureSpec names one of the CPU-side figures.
+type CPUFigureSpec struct {
+	ID     string
+	Title  string
+	Target string
+	Model  core.Model
+	Metric func(*campaign.Result) float64
+}
+
+// CPUFigures lists Figures 4-13.
+func CPUFigures() []CPUFigureSpec {
+	return []CPUFigureSpec{
+		{"fig04", "Figure 4: AVF, integer physical register file (transient)", "prf", core.Transient, AVF},
+		{"fig05", "Figure 5: AVF, L1 instruction cache (transient)", "l1i", core.Transient, AVF},
+		{"fig06", "Figure 6: AVF, L1 data cache (transient)", "l1d", core.Transient, AVF},
+		{"fig07", "Figure 7: AVF, load queue (transient)", "lq", core.Transient, AVF},
+		{"fig08", "Figure 8: AVF, store queue (transient)", "sq", core.Transient, AVF},
+		{"fig09", "Figure 9: SDC AVF, physical register file", "prf", core.Transient, SDCAVF},
+		{"fig10", "Figure 10: SDC AVF, L1 instruction cache", "l1i", core.Transient, SDCAVF},
+		{"fig11", "Figure 11: SDC AVF, L1 data cache", "l1d", core.Transient, SDCAVF},
+		{"fig12", "Figure 12: SDC probability, permanent faults, L1I (stuck-at-1)", "l1i", core.StuckAt1, SDCAVF},
+		{"fig13", "Figure 13: SDC probability, permanent faults, L1D (stuck-at-1)", "l1d", core.StuckAt1, SDCAVF},
+	}
+}
+
+// Fig14 runs the DSA component campaigns and prints the SDC/Crash
+// breakdown per Table IV component.
+func Fig14(p Params) error {
+	if err := p.defaults(); err != nil {
+		return err
+	}
+	fmt.Fprintf(p.W, "\nFigure 14: accelerator AVF breakdown (SDC + Crash) per Table IV component\n")
+	fmt.Fprintf(p.W, "%-11s %-9s %8s %8s %8s\n", "design", "component", "SDC", "Crash", "AVF")
+	for _, spec := range machsuite.All() {
+		for _, comp := range spec.Targets {
+			res, err := accel.RunCampaign(accel.CampaignConfig{
+				Design: spec.Design,
+				Task:   spec.Task,
+				Target: comp.Name,
+				Model:  core.Transient,
+				Faults: p.Faults,
+				Seed:   11,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(p.W, "%-11s %-9s %7.1f%% %7.1f%% %7.1f%%\n",
+				spec.Name, comp.Name,
+				100*res.Counts.SDCAVF(), 100*res.Counts.CrashAVF(), 100*res.AVF())
+		}
+	}
+	return nil
+}
+
+// Fig15 runs the PRF-size sensitivity study on RISC-V.
+func Fig15(p Params) error {
+	if err := p.defaults(); err != nil {
+		return err
+	}
+	specs, err := p.specs()
+	if err != nil {
+		return err
+	}
+	sizes := []int{96, 128, 192}
+	fmt.Fprintf(p.W, "\nFigure 15: PRF AVF vs physical register count (riscv, transient)\n")
+	fmt.Fprintf(p.W, "%-14s %8s %8s %8s\n", "benchmark", "96", "128", "192")
+	for wi, spec := range specs {
+		img, err := program.Compile(isa.RV64L{}, spec.Build())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(p.W, "%-14s", spec.Name)
+		for _, n := range sizes {
+			res, err := campaign.Run(campaign.Config{
+				Image:  img,
+				Preset: config.TableII().WithPhysRegs(n),
+				Target: "prf",
+				Model:  core.Transient,
+				Faults: p.Faults,
+				Seed:   int64(wi)*13 + 3,
+				Domain: core.DomainValidOnly,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(p.W, " %7.1f%%", 100*res.Counts.AVF())
+		}
+		fmt.Fprintln(p.W)
+	}
+	return nil
+}
+
+// Fig16 runs the performance-aware CPU-vs-DSA comparison (AVF + OPF).
+func Fig16(p Params) error {
+	if err := p.defaults(); err != nil {
+		return err
+	}
+	const clockHz = 1e9
+	fmt.Fprintf(p.W, "\nFigure 16: CPU vs DSA — AVF (SDC/Crash) and Operations per Failure\n")
+	fmt.Fprintf(p.W, "%-10s %-5s %8s %8s %8s %9s %12s\n",
+		"algorithm", "side", "SDC", "Crash", "AVF", "cycles", "OPF")
+	for _, name := range machsuite.CPUComparisonAlgos() {
+		prog, ops, err := machsuite.CPUVersion(name)
+		if err != nil {
+			return err
+		}
+		img, err := program.Compile(isa.RV64L{}, prog)
+		if err != nil {
+			return err
+		}
+		var sdcW, crashW, bitsW float64
+		var cpuCycles uint64
+		for _, tgt := range []string{"prf", "l1i", "l1d", "lq", "sq"} {
+			res, err := campaign.Run(campaign.Config{
+				Image:  img,
+				Preset: config.TableII(),
+				Target: tgt,
+				Model:  core.Transient,
+				Faults: p.Faults,
+				Seed:   17,
+				Domain: core.DomainValidOnly,
+			})
+			if err != nil {
+				return err
+			}
+			w := float64(res.TargetBits)
+			sdcW += res.Counts.SDCAVF() * w
+			crashW += res.Counts.CrashAVF() * w
+			bitsW += w
+			cpuCycles = res.Golden.Cycles
+		}
+		cpuSDC, cpuCrash := sdcW/bitsW, crashW/bitsW
+		cpuOPF := metrics.OPF(ops, cpuCycles, clockHz, cpuSDC+cpuCrash)
+
+		spec, err := machsuite.ByName(name)
+		if err != nil {
+			return err
+		}
+		var dSDC, dCrash, dBits float64
+		var dsaCycles uint64
+		for _, comp := range spec.Targets {
+			res, err := accel.RunCampaign(accel.CampaignConfig{
+				Design: spec.Design, Task: spec.Task, Target: comp.Name,
+				Model: core.Transient, Faults: p.Faults, Seed: 17,
+			})
+			if err != nil {
+				return err
+			}
+			w := float64(res.TargetBits)
+			dSDC += res.Counts.SDCAVF() * w
+			dCrash += res.Counts.CrashAVF() * w
+			dBits += w
+			dsaCycles = res.GoldenCycles
+		}
+		dsaSDC, dsaCrash := dSDC/dBits, dCrash/dBits
+		dsaOPF := metrics.OPF(ops, dsaCycles, clockHz, dsaSDC+dsaCrash)
+
+		fmt.Fprintf(p.W, "%-10s %-5s %7.1f%% %7.1f%% %7.1f%% %9d %12.3g\n",
+			name, "CPU", 100*cpuSDC, 100*cpuCrash, 100*(cpuSDC+cpuCrash), cpuCycles, cpuOPF)
+		fmt.Fprintf(p.W, "%-10s %-5s %7.1f%% %7.1f%% %7.1f%% %9d %12.3g\n",
+			name, "DSA", 100*dsaSDC, 100*dsaCrash, 100*(dsaSDC+dsaCrash), dsaCycles, dsaOPF)
+	}
+	return nil
+}
+
+// Fig17 runs the gemm design-space exploration under a common injection
+// window (the slowest configuration's task duration).
+func Fig17(p Params) error {
+	if err := p.defaults(); err != nil {
+		return err
+	}
+	fuSweep := []int{1, 2, 4, 8, 16}
+	slow, err := accel.NewStandalone(machsuite.GemmDesign(fuSweep[0]), machsuite.GemmTask())
+	if err != nil {
+		return err
+	}
+	if err := slow.Run(50_000_000); err != nil {
+		return err
+	}
+	window := slow.Cluster.TaskCycles()
+	fmt.Fprintf(p.W, "\nFigure 17: gemm DSE — MATRIX1 AVF vs functional units (common %d-cycle window)\n", window)
+	fmt.Fprintf(p.W, "%-6s %8s %9s %8s\n", "FUs", "AVF", "cycles", "area")
+	for _, fus := range fuSweep {
+		d := machsuite.GemmDesign(fus)
+		res, err := accel.RunCampaign(accel.CampaignConfig{
+			Design: d, Task: machsuite.GemmTask(), Target: "MATRIX1",
+			Model: core.Transient, Faults: p.Faults, Seed: 23,
+			WindowOverride: window,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(p.W, "%-6d %7.1f%% %9d %8.1f\n",
+			fus, 100*res.AVF(), res.GoldenCycles, accel.AreaUnits(d))
+	}
+	return nil
+}
+
+// Fig18 compares HVF against AVF for the PRF and L1D over six benchmarks.
+func Fig18(p Params) error {
+	if err := p.defaults(); err != nil {
+		return err
+	}
+	names := p.Workloads
+	if len(names) == 0 {
+		names = []string{"basicmath", "qsort", "dijkstra", "sha", "crc32", "fft"}
+	}
+	specs, err := workloads.Subset(names)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(p.W, "\nFigure 18: HVF vs AVF (riscv, transient)\n")
+	fmt.Fprintf(p.W, "%-12s %10s %8s %10s %8s\n", "benchmark", "PRF HVF", "PRF AVF", "L1D HVF", "L1D AVF")
+	for wi, spec := range specs {
+		img, err := program.Compile(isa.RV64L{}, spec.Build())
+		if err != nil {
+			return err
+		}
+		var out [2][2]float64
+		for ti, tgt := range []string{"prf", "l1d"} {
+			res, err := campaign.Run(campaign.Config{
+				Image:  img,
+				Preset: config.TableII(),
+				Target: tgt,
+				Model:  core.Transient,
+				Faults: p.Faults,
+				Seed:   int64(wi)*7 + 29,
+				Domain: core.DomainValidOnly,
+				HVF:    true,
+			})
+			if err != nil {
+				return err
+			}
+			out[ti][0] = res.Counts.HVF()
+			out[ti][1] = res.Counts.AVF()
+			if out[ti][0] < out[ti][1] {
+				return fmt.Errorf("figures: %s/%s HVF %.3f < AVF %.3f",
+					spec.Name, tgt, out[ti][0], out[ti][1])
+			}
+		}
+		fmt.Fprintf(p.W, "%-12s %9.1f%% %7.1f%% %9.1f%% %7.1f%%\n",
+			spec.Name, 100*out[0][0], 100*out[0][1], 100*out[1][0], 100*out[1][1])
+	}
+	return nil
+}
+
+// TableIVText prints the accelerator component inventory.
+func TableIVText(w io.Writer) {
+	fmt.Fprintf(w, "\nTable IV: target injection components per DSA design (paper vs modeled sizes)\n")
+	fmt.Fprintf(w, "%-11s %-9s %10s %10s %8s\n", "design", "component", "paper B", "model B", "type")
+	for _, c := range machsuite.TableIV() {
+		fmt.Fprintf(w, "%-11s %-9s %10d %10d %8s\n",
+			c.Design, c.Name, c.PaperBytes, c.ModelBytes, c.Kind)
+	}
+}
+
+// Listing1 runs the injector validation program and returns the measured
+// coverage AVF (the paper reports exactly 100%).
+func Listing1(p Params) (float64, error) {
+	if err := p.defaults(); err != nil {
+		return 0, err
+	}
+	pre := config.TableII()
+	spec := workloads.ValidationL1D(pre.Hier.L1D.SizeBytes)
+	img, err := program.Compile(isa.RV64L{}, spec.Build())
+	if err != nil {
+		return 0, err
+	}
+	res, err := campaign.Run(campaign.Config{
+		Image:  img,
+		Preset: pre,
+		Target: "l1d",
+		Model:  core.Transient,
+		Faults: p.Faults,
+		Seed:   1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(p.W, "\nListing 1 validation: L1D coverage AVF = %.1f%% (paper: 100%%)\n", 100*res.AVF())
+	return res.AVF(), nil
+}

@@ -1,0 +1,66 @@
+package machsuite
+
+import (
+	"fmt"
+
+	"marvel/internal/program/ir"
+)
+
+// cpuBase is where a CPU-side rendition of an accelerator kernel places
+// its data, clear of the code and output regions.
+const cpuBase = 0x40000
+
+// CPUVersion builds a CPU-runnable program for one of the four algorithms
+// of the paper's §V-G performance-aware comparison (gemm, bfs, fft,
+// md_knn): the same kernel at the same problem size, with the inputs as
+// data segments and the kernel's output array declared as the program
+// output. It returns the program and the algorithm's operation count.
+func CPUVersion(name string) (*ir.Program, float64, error) {
+	switch name {
+	case "gemm":
+		p := gemmScalarKernel(cpuBase, true)
+		a, bm := gemmInputs()
+		p.Data = append(p.Data,
+			ir.Segment{Base: cpuBase + gemmAAt, Bytes: u32le(i32sToU32(a))},
+			ir.Segment{Base: cpuBase + gemmBAt, Bytes: u32le(i32sToU32(bm))},
+		)
+		p.OutBase = cpuBase + gemmCAt
+		p.OutLen = gemmN * gemmN * 4
+		return p, 2 * gemmN * gemmN * gemmN, nil
+	case "bfs":
+		p := bfsKernel(cpuBase, true)
+		nodes, edges := bfsGraph()
+		p.Data = append(p.Data,
+			ir.Segment{Base: cpuBase + bfsNodesAt, Bytes: u32le(nodes)},
+			ir.Segment{Base: cpuBase + bfsEdgesAt, Bytes: u32le(edges)},
+		)
+		p.OutBase = cpuBase + bfsLevelsAt
+		p.OutLen = bfsNodes * 4
+		return p, float64(bfsEdges * 4), nil
+	case "fft":
+		p := fftKernel(cpuBase, true)
+		cosT, sinT := fftTw()
+		p.Data = append(p.Data,
+			ir.Segment{Base: cpuBase + fftSrcAt, Bytes: u32le(i32sToU32(fftInput()))},
+			ir.Segment{Base: cpuBase + fftCosAt, Bytes: u32le(i32sToU32(cosT))},
+			ir.Segment{Base: cpuBase + fftSinAt, Bytes: u32le(i32sToU32(sinT))},
+		)
+		p.OutBase = cpuBase + fftRealAt
+		p.OutLen = fftPts * 4
+		return p, 6 * fftPts * float64(fftBits()), nil
+	case "md_knn":
+		p := knnKernel(cpuBase, true)
+		pos, nl := knnInputs()
+		p.Data = append(p.Data,
+			ir.Segment{Base: cpuBase + knnPosAt, Bytes: u32le(i32sToU32(pos))},
+			ir.Segment{Base: cpuBase + knnNLAt, Bytes: u32le(nl)},
+		)
+		p.OutBase = cpuBase + knnForceAt
+		p.OutLen = knnAtoms * 4
+		return p, knnAtoms * knnK * 8, nil
+	}
+	return nil, 0, fmt.Errorf("machsuite: no CPU version of %q", name)
+}
+
+// CPUComparisonAlgos lists the four algorithms of the §V-G comparison.
+func CPUComparisonAlgos() []string { return []string{"gemm", "bfs", "fft", "md_knn"} }

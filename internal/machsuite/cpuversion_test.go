@@ -1,0 +1,52 @@
+package machsuite_test
+
+import (
+	"bytes"
+	"testing"
+
+	"marvel/internal/accel"
+	"marvel/internal/config"
+	"marvel/internal/isa"
+	"marvel/internal/machsuite"
+	"marvel/internal/program"
+	"marvel/internal/soc"
+)
+
+// TestCPUVersionsMatchDSAOutputs checks the §V-G comparison's CPU-side
+// renditions compute byte-identical results to the accelerator designs,
+// and records the speed ratio the OPF metric rests on.
+func TestCPUVersionsMatchDSAOutputs(t *testing.T) {
+	for _, name := range machsuite.CPUComparisonAlgos() {
+		p, _, err := machsuite.CPUVersion(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := program.Compile(isa.RV64L{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre := config.TableII()
+		sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run(100_000_000)
+		if res.Status != soc.RunCompleted {
+			t.Fatalf("%s: %v trap=%v", name, res.Status, res.Trap)
+		}
+		spec, _ := machsuite.ByName(name)
+		as, err := accel.NewStandalone(spec.Design, spec.Task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		aout, _ := as.Output()
+		// compare outputs where buffers align (gemm: C; bfs: levels; fft: REAL; knn: force)
+		if !bytes.Equal(res.Output, aout) {
+			t.Errorf("%s: CPU vs DSA output mismatch", name)
+		}
+		t.Logf("%-8s CPU cycles=%-8d DSA cycles=%-8d ratio=%.2f", name, res.Cycles, as.Cluster.TaskCycles(), float64(res.Cycles)/float64(as.Cluster.TaskCycles()))
+	}
+}

@@ -1,0 +1,569 @@
+package machsuite
+
+import (
+	"marvel/internal/accel"
+	"marvel/internal/program/ir"
+)
+
+// --- bfs: breadth-first search over a CSR graph. Injection targets are
+// the EDGES and NODES register banks; their contents are traversal
+// indices, so faults overwhelmingly cause out-of-bounds accesses or
+// runaway traversals — the paper's all-Crash profile for BFS. ---
+
+const (
+	bfsNodes = 64
+	bfsEdges = 256
+)
+
+// Accelerator-local address map for bfs.
+const (
+	bfsNodesAt  = 0x0000 // (bfsNodes+1) u32 offsets
+	bfsEdgesAt  = 0x1000 // bfsEdges u32 targets
+	bfsLevelsAt = 0x2000 // bfsNodes u32 levels (output)
+	bfsQueueAt  = 0x3000 // bfsNodes u32 worklist
+)
+
+func bfsGraph() (nodes []uint32, edges []uint32) {
+	r := rng(2101)
+	nodes = make([]uint32, bfsNodes+1)
+	edges = make([]uint32, 0, bfsEdges)
+	per := bfsEdges / bfsNodes
+	for i := 0; i < bfsNodes; i++ {
+		nodes[i] = uint32(len(edges))
+		for k := 0; k < per; k++ {
+			// Bias edges forward so BFS from node 0 reaches most nodes.
+			t := (i + 1 + r.Intn(bfsNodes/2)) % bfsNodes
+			edges = append(edges, uint32(t))
+		}
+	}
+	nodes[bfsNodes] = uint32(len(edges))
+	return nodes, edges
+}
+
+func bfsRef() []byte {
+	nodes, edges := bfsGraph()
+	levels := make([]uint32, bfsNodes)
+	for i := range levels {
+		levels[i] = 0xFFFFFFFF
+	}
+	levels[0] = 0
+	queue := []uint32{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := nodes[u]; e < nodes[u+1]; e++ {
+			v := edges[e]
+			if levels[v] == 0xFFFFFFFF {
+				levels[v] = levels[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return u32le(levels)
+}
+
+func bfsKernel(base uint64, markers bool) *ir.Program {
+	b := ir.New("bfs-kernel")
+	if markers {
+		b.Checkpoint()
+	}
+	nodes := b.Const(int64(base + bfsNodesAt))
+	edges := b.Const(int64(base + bfsEdgesAt))
+	levels := b.Const(int64(base + bfsLevelsAt))
+	queue := b.Const(int64(base + bfsQueueAt))
+
+	b.LoopN(bfsNodes, func(i ir.Val) {
+		b.Store(b.Add(levels, b.ShlI(i, 2)), 0, b.Const(-1), 4)
+	})
+	b.Store(levels, 0, b.Const(0), 4)
+	b.Store(queue, 0, b.Const(0), 4)
+	head := b.Temp()
+	tail := b.Temp()
+	b.ConstTo(head, 0)
+	b.ConstTo(tail, 1)
+
+	ld := func(base, idx ir.Val) ir.Val { return b.Load(b.Add(base, b.ShlI(idx, 2)), 0, 4, false) }
+	st := func(base, idx, v ir.Val) { b.Store(b.Add(base, b.ShlI(idx, 2)), 0, v, 4) }
+
+	b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, head, tail) }, func() {
+		u := ld(queue, head)
+		b.Mov(head, b.AddI(head, 1))
+		lu := ld(levels, u)
+		e := b.Temp()
+		b.Mov(e, ld(nodes, u))
+		end := ld(nodes, b.AddI(u, 1))
+		b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, e, end) }, func() {
+			v := ld(edges, e)
+			lv := ld(levels, v)
+			unseen := b.Op2I(ir.OpCmpEQ, ir.NoVal, lv, 0xFFFFFFFF)
+			b.If(unseen, func() {
+				st(levels, v, b.AddI(lu, 1))
+				st(queue, tail, v)
+				b.Mov(tail, b.AddI(tail, 1))
+			}, nil)
+			b.Mov(e, b.AddI(e, 1))
+		})
+	})
+	if markers {
+		b.SwitchCPU()
+	}
+	b.Halt()
+	return b.MustProgram()
+}
+
+func specBFS() Spec {
+	nodes, edges := bfsGraph()
+	d := &accel.Design{
+		Name:   "bfs",
+		Kernel: bfsKernel(0, false),
+		Banks: []accel.BankSpec{
+			{Name: "NODES", Kind: accel.RegBank, Base: bfsNodesAt, Size: 512},
+			{Name: "EDGES", Kind: accel.RegBank, Base: bfsEdgesAt, Size: 1024},
+			{Name: "LEVELS", Kind: accel.SPM, Base: bfsLevelsAt, Size: bfsNodes * 4},
+			{Name: "QUEUE", Kind: accel.SPM, Base: bfsQueueAt, Size: bfsNodes * 4},
+		},
+		In: []accel.Xfer{
+			{Arg: 0, Local: bfsNodesAt, Len: (bfsNodes + 1) * 4},
+			{Arg: 1, Local: bfsEdgesAt, Len: bfsEdges * 4},
+		},
+		Out: []accel.Xfer{{Arg: 2, Local: bfsLevelsAt, Len: bfsNodes * 4}},
+		FUs: accel.DefaultFUs(),
+		Ops: float64(bfsEdges * 4),
+	}
+	return Spec{
+		Name:   "bfs",
+		Design: d,
+		Task: accel.Task{
+			Bufs: []accel.HostBuf{
+				{Arg: 0, Addr: hostIn0, Init: u32le(nodes), Len: len(nodes) * 4},
+				{Arg: 1, Addr: hostIn1, Init: u32le(edges), Len: len(edges) * 4},
+				{Arg: 2, Addr: hostOut, Len: bfsNodes * 4},
+			},
+			OutArg: 2,
+		},
+		Ref: bfsRef,
+		Targets: []Component{
+			{Design: "bfs", Name: "EDGES", PaperBytes: 16384, ModelBytes: 1024, Kind: accel.RegBank},
+			{Design: "bfs", Name: "NODES", PaperBytes: 2048, ModelBytes: 512, Kind: accel.RegBank},
+		},
+	}
+}
+
+// --- gemm: dense matrix multiply, C = A x B over int32, inner loop
+// unrolled for datapath parallelism (the Figure 17 DSE kernel). MATRIX1
+// holds one input matrix, MATRIX3 the result. ---
+
+const gemmN = 16
+
+const (
+	gemmAAt = 0x0000
+	gemmBAt = 0x1000
+	gemmCAt = 0x2000
+)
+
+func gemmInputs() (a, bm []int32) {
+	r := rng(2202)
+	a = make([]int32, gemmN*gemmN)
+	bm = make([]int32, gemmN*gemmN)
+	for i := range a {
+		a[i] = int32(r.Intn(2000) - 1000)
+		bm[i] = int32(r.Intn(2000) - 1000)
+	}
+	return a, bm
+}
+
+func gemmRef() []byte {
+	a, bm := gemmInputs()
+	c := make([]int32, gemmN*gemmN)
+	for i := 0; i < gemmN; i++ {
+		for j := 0; j < gemmN; j++ {
+			var s int32
+			for k := 0; k < gemmN; k++ {
+				s += a[i*gemmN+k] * bm[k*gemmN+j]
+			}
+			c[i*gemmN+j] = s
+		}
+	}
+	return u32le(i32sToU32(c))
+}
+
+// GemmKernel builds the gemm dataflow program. The inner product is fully
+// unrolled and two output elements are computed per dataflow block, the
+// spatial parallelism a matrix engine's datapath provides; the instantiated
+// functional-unit counts (GemmDesign) then throttle how much of it issues
+// per cycle — the Figure 17 design-space axis.
+func GemmKernel(unroll int) *ir.Program { return gemmKernel(unroll, 0, false) }
+
+func gemmKernel(unroll int, base uint64, markers bool) *ir.Program {
+	_ = unroll // parallelism is throttled by the FU configuration
+	const junroll = 2
+	b := ir.New("gemm-kernel")
+	if markers {
+		b.Checkpoint()
+	}
+	aB := b.Const(int64(base + gemmAAt))
+	bB := b.Const(int64(base + gemmBAt))
+	cB := b.Const(int64(base + gemmCAt))
+	ld := func(base, idx ir.Val) ir.Val {
+		return b.Load(b.Add(base, b.ShlI(idx, 2)), 0, 4, true)
+	}
+	b.LoopN(gemmN, func(i ir.Val) {
+		rowA := b.ShlI(i, 4) // i * gemmN
+		b.LoopN(gemmN/junroll, func(jj ir.Val) {
+			j0 := b.ShlI(jj, 1)
+			for u := int64(0); u < junroll; u++ {
+				j := b.Op2I(ir.OpAdd, ir.NoVal, j0, u)
+				lanes := make([]ir.Val, gemmN)
+				for k := int64(0); k < gemmN; k++ {
+					av := ld(aB, b.Op2I(ir.OpAdd, ir.NoVal, rowA, k))
+					bv := ld(bB, b.Add(b.Const(k*gemmN), j))
+					lanes[k] = b.Mul(av, bv)
+				}
+				// Balanced reduction tree.
+				for width := gemmN; width > 1; width /= 2 {
+					for t := 0; t < width/2; t++ {
+						lanes[t] = b.Add(lanes[t], lanes[t+width/2])
+					}
+				}
+				b.Store(b.Add(cB, b.ShlI(b.Add(rowA, j), 2)), 0, lanes[0], 4)
+			}
+		})
+	})
+	if markers {
+		b.SwitchCPU()
+	}
+	b.Halt()
+	return b.MustProgram()
+}
+
+// gemmScalarKernel is the straightforward triple-loop gemm a compiler
+// would emit for a CPU (the §V-G comparison's CPU-side rendition).
+func gemmScalarKernel(base uint64, markers bool) *ir.Program {
+	b := ir.New("gemm-cpu")
+	if markers {
+		b.Checkpoint()
+	}
+	aB := b.Const(int64(base + gemmAAt))
+	bB := b.Const(int64(base + gemmBAt))
+	cB := b.Const(int64(base + gemmCAt))
+	ld := func(base, idx ir.Val) ir.Val {
+		return b.Load(b.Add(base, b.ShlI(idx, 2)), 0, 4, true)
+	}
+	b.LoopN(gemmN, func(i ir.Val) {
+		rowA := b.ShlI(i, 4)
+		b.LoopN(gemmN, func(j ir.Val) {
+			acc := b.Temp()
+			b.ConstTo(acc, 0)
+			b.LoopN(gemmN, func(k ir.Val) {
+				av := ld(aB, b.Add(rowA, k))
+				bv := ld(bB, b.Add(b.ShlI(k, 4), j))
+				b.Mov(acc, b.Add(acc, b.Mul(av, bv)))
+			})
+			b.Store(b.Add(cB, b.ShlI(b.Add(rowA, j), 2)), 0, acc, 4)
+		})
+	})
+	if markers {
+		b.SwitchCPU()
+	}
+	b.Halt()
+	return b.MustProgram()
+}
+
+// GemmDesign builds a gemm design with the given functional-unit count and
+// matching unroll (the Figure 17 configurations).
+func GemmDesign(multipliers int) *accel.Design {
+	unroll := multipliers
+	if unroll > 16 {
+		unroll = 16
+	}
+	if unroll < 1 {
+		unroll = 1
+	}
+	return &accel.Design{
+		Name:   "gemm",
+		Kernel: GemmKernel(unroll),
+		// Banks below; FU counts throttle the kernel's unrolled datapath.
+		Banks: []accel.BankSpec{
+			{Name: "MATRIX1", Kind: accel.SPM, Base: gemmAAt, Size: gemmN * gemmN * 4},
+			{Name: "MATRIX2", Kind: accel.SPM, Base: gemmBAt, Size: gemmN * gemmN * 4},
+			{Name: "MATRIX3", Kind: accel.SPM, Base: gemmCAt, Size: gemmN * gemmN * 4},
+		},
+		In: []accel.Xfer{
+			{Arg: 0, Local: gemmAAt, Len: gemmN * gemmN * 4},
+			{Arg: 1, Local: gemmBAt, Len: gemmN * gemmN * 4},
+		},
+		Out: []accel.Xfer{{Arg: 2, Local: gemmCAt, Len: gemmN * gemmN * 4}},
+		FUs: accel.FUConfig{Adders: 2 * multipliers, Multipliers: multipliers, Dividers: 1, MemPorts: 2 + multipliers},
+		Ops: 2 * gemmN * gemmN * gemmN,
+	}
+}
+
+// GemmTask returns the standard gemm task buffers.
+func GemmTask() accel.Task {
+	a, bm := gemmInputs()
+	return accel.Task{
+		Bufs: []accel.HostBuf{
+			{Arg: 0, Addr: hostIn0, Init: u32le(i32sToU32(a)), Len: len(a) * 4},
+			{Arg: 1, Addr: hostIn1, Init: u32le(i32sToU32(bm)), Len: len(bm) * 4},
+			{Arg: 2, Addr: hostOut, Len: gemmN * gemmN * 4},
+		},
+		OutArg: 2,
+	}
+}
+
+func specGEMM() Spec {
+	return Spec{
+		Name:   "gemm",
+		Design: GemmDesign(4),
+		Task:   GemmTask(),
+		Ref:    gemmRef,
+		Targets: []Component{
+			{Design: "gemm", Name: "MATRIX1", PaperBytes: 32768, ModelBytes: gemmN * gemmN * 4, Kind: accel.SPM},
+			{Design: "gemm", Name: "MATRIX3", PaperBytes: 32768, ModelBytes: gemmN * gemmN * 4, Kind: accel.SPM},
+		},
+	}
+}
+
+// --- md_knn: molecular-dynamics force kernel over a k-nearest-neighbour
+// list. NLADDR holds neighbour indices (crash-prone under faults); FORCEX
+// is the output force array (SDC-prone). ---
+
+const (
+	knnAtoms = 32
+	knnK     = 8
+)
+
+const (
+	knnPosAt   = 0x0000
+	knnNLAt    = 0x1000
+	knnForceAt = 0x2000
+)
+
+func knnInputs() (pos []int32, nl []uint32) {
+	r := rng(2303)
+	pos = make([]int32, knnAtoms)
+	nl = make([]uint32, knnAtoms*knnK)
+	for i := range pos {
+		pos[i] = int32(r.Intn(4000) - 2000)
+	}
+	for i := range nl {
+		nl[i] = uint32(r.Intn(knnAtoms))
+	}
+	return pos, nl
+}
+
+func knnRef() []byte {
+	pos, nl := knnInputs()
+	force := make([]int32, knnAtoms)
+	for i := 0; i < knnAtoms; i++ {
+		var f int64
+		for j := 0; j < knnK; j++ {
+			d := int64(pos[i]) - int64(pos[nl[i*knnK+j]])
+			f += d*d*d>>8 + d
+		}
+		force[i] = int32(f)
+	}
+	return u32le(i32sToU32(force))
+}
+
+func knnKernel(base uint64, markers bool) *ir.Program {
+	b := ir.New("md_knn-kernel")
+	if markers {
+		b.Checkpoint()
+	}
+	posB := b.Const(int64(base + knnPosAt))
+	nlB := b.Const(int64(base + knnNLAt))
+	fB := b.Const(int64(base + knnForceAt))
+	b.LoopN(knnAtoms, func(i ir.Val) {
+		pi := b.Load(b.Add(posB, b.ShlI(i, 2)), 0, 4, true)
+		row := b.Mul(i, b.Const(knnK))
+		// All K neighbour contributions unrolled into one dataflow block:
+		// the engine issues the independent lanes in parallel.
+		lanes := make([]ir.Val, knnK)
+		for j := 0; j < knnK; j++ {
+			idx := b.Load(b.Add(nlB, b.ShlI(b.Op2I(ir.OpAdd, ir.NoVal, row, int64(j)), 2)), 0, 4, false)
+			pj := b.Load(b.Add(posB, b.ShlI(idx, 2)), 0, 4, true)
+			d := b.Sub(pi, pj)
+			d3 := b.ShrAI(b.Mul(b.Mul(d, d), d), 8)
+			lanes[j] = b.Add(d3, d)
+		}
+		f := lanes[0]
+		for j := 1; j < knnK; j++ {
+			f = b.Add(f, lanes[j])
+		}
+		b.Store(b.Add(fB, b.ShlI(i, 2)), 0, f, 4)
+	})
+	if markers {
+		b.SwitchCPU()
+	}
+	b.Halt()
+	return b.MustProgram()
+}
+
+func specMDKNN() Spec {
+	pos, nl := knnInputs()
+	d := &accel.Design{
+		Name:   "md_knn",
+		Kernel: knnKernel(0, false),
+		Banks: []accel.BankSpec{
+			{Name: "POSX", Kind: accel.SPM, Base: knnPosAt, Size: knnAtoms * 4},
+			{Name: "NLADDR", Kind: accel.SPM, Base: knnNLAt, Size: knnAtoms * knnK * 4},
+			{Name: "FORCEX", Kind: accel.SPM, Base: knnForceAt, Size: knnAtoms * 4},
+		},
+		In: []accel.Xfer{
+			{Arg: 0, Local: knnPosAt, Len: knnAtoms * 4},
+			{Arg: 1, Local: knnNLAt, Len: knnAtoms * knnK * 4},
+		},
+		Out: []accel.Xfer{{Arg: 2, Local: knnForceAt, Len: knnAtoms * 4}},
+		FUs: accel.DefaultFUs(),
+		Ops: knnAtoms * knnK * 8,
+	}
+	return Spec{
+		Name:   "md_knn",
+		Design: d,
+		Task: accel.Task{
+			Bufs: []accel.HostBuf{
+				{Arg: 0, Addr: hostIn0, Init: u32le(i32sToU32(pos)), Len: len(pos) * 4},
+				{Arg: 1, Addr: hostIn1, Init: u32le(nl), Len: len(nl) * 4},
+				{Arg: 2, Addr: hostOut, Len: knnAtoms * 4},
+			},
+			OutArg: 2,
+		},
+		Ref: knnRef,
+		Targets: []Component{
+			{Design: "md_knn", Name: "NLADDR", PaperBytes: 16384, ModelBytes: knnAtoms * knnK * 4, Kind: accel.SPM},
+			{Design: "md_knn", Name: "FORCEX", PaperBytes: 2048, ModelBytes: knnAtoms * 4, Kind: accel.SPM},
+		},
+	}
+}
+
+// --- spmv: CSR sparse matrix-vector multiply. VAL holds nonzero values
+// (SDC-prone); COLS holds column indices (crash-prone). ---
+
+const (
+	spmvRows = 64
+	spmvNNZ  = 333 // paper sizes divided by ~40: VAL 1332B, COLS 666B
+)
+
+const (
+	spmvValAt  = 0x0000
+	spmvColsAt = 0x1000
+	spmvRowAt  = 0x2000
+	spmvVecAt  = 0x3000
+	spmvOutAt  = 0x4000
+)
+
+func spmvInputs() (vals []int32, cols []uint16, rowd []uint32, vec []int32) {
+	r := rng(2404)
+	vals = make([]int32, spmvNNZ)
+	cols = make([]uint16, spmvNNZ)
+	rowd = make([]uint32, spmvRows+1)
+	vec = make([]int32, spmvRows)
+	per := spmvNNZ / spmvRows
+	extra := spmvNNZ - per*spmvRows
+	pos := 0
+	for i := 0; i < spmvRows; i++ {
+		rowd[i] = uint32(pos)
+		n := per
+		if i < extra {
+			n++
+		}
+		for k := 0; k < n; k++ {
+			vals[pos] = int32(r.Intn(200) - 100)
+			cols[pos] = uint16(r.Intn(spmvRows))
+			pos++
+		}
+	}
+	rowd[spmvRows] = uint32(pos)
+	for i := range vec {
+		vec[i] = int32(r.Intn(200) - 100)
+	}
+	return vals, cols, rowd, vec
+}
+
+func spmvRef() []byte {
+	vals, cols, rowd, vec := spmvInputs()
+	out := make([]int32, spmvRows)
+	for i := 0; i < spmvRows; i++ {
+		var s int32
+		for k := rowd[i]; k < rowd[i+1]; k++ {
+			s += vals[k] * vec[cols[k]]
+		}
+		out[i] = s
+	}
+	return u32le(i32sToU32(out))
+}
+
+func spmvKernel() *ir.Program {
+	b := ir.New("spmv-kernel")
+	valB := b.Const(spmvValAt)
+	colB := b.Const(spmvColsAt)
+	rowB := b.Const(spmvRowAt)
+	vecB := b.Const(spmvVecAt)
+	outB := b.Const(spmvOutAt)
+	b.LoopN(spmvRows, func(i ir.Val) {
+		s := b.Temp()
+		b.ConstTo(s, 0)
+		k := b.Temp()
+		b.Mov(k, b.Load(b.Add(rowB, b.ShlI(i, 2)), 0, 4, false))
+		end := b.Load(b.Add(rowB, b.ShlI(b.AddI(i, 1), 2)), 0, 4, false)
+		b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, k, end) }, func() {
+			v := b.Load(b.Add(valB, b.ShlI(k, 2)), 0, 4, true)
+			c := b.Load(b.Add(colB, b.ShlI(k, 1)), 0, 2, false)
+			x := b.Load(b.Add(vecB, b.ShlI(c, 2)), 0, 4, true)
+			b.Mov(s, b.Add(s, b.Mul(v, x)))
+			b.Mov(k, b.AddI(k, 1))
+		})
+		b.Store(b.Add(outB, b.ShlI(i, 2)), 0, s, 4)
+	})
+	b.Halt()
+	return b.MustProgram()
+}
+
+func specSPMV() Spec {
+	vals, cols, rowd, vec := spmvInputs()
+	colBytes := make([]byte, 2*len(cols))
+	for i, c := range cols {
+		colBytes[i*2] = byte(c)
+		colBytes[i*2+1] = byte(c >> 8)
+	}
+	d := &accel.Design{
+		Name:   "spmv",
+		Kernel: spmvKernel(),
+		Banks: []accel.BankSpec{
+			{Name: "VAL", Kind: accel.SPM, Base: spmvValAt, Size: spmvNNZ * 4},
+			{Name: "COLS", Kind: accel.SPM, Base: spmvColsAt, Size: spmvNNZ * 2},
+			{Name: "ROWDELIM", Kind: accel.SPM, Base: spmvRowAt, Size: (spmvRows + 1) * 4},
+			{Name: "VEC", Kind: accel.SPM, Base: spmvVecAt, Size: spmvRows * 4},
+			{Name: "OUT", Kind: accel.SPM, Base: spmvOutAt, Size: spmvRows * 4},
+		},
+		In: []accel.Xfer{
+			{Arg: 0, Local: spmvValAt, Len: spmvNNZ * 4},
+			{Arg: 1, Local: spmvColsAt, Len: spmvNNZ * 2},
+			{Arg: 2, Local: spmvRowAt, Len: (spmvRows + 1) * 4},
+			{Arg: 3, Local: spmvVecAt, Len: spmvRows * 4},
+		},
+		Out: []accel.Xfer{{Arg: 4, Local: spmvOutAt, Len: spmvRows * 4}},
+		FUs: accel.DefaultFUs(),
+		Ops: spmvNNZ * 2,
+	}
+	return Spec{
+		Name:   "spmv",
+		Design: d,
+		Task: accel.Task{
+			Bufs: []accel.HostBuf{
+				{Arg: 0, Addr: hostIn0, Init: u32le(i32sToU32(vals)), Len: len(vals) * 4},
+				{Arg: 1, Addr: hostIn1, Init: colBytes, Len: len(colBytes)},
+				{Arg: 2, Addr: hostIn2, Init: u32le(rowd), Len: len(rowd) * 4},
+				{Arg: 3, Addr: 0x6000, Init: u32le(i32sToU32(vec)), Len: len(vec) * 4},
+				{Arg: 4, Addr: hostOut, Len: spmvRows * 4},
+			},
+			OutArg: 4,
+		},
+		Ref: spmvRef,
+		Targets: []Component{
+			{Design: "spmv", Name: "VAL", PaperBytes: 13328, ModelBytes: spmvNNZ * 4, Kind: accel.SPM},
+			{Design: "spmv", Name: "COLS", PaperBytes: 6664, ModelBytes: spmvNNZ * 2, Kind: accel.SPM},
+		},
+	}
+}

@@ -1,0 +1,93 @@
+// Package machsuite re-implements the eight MachSuite accelerator designs
+// the paper evaluates (Table IV, Figures 14, 16, 17) as dataflow kernels
+// for the internal/accel engine: bfs, fft, gemm, md_knn, mergesort, spmv,
+// stencil2d and stencil3d. Each design declares the same memory components
+// as Table IV (EDGES/NODES register banks, IMG/REAL scratchpads, ...) with
+// problem sizes scaled down so that thousand-run fault campaigns complete
+// on one machine; the component roles — input vs output vs index data —
+// are preserved, since those roles drive the paper's SDC-vs-Crash split.
+package machsuite
+
+import (
+	"fmt"
+	"math/rand"
+
+	"marvel/internal/accel"
+)
+
+// Component records one Table IV injection target.
+type Component struct {
+	Design     string
+	Name       string
+	PaperBytes int // size reported in the paper's Table IV
+	ModelBytes int // size in this implementation
+	Kind       accel.BankKind
+}
+
+// Spec is one accelerator design instance ready to run or inject.
+type Spec struct {
+	Name   string
+	Design *accel.Design
+	Task   accel.Task
+	// Ref computes the golden output buffer in pure Go.
+	Ref func() []byte
+	// Targets lists the Table IV injection components.
+	Targets []Component
+}
+
+// All returns the eight designs in the paper's Table IV order.
+func All() []Spec {
+	return []Spec{
+		specBFS(), specFFT(), specGEMM(), specMDKNN(),
+		specMergesort(), specSPMV(), specStencil2D(), specStencil3D(),
+	}
+}
+
+// ByName returns the named design.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("machsuite: unknown design %q", name)
+}
+
+// TableIV returns the full injection-component inventory, mirroring the
+// paper's Table IV (with this repo's scaled sizes alongside).
+func TableIV() []Component {
+	var out []Component
+	for _, s := range All() {
+		out = append(out, s.Targets...)
+	}
+	return out
+}
+
+// Host-buffer layout shared by the tasks.
+const (
+	hostIn0 = 0x1000
+	hostIn1 = 0x3000
+	hostIn2 = 0x5000
+	hostOut = 0x8000
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func u32le(vals []uint32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		out[i*4] = byte(v)
+		out[i*4+1] = byte(v >> 8)
+		out[i*4+2] = byte(v >> 16)
+		out[i*4+3] = byte(v >> 24)
+	}
+	return out
+}
+
+func i32sToU32(xs []int32) []uint32 {
+	out := make([]uint32, len(xs))
+	for i, x := range xs {
+		out[i] = uint32(x)
+	}
+	return out
+}

@@ -1,0 +1,633 @@
+package machsuite
+
+import (
+	"math"
+
+	"marvel/internal/accel"
+	"marvel/internal/program/ir"
+)
+
+// --- fft: fixed-point radix-2 FFT. The REAL and IMG scratchpads hold the
+// transform output; faults there are pure data corruptions (all-SDC in
+// Figure 14). ---
+
+const fftPts = 128
+
+const (
+	fftSrcAt  = 0x0000 // input samples (int32)
+	fftRealAt = 0x1000
+	fftImgAt  = 0x2000
+	fftCosAt  = 0x3000
+	fftSinAt  = 0x4000
+)
+
+func fftInput() []int32 {
+	r := rng(2505)
+	in := make([]int32, fftPts)
+	for i := range in {
+		in[i] = int32(r.Intn(1<<14) - 1<<13)
+	}
+	return in
+}
+
+func fftTw() (cosT, sinT []int32) {
+	cosT = make([]int32, fftPts/2)
+	sinT = make([]int32, fftPts/2)
+	for i := range cosT {
+		ang := -2 * math.Pi * float64(i) / fftPts
+		cosT[i] = int32(math.Round(math.Cos(ang) * 32767))
+		sinT[i] = int32(math.Round(math.Sin(ang) * 32767))
+	}
+	return cosT, sinT
+}
+
+func fftBits() int {
+	b := 0
+	for 1<<b < fftPts {
+		b++
+	}
+	return b
+}
+
+func fftDSARef() []byte {
+	in := fftInput()
+	cosT, sinT := fftTw()
+	re := make([]int32, fftPts)
+	im := make([]int32, fftPts)
+	bits := fftBits()
+	for i := 0; i < fftPts; i++ {
+		r := 0
+		for k := 0; k < bits; k++ {
+			r = r<<1 | i>>k&1
+		}
+		re[r] = in[i]
+	}
+	qmul := func(a, b int32) int32 { return int32(int64(a) * int64(b) >> 15) }
+	for size := 2; size <= fftPts; size <<= 1 {
+		half := size / 2
+		step := fftPts / size
+		for base := 0; base < fftPts; base += size {
+			for k := 0; k < half; k++ {
+				tw := k * step
+				tr := qmul(re[base+k+half], cosT[tw]) - qmul(im[base+k+half], sinT[tw])
+				ti := qmul(re[base+k+half], sinT[tw]) + qmul(im[base+k+half], cosT[tw])
+				re[base+k+half] = re[base+k] - tr
+				im[base+k+half] = im[base+k] - ti
+				re[base+k] += tr
+				im[base+k] += ti
+			}
+		}
+	}
+	return append(u32le(i32sToU32(re)), u32le(i32sToU32(im))...)
+}
+
+func fftKernel(base uint64, markers bool) *ir.Program {
+	b := ir.New("fft-kernel")
+	if markers {
+		b.Checkpoint()
+	}
+	srcB := b.Const(int64(base + fftSrcAt))
+	reB := b.Const(int64(base + fftRealAt))
+	imB := b.Const(int64(base + fftImgAt))
+	cosB := b.Const(int64(base + fftCosAt))
+	sinB := b.Const(int64(base + fftSinAt))
+	ld := func(base, i ir.Val) ir.Val { return b.Load(b.Add(base, b.ShlI(i, 2)), 0, 4, true) }
+	st := func(base, i, v ir.Val) { b.Store(b.Add(base, b.ShlI(i, 2)), 0, v, 4) }
+	qmul := func(x, y ir.Val) ir.Val { return b.ShrAI(b.Mul(x, y), 15) }
+
+	bits := int64(fftBits())
+	b.LoopN(fftPts, func(i ir.Val) {
+		r := b.Temp()
+		b.ConstTo(r, 0)
+		b.LoopN(bits, func(k ir.Val) {
+			bit := b.AndI(b.Op2(ir.OpShrL, ir.NoVal, i, k), 1)
+			b.Mov(r, b.Or(b.ShlI(r, 1), bit))
+		})
+		st(reB, r, ld(srcB, i))
+		st(imB, r, b.Const(0))
+	})
+
+	size := b.Temp()
+	b.ConstTo(size, 2)
+	b.While(func() ir.Val { return b.Op2(ir.OpCmpLEU, ir.NoVal, size, b.Const(fftPts)) }, func() {
+		half := b.ShrLI(size, 1)
+		step := b.DivU(b.Const(fftPts), size)
+		base := b.Temp()
+		b.ConstTo(base, 0)
+		b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, base, b.Const(fftPts)) }, func() {
+			k := b.Temp()
+			b.ConstTo(k, 0)
+			b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, k, half) }, func() {
+				tw := b.Mul(k, step)
+				hi := b.Add(base, b.Add(k, half))
+				lo := b.Add(base, k)
+				reb := ld(reB, hi)
+				imb := ld(imB, hi)
+				cw := ld(cosB, tw)
+				sw := ld(sinB, tw)
+				tr := b.Sub(qmul(reb, cw), qmul(imb, sw))
+				ti := b.Add(qmul(reb, sw), qmul(imb, cw))
+				rl := ld(reB, lo)
+				il := ld(imB, lo)
+				st(reB, hi, b.Sub(rl, tr))
+				st(imB, hi, b.Sub(il, ti))
+				st(reB, lo, b.Add(rl, tr))
+				st(imB, lo, b.Add(il, ti))
+				b.Mov(k, b.AddI(k, 1))
+			})
+			b.Mov(base, b.Add(base, size))
+		})
+		b.Mov(size, b.ShlI(size, 1))
+	})
+	if markers {
+		b.SwitchCPU()
+	}
+	b.Halt()
+	return b.MustProgram()
+}
+
+// fftSpatialKernel is the datapath-parallel FFT the accelerator runs: the
+// bit-reversal bits are extracted in parallel, every stage is statically
+// specialized (sizes, steps and twiddle strides become shifts and masks),
+// and eight independent butterflies execute per dataflow block.
+func fftSpatialKernel() *ir.Program {
+	b := ir.New("fft-kernel-spatial")
+	srcB := b.Const(fftSrcAt)
+	reB := b.Const(fftRealAt)
+	imB := b.Const(fftImgAt)
+	cosB := b.Const(fftCosAt)
+	sinB := b.Const(fftSinAt)
+	ld := func(base, i ir.Val) ir.Val { return b.Load(b.Add(base, b.ShlI(i, 2)), 0, 4, true) }
+	st := func(base, i, v ir.Val) { b.Store(b.Add(base, b.ShlI(i, 2)), 0, v, 4) }
+	qmul := func(x, y ir.Val) ir.Val { return b.ShrAI(b.Mul(x, y), 15) }
+
+	bits := fftBits()
+	b.LoopN(fftPts, func(i ir.Val) {
+		// All reversed-index bits in parallel, folded by an or-tree.
+		parts := make([]ir.Val, bits)
+		for k := 0; k < bits; k++ {
+			bit := b.AndI(b.ShrLI(i, int64(k)), 1)
+			parts[k] = b.ShlI(bit, int64(bits-1-k))
+		}
+		for w := len(parts); w > 1; w = (w + 1) / 2 {
+			for t := 0; t < w/2; t++ {
+				parts[t] = b.Or(parts[t], parts[w-1-t])
+			}
+		}
+		r := parts[0]
+		st(reB, r, ld(srcB, i))
+		st(imB, r, b.Const(0))
+	})
+
+	const unroll = 8
+	for s := 1; 1<<s <= fftPts; s++ {
+		size := int64(1) << s
+		half := size / 2
+		step := int64(fftPts) / size
+		b.LoopN(int64(fftPts/2/unroll), func(tt ir.Val) {
+			t0 := b.ShlI(tt, 3)
+			for u := int64(0); u < unroll; u++ {
+				t := b.Op2I(ir.OpAdd, ir.NoVal, t0, u)
+				group := b.ShrLI(t, int64(s-1)) // t / half
+				k := b.AndI(t, half-1)
+				lo := b.Add(b.ShlI(group, int64(s)), k)
+				hi := b.Op2I(ir.OpAdd, ir.NoVal, lo, half)
+				var tw ir.Val
+				if step == 1 {
+					tw = k
+				} else {
+					tw = b.ShlI(k, int64(log2(step)))
+				}
+				reb := ld(reB, hi)
+				imb := ld(imB, hi)
+				cw := ld(cosB, tw)
+				sw := ld(sinB, tw)
+				tr := b.Sub(qmul(reb, cw), qmul(imb, sw))
+				ti := b.Add(qmul(reb, sw), qmul(imb, cw))
+				rl := ld(reB, lo)
+				il := ld(imB, lo)
+				st(reB, hi, b.Sub(rl, tr))
+				st(imB, hi, b.Sub(il, ti))
+				st(reB, lo, b.Add(rl, tr))
+				st(imB, lo, b.Add(il, ti))
+			}
+		})
+	}
+	b.Halt()
+	return b.MustProgram()
+}
+
+func log2(v int64) int64 {
+	n := int64(0)
+	for 1<<n < v {
+		n++
+	}
+	return n
+}
+
+// FFTDesign builds the fft accelerator (exported for the CPU-vs-DSA study).
+func FFTDesign() *accel.Design {
+	cosT, sinT := fftTw()
+	_ = cosT
+	_ = sinT
+	return &accel.Design{
+		Name:   "fft",
+		Kernel: fftSpatialKernel(),
+		Banks: []accel.BankSpec{
+			{Name: "SRC", Kind: accel.SPM, Base: fftSrcAt, Size: fftPts * 4},
+			{Name: "REAL", Kind: accel.SPM, Base: fftRealAt, Size: fftPts * 4},
+			{Name: "IMG", Kind: accel.SPM, Base: fftImgAt, Size: fftPts * 4},
+			{Name: "COS", Kind: accel.SPM, Base: fftCosAt, Size: fftPts / 2 * 4},
+			{Name: "SIN", Kind: accel.SPM, Base: fftSinAt, Size: fftPts / 2 * 4},
+		},
+		In: []accel.Xfer{
+			{Arg: 0, Local: fftSrcAt, Len: fftPts * 4},
+			{Arg: 1, Local: fftCosAt, Len: fftPts / 2 * 4},
+			{Arg: 2, Local: fftSinAt, Len: fftPts / 2 * 4},
+		},
+		Out: []accel.Xfer{
+			{Arg: 3, Local: fftRealAt, Len: fftPts * 4},
+			{Arg: 4, Local: fftImgAt, Len: fftPts * 4},
+		},
+		FUs: accel.FUConfig{Adders: 16, Multipliers: 8, Dividers: 1, MemPorts: 8},
+		Ops: 6 * fftPts * float64(fftBits()),
+	}
+}
+
+// FFTTask returns the standard fft task.
+func FFTTask() accel.Task {
+	cosT, sinT := fftTw()
+	return accel.Task{
+		Bufs: []accel.HostBuf{
+			{Arg: 0, Addr: hostIn0, Init: u32le(i32sToU32(fftInput())), Len: fftPts * 4},
+			{Arg: 1, Addr: hostIn1, Init: u32le(i32sToU32(cosT)), Len: fftPts / 2 * 4},
+			{Arg: 2, Addr: hostIn2, Init: u32le(i32sToU32(sinT)), Len: fftPts / 2 * 4},
+			{Arg: 3, Addr: hostOut, Len: fftPts * 4},
+			{Arg: 4, Addr: hostOut + fftPts*4, Len: fftPts * 4},
+		},
+		OutArg: 3,
+	}
+}
+
+func fftTaskRef() []byte {
+	full := fftDSARef()
+	return full[:fftPts*4] // REAL part is the compared output buffer
+}
+
+func specFFT() Spec {
+	return Spec{
+		Name:   "fft",
+		Design: FFTDesign(),
+		Task:   FFTTask(),
+		Ref:    fftTaskRef,
+		Targets: []Component{
+			{Design: "fft", Name: "IMG", PaperBytes: 8192, ModelBytes: fftPts * 4, Kind: accel.SPM},
+			{Design: "fft", Name: "REAL", PaperBytes: 8192, ModelBytes: fftPts * 4, Kind: accel.SPM},
+		},
+	}
+}
+
+// --- mergesort: bottom-up merge sort; MAIN holds the data, TEMP the merge
+// scratch. TEMP's faults are frequently overwritten (lower AVF), matching
+// the paper's observation. ---
+
+const msN = 256
+
+const (
+	msMainAt = 0x0000
+	msTempAt = 0x1000
+)
+
+func msInput() []uint32 {
+	r := rng(2606)
+	xs := make([]uint32, msN)
+	for i := range xs {
+		xs[i] = uint32(r.Intn(1 << 22))
+	}
+	return xs
+}
+
+func msRef() []byte {
+	xs := msInput()
+	sorted := append([]uint32(nil), xs...)
+	for w := 1; w < msN; w *= 2 {
+		dst := make([]uint32, msN)
+		for base := 0; base < msN; base += 2 * w {
+			l, r := base, base+w
+			lend, rend := base+w, base+2*w
+			if lend > msN {
+				lend = msN
+			}
+			if rend > msN {
+				rend = msN
+			}
+			for k := base; k < rend; k++ {
+				if l < lend && (r >= rend || sorted[l] <= sorted[r]) {
+					dst[k] = sorted[l]
+					l++
+				} else {
+					dst[k] = sorted[r]
+					r++
+				}
+			}
+		}
+		sorted = dst
+	}
+	return u32le(sorted)
+}
+
+func msKernel() *ir.Program {
+	b := ir.New("mergesort-kernel")
+	mainB := b.Const(msMainAt)
+	tempB := b.Const(msTempAt)
+	ld := func(base, i ir.Val) ir.Val { return b.Load(b.Add(base, b.ShlI(i, 2)), 0, 4, false) }
+	st := func(base, i, v ir.Val) { b.Store(b.Add(base, b.ShlI(i, 2)), 0, v, 4) }
+
+	// Each pass merges MAIN into TEMP and copies back, the MachSuite
+	// structure: TEMP values live only between the merge that produced
+	// them and the copy-back, so TEMP faults are frequently overwritten
+	// before being read (its lower AVF in Figure 14).
+	w := b.Temp()
+	b.ConstTo(w, 1)
+	b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, w, b.Const(msN)) }, func() {
+		base := b.Temp()
+		b.ConstTo(base, 0)
+		b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, base, b.Const(msN)) }, func() {
+			l := b.Temp()
+			r := b.Temp()
+			b.Mov(l, base)
+			b.Mov(r, b.Add(base, w))
+			lend := b.Add(base, w)
+			rend := b.Add(base, b.ShlI(w, 1))
+			k := b.Temp()
+			b.Mov(k, base)
+			b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, k, rend) }, func() {
+				lOK := b.Op2(ir.OpCmpLTU, ir.NoVal, l, lend)
+				rOK := b.Op2(ir.OpCmpLTU, ir.NoVal, r, rend)
+				lv := ld(mainB, b.Select(lOK, l, b.Const(0)))
+				rv := ld(mainB, b.Select(rOK, r, b.Const(0)))
+				cmp := b.Op2(ir.OpCmpLEU, ir.NoVal, lv, rv)
+				takeL := b.And(lOK, b.Or(b.Op2I(ir.OpCmpEQ, ir.NoVal, rOK, 0), cmp))
+				v := b.Select(takeL, lv, rv)
+				st(tempB, k, v)
+				b.Mov(l, b.Add(l, takeL))
+				b.Mov(r, b.Add(r, b.Op2I(ir.OpCmpEQ, ir.NoVal, takeL, 0)))
+				b.Mov(k, b.AddI(k, 1))
+			})
+			// Copy the merged run back into MAIN.
+			k2 := b.Temp()
+			b.Mov(k2, base)
+			b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, k2, rend) }, func() {
+				st(mainB, k2, ld(tempB, k2))
+				b.Mov(k2, b.AddI(k2, 1))
+			})
+			b.Mov(base, b.Add(base, b.ShlI(w, 1)))
+		})
+		b.Mov(w, b.ShlI(w, 1))
+	})
+	b.Halt()
+	return b.MustProgram()
+}
+
+func specMergesort() Spec {
+	d := &accel.Design{
+		Name:   "mergesort",
+		Kernel: msKernel(),
+		Banks: []accel.BankSpec{
+			{Name: "MAIN", Kind: accel.SPM, Base: msMainAt, Size: msN * 4},
+			{Name: "TEMP", Kind: accel.SPM, Base: msTempAt, Size: msN * 4},
+		},
+		In:  []accel.Xfer{{Arg: 0, Local: msMainAt, Len: msN * 4}},
+		Out: []accel.Xfer{{Arg: 1, Local: msMainAt, Len: msN * 4}},
+		FUs: accel.DefaultFUs(),
+		Ops: msN * 8 * 3,
+	}
+	return Spec{
+		Name:   "mergesort",
+		Design: d,
+		Task: accel.Task{
+			Bufs: []accel.HostBuf{
+				{Arg: 0, Addr: hostIn0, Init: u32le(msInput()), Len: msN * 4},
+				{Arg: 1, Addr: hostOut, Len: msN * 4},
+			},
+			OutArg: 1,
+		},
+		Ref: msRef,
+		Targets: []Component{
+			{Design: "mergesort", Name: "MAIN", PaperBytes: 8192, ModelBytes: msN * 4, Kind: accel.SPM},
+			{Design: "mergesort", Name: "TEMP", PaperBytes: 8192, ModelBytes: msN * 4, Kind: accel.SPM},
+		},
+	}
+}
+
+// --- stencil2d: 3x3 convolution with a filter register bank. ---
+
+const st2W, st2H = 32, 32
+
+const (
+	st2OrigAt   = 0x0000
+	st2SolAt    = 0x2000
+	st2FilterAt = 0x4000
+)
+
+func st2Inputs() (orig []int32, filt []int32) {
+	r := rng(2707)
+	orig = make([]int32, st2W*st2H)
+	for i := range orig {
+		orig[i] = int32(r.Intn(256))
+	}
+	filt = []int32{1, 2, 1, 2, 4, 2, 1, 2, 1}
+	return orig, filt
+}
+
+func st2Ref() []byte {
+	orig, filt := st2Inputs()
+	sol := make([]int32, st2W*st2H)
+	for y := 1; y < st2H-1; y++ {
+		for x := 1; x < st2W-1; x++ {
+			var s int32
+			for dy := 0; dy < 3; dy++ {
+				for dx := 0; dx < 3; dx++ {
+					s += filt[dy*3+dx] * orig[(y+dy-1)*st2W+x+dx-1]
+				}
+			}
+			sol[y*st2W+x] = s
+		}
+	}
+	return u32le(i32sToU32(sol))
+}
+
+func st2Kernel() *ir.Program {
+	b := ir.New("stencil2d-kernel")
+	origB := b.Const(st2OrigAt)
+	solB := b.Const(st2SolAt)
+	filtB := b.Const(st2FilterAt)
+	ld := func(base, i ir.Val) ir.Val { return b.Load(b.Add(base, b.ShlI(i, 2)), 0, 4, true) }
+	b.LoopN(st2H-2, func(yy ir.Val) {
+		y := b.AddI(yy, 1)
+		b.LoopN(st2W-2, func(xx ir.Val) {
+			x := b.AddI(xx, 1)
+			s := b.Temp()
+			b.ConstTo(s, 0)
+			b.LoopN(3, func(dy ir.Val) {
+				row := b.Mul(b.Add(y, b.Op2I(ir.OpSub, ir.NoVal, dy, 1)), b.Const(st2W))
+				frow := b.Mul(dy, b.Const(3))
+				b.LoopN(3, func(dx ir.Val) {
+					f := ld(filtB, b.Add(frow, dx))
+					o := ld(origB, b.Add(row, b.Add(x, b.Op2I(ir.OpSub, ir.NoVal, dx, 1))))
+					b.Mov(s, b.Add(s, b.Mul(f, o)))
+				})
+			})
+			idx := b.Add(b.Mul(y, b.Const(st2W)), x)
+			b.Store(b.Add(solB, b.ShlI(idx, 2)), 0, s, 4)
+		})
+	})
+	b.Halt()
+	return b.MustProgram()
+}
+
+func specStencil2D() Spec {
+	orig, filt := st2Inputs()
+	d := &accel.Design{
+		Name:   "stencil2d",
+		Kernel: st2Kernel(),
+		Banks: []accel.BankSpec{
+			{Name: "ORIG", Kind: accel.SPM, Base: st2OrigAt, Size: st2W * st2H * 4},
+			{Name: "SOL", Kind: accel.SPM, Base: st2SolAt, Size: st2W * st2H * 4},
+			{Name: "FILTER", Kind: accel.RegBank, Base: st2FilterAt, Size: 64},
+		},
+		In: []accel.Xfer{
+			{Arg: 0, Local: st2OrigAt, Len: st2W * st2H * 4},
+			{Arg: 1, Local: st2FilterAt, Len: 9 * 4},
+		},
+		Out: []accel.Xfer{{Arg: 2, Local: st2SolAt, Len: st2W * st2H * 4}},
+		FUs: accel.DefaultFUs(),
+		Ops: (st2W - 2) * (st2H - 2) * 18,
+	}
+	return Spec{
+		Name:   "stencil2d",
+		Design: d,
+		Task: accel.Task{
+			Bufs: []accel.HostBuf{
+				{Arg: 0, Addr: hostIn0, Init: u32le(i32sToU32(orig)), Len: len(orig) * 4},
+				{Arg: 1, Addr: hostIn1, Init: u32le(i32sToU32(filt)), Len: len(filt) * 4},
+				{Arg: 2, Addr: hostOut, Len: st2W * st2H * 4},
+			},
+			OutArg: 2,
+		},
+		Ref: st2Ref,
+		Targets: []Component{
+			{Design: "stencil2d", Name: "ORIG", PaperBytes: 32768, ModelBytes: st2W * st2H * 4, Kind: accel.SPM},
+			{Design: "stencil2d", Name: "SOL", PaperBytes: 32768, ModelBytes: st2W * st2H * 4, Kind: accel.SPM},
+			{Design: "stencil2d", Name: "FILTER", PaperBytes: 360, ModelBytes: 64, Kind: accel.RegBank},
+		},
+	}
+}
+
+// --- stencil3d: 7-point 3D stencil with two coefficients in a tiny
+// register bank (C_VAR, 8 bytes — the paper's smallest target). ---
+
+const st3D = 8 // cube edge
+
+const (
+	st3OrigAt = 0x0000
+	st3SolAt  = 0x1000
+	st3CAt    = 0x2000
+)
+
+func st3Inputs() (orig []int32, c0, c1 int32) {
+	r := rng(2808)
+	orig = make([]int32, st3D*st3D*st3D)
+	for i := range orig {
+		orig[i] = int32(r.Intn(128))
+	}
+	return orig, 2, 1
+}
+
+func st3Ref() []byte {
+	orig, c0, c1 := st3Inputs()
+	sol := make([]int32, len(orig))
+	idx := func(z, y, x int) int { return (z*st3D+y)*st3D + x }
+	for z := 1; z < st3D-1; z++ {
+		for y := 1; y < st3D-1; y++ {
+			for x := 1; x < st3D-1; x++ {
+				sum := orig[idx(z-1, y, x)] + orig[idx(z+1, y, x)] +
+					orig[idx(z, y-1, x)] + orig[idx(z, y+1, x)] +
+					orig[idx(z, y, x-1)] + orig[idx(z, y, x+1)]
+				sol[idx(z, y, x)] = c0*orig[idx(z, y, x)] + c1*sum
+			}
+		}
+	}
+	return u32le(i32sToU32(sol))
+}
+
+func st3Kernel() *ir.Program {
+	b := ir.New("stencil3d-kernel")
+	origB := b.Const(st3OrigAt)
+	solB := b.Const(st3SolAt)
+	cB := b.Const(st3CAt)
+	ld := func(base, i ir.Val) ir.Val { return b.Load(b.Add(base, b.ShlI(i, 2)), 0, 4, true) }
+	c0 := ld(cB, b.Const(0))
+	c1 := ld(cB, b.Const(1))
+	idx := func(z, y, x ir.Val) ir.Val {
+		return b.Add(b.Mul(b.Add(b.Mul(z, b.Const(st3D)), y), b.Const(st3D)), x)
+	}
+	b.LoopN(st3D-2, func(zz ir.Val) {
+		z := b.AddI(zz, 1)
+		b.LoopN(st3D-2, func(yy ir.Val) {
+			y := b.AddI(yy, 1)
+			b.LoopN(st3D-2, func(xx ir.Val) {
+				x := b.AddI(xx, 1)
+				sum := b.Add(ld(origB, idx(b.Op2I(ir.OpSub, ir.NoVal, z, 1), y, x)),
+					ld(origB, idx(b.AddI(z, 1), y, x)))
+				sum = b.Add(sum, ld(origB, idx(z, b.Op2I(ir.OpSub, ir.NoVal, y, 1), x)))
+				sum = b.Add(sum, ld(origB, idx(z, b.AddI(y, 1), x)))
+				sum = b.Add(sum, ld(origB, idx(z, y, b.Op2I(ir.OpSub, ir.NoVal, x, 1))))
+				sum = b.Add(sum, ld(origB, idx(z, y, b.AddI(x, 1))))
+				center := ld(origB, idx(z, y, x))
+				v := b.Add(b.Mul(c0, center), b.Mul(c1, sum))
+				b.Store(b.Add(solB, b.ShlI(idx(z, y, x), 2)), 0, v, 4)
+			})
+		})
+	})
+	b.Halt()
+	return b.MustProgram()
+}
+
+func specStencil3D() Spec {
+	orig, c0, c1 := st3Inputs()
+	d := &accel.Design{
+		Name:   "stencil3d",
+		Kernel: st3Kernel(),
+		Banks: []accel.BankSpec{
+			{Name: "ORIG", Kind: accel.SPM, Base: st3OrigAt, Size: len(orig) * 4},
+			{Name: "SOL", Kind: accel.SPM, Base: st3SolAt, Size: len(orig) * 4},
+			{Name: "C_VAR", Kind: accel.RegBank, Base: st3CAt, Size: 8},
+		},
+		In: []accel.Xfer{
+			{Arg: 0, Local: st3OrigAt, Len: len(orig) * 4},
+			{Arg: 1, Local: st3CAt, Len: 8},
+		},
+		Out: []accel.Xfer{{Arg: 2, Local: st3SolAt, Len: len(orig) * 4}},
+		FUs: accel.DefaultFUs(),
+		Ops: float64((st3D - 2) * (st3D - 2) * (st3D - 2) * 9),
+	}
+	return Spec{
+		Name:   "stencil3d",
+		Design: d,
+		Task: accel.Task{
+			Bufs: []accel.HostBuf{
+				{Arg: 0, Addr: hostIn0, Init: u32le(i32sToU32(orig)), Len: len(orig) * 4},
+				{Arg: 1, Addr: hostIn1, Init: u32le([]uint32{uint32(c0), uint32(c1)}), Len: 8},
+				{Arg: 2, Addr: hostOut, Len: len(orig) * 4},
+			},
+			OutArg: 2,
+		},
+		Ref: st3Ref,
+		Targets: []Component{
+			{Design: "stencil3d", Name: "ORIG", PaperBytes: 65536, ModelBytes: len(orig) * 4, Kind: accel.SPM},
+			{Design: "stencil3d", Name: "SOL", PaperBytes: 65536, ModelBytes: len(orig) * 4, Kind: accel.SPM},
+			{Design: "stencil3d", Name: "C_VAR", PaperBytes: 8, ModelBytes: 8, Kind: accel.RegBank},
+		},
+	}
+}

@@ -1,0 +1,390 @@
+package mem
+
+import (
+	"fmt"
+
+	"marvel/internal/core"
+)
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	HitLat    int // access latency on hit, cycles
+}
+
+// Validate checks the geometry is a usable power-of-two configuration.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("mem: cache %q has non-positive geometry", c.Name)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets*c.LineBytes*c.Ways != c.SizeBytes {
+		return fmt.Errorf("mem: cache %q size %d not divisible by way*line", c.Name, c.SizeBytes)
+	}
+	if sets&(sets-1) != 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: cache %q sets/line size must be powers of two", c.Name)
+	}
+	if c.Ways&(c.Ways-1) != 0 || c.Ways > 16 {
+		return fmt.Errorf("mem: cache %q ways must be a power of two <= 16", c.Name)
+	}
+	return nil
+}
+
+// CacheStats counts cache events for performance reporting.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// level abstracts the next-lower element of the hierarchy (another cache or
+// a memory adapter). Addresses passed down are line-aligned.
+type level interface {
+	readLine(addr uint64, buf []byte) (int, error)
+	writeLine(addr uint64, data []byte) (int, error)
+}
+
+type stuckBit struct {
+	byteIdx uint64
+	mask    byte
+	value   byte // 0 or the mask bit set
+}
+
+// Cache is a set-associative write-back, write-allocate cache with
+// tree-PLRU replacement. Its data array is a fault-injection target.
+type Cache struct {
+	cfg       CacheConfig
+	sets      int
+	lineShift uint
+	setMask   uint64
+
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	data  []byte
+	plru  []uint16
+
+	lower level
+	Stats CacheStats
+
+	stuck []stuckBit
+
+	watchArmed bool
+	watchByte  uint64 // byte index in data array
+	watchState core.WatchState
+}
+
+// NewCache builds a cache over the given lower level.
+func NewCache(cfg CacheConfig, lower level) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	var shift uint
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+		data:      make([]byte, n*cfg.LineBytes),
+		plru:      make([]uint16, sets),
+		lower:     lower,
+	}, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+func (c *Cache) setOf(addr uint64) int { return int(addr >> c.lineShift & c.setMask) }
+func (c *Cache) tagOf(addr uint64) uint64 {
+	return addr >> c.lineShift / uint64(c.sets)
+}
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	return (tag*uint64(c.sets) + uint64(set)) << c.lineShift
+}
+func (c *Cache) way(set, way int) int { return set*c.cfg.Ways + way }
+
+func (c *Cache) lineData(set, way int) []byte {
+	off := c.way(set, way) * c.cfg.LineBytes
+	return c.data[off : off+c.cfg.LineBytes]
+}
+
+// plruTouch marks way as most-recently used within set.
+func (c *Cache) plruTouch(set, way int) {
+	bits := c.plru[set]
+	node, lo, hi := 1, 0, c.cfg.Ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			bits |= 1 << node
+			node, hi = node*2, mid
+		} else {
+			bits &^= 1 << node
+			node, lo = node*2+1, mid
+		}
+	}
+	c.plru[set] = bits
+}
+
+// plruVictim returns the way the tree points at.
+func (c *Cache) plruVictim(set int) int {
+	bits := c.plru[set]
+	node, lo, hi := 1, 0, c.cfg.Ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if bits>>node&1 == 1 {
+			node, lo = node*2+1, mid
+		} else {
+			node, hi = node*2, mid
+		}
+	}
+	return lo
+}
+
+// lookup finds the way holding addr's line, if present.
+func (c *Cache) lookup(addr uint64) (set, way int, hit bool) {
+	set = c.setOf(addr)
+	tag := c.tagOf(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := c.way(set, w)
+		if c.valid[i] && c.tags[i] == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// fill brings addr's line into the cache, evicting (and writing back) a
+// victim if needed, and returns the allocated way plus the added latency.
+func (c *Cache) fill(addr uint64) (int, int, error) {
+	set := c.setOf(addr)
+	tag := c.tagOf(addr)
+	way := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[c.way(set, w)] {
+			way = w
+			break
+		}
+	}
+	lat := 0
+	if way < 0 {
+		way = c.plruVictim(set)
+		i := c.way(set, way)
+		if c.dirty[i] {
+			victimAddr := c.lineAddr(set, c.tags[i])
+			// A dirty faulty line escaping to the lower level can still
+			// influence the outcome: it is not a dead fault.
+			c.watchTouch(i, true)
+			if _, err := c.lower.writeLine(victimAddr, c.lineData(set, way)); err != nil {
+				return 0, 0, err
+			}
+			c.Stats.Writebacks++
+		} else {
+			c.watchKill(i)
+		}
+	}
+	i := c.way(set, way)
+	lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
+	low, err := c.lower.readLine(lineAddr, c.lineData(set, way))
+	if err != nil {
+		return 0, 0, err
+	}
+	lat += low
+	// The refill overwrites any pending fault in this frame.
+	c.watchKill(i)
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.dirty[i] = false
+	c.applyStuck(i)
+	return way, lat, nil
+}
+
+// Access performs a read or write of [addr, addr+len(buf)) which must lie
+// within a single cache line. It returns the access latency.
+func (c *Cache) Access(addr uint64, buf []byte, write bool) (int, error) {
+	if int(addr&uint64(c.cfg.LineBytes-1))+len(buf) > c.cfg.LineBytes {
+		return 0, fmt.Errorf("mem: cache %s access at %#x size %d crosses a line", c.cfg.Name, addr, len(buf))
+	}
+	set, way, hit := c.lookup(addr)
+	lat := c.cfg.HitLat
+	if hit {
+		c.Stats.Hits++
+	} else {
+		c.Stats.Misses++
+		var extra int
+		var err error
+		way, extra, err = c.fill(addr)
+		if err != nil {
+			return 0, err
+		}
+		lat += extra
+	}
+	c.plruTouch(set, way)
+	i := c.way(set, way)
+	off := uint64(c.way(set, way)*c.cfg.LineBytes) + addr&uint64(c.cfg.LineBytes-1)
+	if write {
+		c.watchOverwrite(off, len(buf))
+		copy(c.data[off:], buf)
+		c.dirty[i] = true
+		c.applyStuck(i)
+	} else {
+		c.watchRead(off, len(buf))
+		copy(buf, c.data[off:])
+	}
+	return lat, nil
+}
+
+// readLine implements level for an upper cache: a full-line read.
+func (c *Cache) readLine(addr uint64, buf []byte) (int, error) {
+	return c.Access(addr, buf, false)
+}
+
+// writeLine implements level for an upper cache: a full-line writeback.
+func (c *Cache) writeLine(addr uint64, data []byte) (int, error) {
+	return c.Access(addr, data, true)
+}
+
+// FlushTo writes every dirty line back to the lower level, leaving the
+// cache clean but still valid. Used when extracting the final program
+// output and when checkpointing to main memory.
+func (c *Cache) FlushTo() error {
+	for set := 0; set < c.sets; set++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			i := c.way(set, w)
+			if c.valid[i] && c.dirty[i] {
+				if _, err := c.lower.writeLine(c.lineAddr(set, c.tags[i]), c.lineData(set, w)); err != nil {
+					return err
+				}
+				c.dirty[i] = false
+			}
+		}
+	}
+	return nil
+}
+
+// Peek reads bytes without affecting state or timing; ok is false when the
+// line is absent.
+func (c *Cache) Peek(addr uint64, buf []byte) bool {
+	set, way, hit := c.lookup(addr)
+	if !hit {
+		return false
+	}
+	off := uint64(c.way(set, way)*c.cfg.LineBytes) + addr&uint64(c.cfg.LineBytes-1)
+	copy(buf, c.data[off:])
+	return true
+}
+
+// Clone deep-copies the cache; the caller re-links lower.
+func (c *Cache) Clone(lower level) *Cache {
+	n := *c
+	n.tags = append([]uint64(nil), c.tags...)
+	n.valid = append([]bool(nil), c.valid...)
+	n.dirty = append([]bool(nil), c.dirty...)
+	n.data = append([]byte(nil), c.data...)
+	n.plru = append([]uint16(nil), c.plru...)
+	n.stuck = append([]stuckBit(nil), c.stuck...)
+	n.lower = lower
+	return &n
+}
+
+// --- core.Target implementation (data array bits) ---
+
+// TargetName implements core.Target.
+func (c *Cache) TargetName() string { return c.cfg.Name }
+
+// BitLen implements core.Target: all data-array bits.
+func (c *Cache) BitLen() uint64 { return uint64(len(c.data)) * 8 }
+
+// Live implements core.Target: the line holding the bit is valid.
+func (c *Cache) Live(bit uint64) bool {
+	return c.valid[bit/8/uint64(c.cfg.LineBytes)]
+}
+
+// Flip implements core.Target.
+func (c *Cache) Flip(bit uint64) {
+	c.data[bit/8] ^= 1 << (bit % 8)
+}
+
+// Stick implements core.Target: the bit is forced to v from now on.
+func (c *Cache) Stick(bit uint64, v uint8) {
+	sb := stuckBit{byteIdx: bit / 8, mask: 1 << (bit % 8)}
+	if v != 0 {
+		sb.value = sb.mask
+	}
+	c.stuck = append(c.stuck, sb)
+	c.applyStuckByte(sb)
+}
+
+func (c *Cache) applyStuck(lineIdx int) {
+	if len(c.stuck) == 0 {
+		return
+	}
+	lo := uint64(lineIdx * c.cfg.LineBytes)
+	hi := lo + uint64(c.cfg.LineBytes)
+	for _, sb := range c.stuck {
+		if sb.byteIdx >= lo && sb.byteIdx < hi {
+			c.applyStuckByte(sb)
+		}
+	}
+}
+
+func (c *Cache) applyStuckByte(sb stuckBit) {
+	c.data[sb.byteIdx] = c.data[sb.byteIdx]&^sb.mask | sb.value
+}
+
+// Watch implements core.Target.
+func (c *Cache) Watch(bit uint64) {
+	c.watchArmed = true
+	c.watchByte = bit / 8
+	c.watchState = core.WatchPending
+}
+
+// WatchState implements core.Target.
+func (c *Cache) WatchState() core.WatchState { return c.watchState }
+
+func (c *Cache) watchRead(off uint64, n int) {
+	if c.watchArmed && c.watchState == core.WatchPending &&
+		c.watchByte >= off && c.watchByte < off+uint64(n) {
+		c.watchState = core.WatchRead
+	}
+}
+
+func (c *Cache) watchOverwrite(off uint64, n int) {
+	if c.watchArmed && c.watchState == core.WatchPending &&
+		c.watchByte >= off && c.watchByte < off+uint64(n) {
+		c.watchState = core.WatchDead
+	}
+}
+
+// watchTouch marks the watched fault as escaped (written back) when the
+// victim line contains it; kill instead records a provably dead fault.
+func (c *Cache) watchTouch(lineIdx int, escaped bool) {
+	if !c.watchArmed || c.watchState != core.WatchPending {
+		return
+	}
+	lo := uint64(lineIdx * c.cfg.LineBytes)
+	if c.watchByte >= lo && c.watchByte < lo+uint64(c.cfg.LineBytes) {
+		if escaped {
+			c.watchState = core.WatchRead
+		} else {
+			c.watchState = core.WatchDead
+		}
+	}
+}
+
+func (c *Cache) watchKill(lineIdx int) { c.watchTouch(lineIdx, false) }
+
+var _ core.Target = (*Cache)(nil)

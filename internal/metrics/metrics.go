@@ -1,0 +1,167 @@
+// Package metrics computes the reliability metrics the paper reports:
+// AVF and its SDC/Crash decomposition (§IV-A2), HVF (§IV-D), the
+// execution-time-weighted AVF of §V-A, the Operations-per-Failure metric
+// of §V-G, and binomial confidence intervals for statistical fault
+// injection campaigns.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"marvel/internal/classify"
+)
+
+// Counts aggregates the verdicts of one campaign.
+type Counts struct {
+	Masked int
+	SDC    int
+	Crash  int
+
+	// Masked sub-reasons (early-termination accounting).
+	MaskedInvalid int
+	MaskedDead    int
+
+	// HVF classes.
+	HVFBenign  int
+	HVFCorrupt int
+
+	// Early-terminated runs (simulation time saved).
+	EarlyStops int
+}
+
+// Add folds one verdict in.
+func (c *Counts) Add(v classify.Verdict) {
+	switch v.Outcome {
+	case classify.Masked:
+		c.Masked++
+		switch v.Reason {
+		case classify.MaskedInvalidEntry:
+			c.MaskedInvalid++
+		case classify.MaskedDeadFault:
+			c.MaskedDead++
+		}
+	case classify.SDC:
+		c.SDC++
+	case classify.Crash:
+		c.Crash++
+	}
+	if v.HVFCorrupt {
+		c.HVFCorrupt++
+	} else {
+		c.HVFBenign++
+	}
+	if v.EarlyStop {
+		c.EarlyStops++
+	}
+}
+
+// Total returns the number of classified runs.
+func (c Counts) Total() int { return c.Masked + c.SDC + c.Crash }
+
+// AVF returns the architectural vulnerability factor: the probability that
+// a fault produces a program-visible error (SDC or Crash).
+func (c Counts) AVF() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.SDC+c.Crash) / float64(t)
+}
+
+// SDCAVF returns the SDC contribution to the AVF (Figures 9-11).
+func (c Counts) SDCAVF() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.SDC) / float64(t)
+}
+
+// CrashAVF returns the Crash contribution to the AVF.
+func (c Counts) CrashAVF() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Crash) / float64(t)
+}
+
+// HVF returns the hardware vulnerability factor: the probability that the
+// fault became architecturally visible at the commit stage. By definition
+// HVF >= AVF for the same fault population (§V-I).
+func (c Counts) HVF() float64 {
+	t := c.HVFBenign + c.HVFCorrupt
+	if t == 0 {
+		return 0
+	}
+	return float64(c.HVFCorrupt) / float64(t)
+}
+
+func (c Counts) String() string {
+	return fmt.Sprintf("masked=%d (invalid=%d dead=%d) sdc=%d crash=%d avf=%.3f",
+		c.Masked, c.MaskedInvalid, c.MaskedDead, c.SDC, c.Crash, c.AVF())
+}
+
+// WeightedAVF implements the paper's §V-A aggregation: each benchmark's AVF
+// weighted by its execution time,
+//
+//	wAVF(c) = Σ AVF_k(c)·t_k / Σ t_k.
+func WeightedAVF(avfs, execTimes []float64) float64 {
+	if len(avfs) != len(execTimes) || len(avfs) == 0 {
+		return 0
+	}
+	var num, den float64
+	for i := range avfs {
+		num += avfs[i] * execTimes[i]
+		den += execTimes[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// OPS returns operations per second for a task of ops operations completing
+// in cycles at clockHz.
+func OPS(ops float64, cycles uint64, clockHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return ops / (float64(cycles) / clockHz)
+}
+
+// OPF implements the paper's §V-G Operations-per-Failure metric,
+// OPF = OPS / AVF: the number of operations executed before a failure is
+// expected. Larger is a better reliability/performance trade-off. An AVF
+// of zero yields +Inf (no observed failures).
+func OPF(ops float64, cycles uint64, clockHz float64, avf float64) float64 {
+	ops64 := OPS(ops, cycles, clockHz)
+	if avf == 0 {
+		return math.Inf(1)
+	}
+	return ops64 / avf
+}
+
+// Interval is a symmetric confidence interval for an estimated proportion.
+type Interval struct {
+	P, Lo, Hi float64
+}
+
+// Confidence returns the normal-approximation interval for proportion p
+// over n samples at quantile z (1.96 for 95%).
+func Confidence(p float64, n int, z float64) Interval {
+	if n == 0 {
+		return Interval{P: p, Lo: 0, Hi: 1}
+	}
+	se := z * math.Sqrt(p*(1-p)/float64(n))
+	lo := p - se
+	hi := p + se
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{P: p, Lo: lo, Hi: hi}
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"marvel/internal/classify"
+)
+
+func TestCountsAccumulation(t *testing.T) {
+	var c Counts
+	c.Add(classify.Verdict{Outcome: classify.Masked})
+	c.Add(classify.Verdict{Outcome: classify.Masked, Reason: classify.MaskedInvalidEntry, EarlyStop: true})
+	c.Add(classify.Verdict{Outcome: classify.Masked, Reason: classify.MaskedDeadFault, EarlyStop: true})
+	c.Add(classify.Verdict{Outcome: classify.SDC, HVFCorrupt: true})
+	c.Add(classify.Verdict{Outcome: classify.Crash, HVFCorrupt: true})
+
+	if c.Total() != 5 {
+		t.Fatalf("total %d", c.Total())
+	}
+	if c.Masked != 3 || c.SDC != 1 || c.Crash != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+	if c.MaskedInvalid != 1 || c.MaskedDead != 1 || c.EarlyStops != 2 {
+		t.Fatalf("early-termination accounting %+v", c)
+	}
+	if got := c.AVF(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("AVF %f", got)
+	}
+	if got := c.SDCAVF(); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("SDCAVF %f", got)
+	}
+	if got := c.CrashAVF(); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("CrashAVF %f", got)
+	}
+	if got := c.HVF(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("HVF %f", got)
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestAVFDecomposition(t *testing.T) {
+	// AVF == SDCAVF + CrashAVF for any mix.
+	f := func(m, s, cr uint8) bool {
+		var c Counts
+		for i := 0; i < int(m); i++ {
+			c.Add(classify.Verdict{Outcome: classify.Masked})
+		}
+		for i := 0; i < int(s); i++ {
+			c.Add(classify.Verdict{Outcome: classify.SDC})
+		}
+		for i := 0; i < int(cr); i++ {
+			c.Add(classify.Verdict{Outcome: classify.Crash})
+		}
+		return math.Abs(c.AVF()-(c.SDCAVF()+c.CrashAVF())) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedAVF(t *testing.T) {
+	// Equal weights → plain mean.
+	got := WeightedAVF([]float64{0.2, 0.4}, []float64{1, 1})
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("equal weights: %f", got)
+	}
+	// The longer benchmark dominates (the paper's §V-A rationale).
+	got = WeightedAVF([]float64{0.2, 0.4}, []float64{1, 9})
+	if math.Abs(got-0.38) > 1e-12 {
+		t.Fatalf("skewed weights: %f", got)
+	}
+	if WeightedAVF(nil, nil) != 0 {
+		t.Fatal("empty input should be 0")
+	}
+	if WeightedAVF([]float64{1}, []float64{0}) != 0 {
+		t.Fatal("zero total weight should be 0")
+	}
+}
+
+func TestOPSAndOPF(t *testing.T) {
+	// 1000 ops in 1000 cycles at 1GHz = 1e9 ops/s.
+	if got := OPS(1000, 1000, 1e9); math.Abs(got-1e9) > 1 {
+		t.Fatalf("OPS %g", got)
+	}
+	// OPF = OPS / AVF.
+	if got := OPF(1000, 1000, 1e9, 0.5); math.Abs(got-2e9) > 1 {
+		t.Fatalf("OPF %g", got)
+	}
+	if !math.IsInf(OPF(1000, 1000, 1e9, 0), 1) {
+		t.Fatal("zero AVF should give +Inf OPF")
+	}
+	if OPS(1000, 0, 1e9) != 0 {
+		t.Fatal("zero cycles should give 0 OPS")
+	}
+}
+
+func TestOPFMonotonicity(t *testing.T) {
+	// Faster or less vulnerable platforms always score higher.
+	base := OPF(1e6, 10000, 1e9, 0.4)
+	if OPF(1e6, 5000, 1e9, 0.4) <= base {
+		t.Error("faster platform must have higher OPF")
+	}
+	if OPF(1e6, 10000, 1e9, 0.2) <= base {
+		t.Error("less vulnerable platform must have higher OPF")
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	iv := Confidence(0.5, 1000, 1.96)
+	if iv.Lo >= iv.P || iv.Hi <= iv.P {
+		t.Fatalf("interval %+v", iv)
+	}
+	if iv.Hi-iv.Lo > 0.07 {
+		t.Fatalf("interval too wide for n=1000: %+v", iv)
+	}
+	// Clamping.
+	iv = Confidence(0.001, 10, 1.96)
+	if iv.Lo < 0 {
+		t.Fatal("Lo must clamp at 0")
+	}
+	iv = Confidence(0.999, 10, 1.96)
+	if iv.Hi > 1 {
+		t.Fatal("Hi must clamp at 1")
+	}
+	iv = Confidence(0.5, 0, 1.96)
+	if iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatal("n=0 should be the trivial interval")
+	}
+}
+
+func TestVerdictHelpers(t *testing.T) {
+	v := classify.EarlyMasked(classify.MaskedDeadFault, 123)
+	if v.Outcome != classify.Masked || !v.EarlyStop || v.Cycles != 123 {
+		t.Fatalf("EarlyMasked: %+v", v)
+	}
+	if v.Reason.String() == "" || classify.MaskedInvalidEntry.String() == "" {
+		t.Fatal("reason strings empty")
+	}
+}

@@ -1,0 +1,84 @@
+package program
+
+import "fmt"
+
+// asmBuf is a two-pass assembler: backends append literal bytes and
+// fixed-size branch placeholders referring to block labels; assemble lays
+// out the bytes, resolves block addresses and patches every placeholder.
+type asmBuf struct {
+	items  []asmItem
+	blocks int
+}
+
+type asmItem struct {
+	bytes  []byte
+	size   int
+	target int                                 // block id for patch items
+	gen    func(pc, dst uint64) ([]byte, bool) // produces final bytes
+	mark   int                                 // block label, -1 otherwise
+}
+
+func (a *asmBuf) raw(b []byte) {
+	a.items = append(a.items, asmItem{bytes: b, size: len(b), mark: -1, target: -1})
+}
+
+// raw2 appends bytes from an (encoding, ok) pair; a false ok is an internal
+// instruction-selection bug, not an input error.
+func (a *asmBuf) raw2(b []byte, ok bool) {
+	if !ok {
+		panic("program: unencodable instruction selected")
+	}
+	a.raw(b)
+}
+
+func (a *asmBuf) raw32(w uint32) {
+	a.raw([]byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)})
+}
+
+// fix appends a fixed-size placeholder patched with the target block's
+// address; gen receives the item's own address and the resolved target.
+func (a *asmBuf) fix(size, target int, gen func(pc, dst uint64) ([]byte, bool)) {
+	a.items = append(a.items, asmItem{size: size, target: target, gen: gen, mark: -1})
+}
+
+// mark labels the current position as the start of a block.
+func (a *asmBuf) mark(block int) {
+	a.items = append(a.items, asmItem{mark: block, target: -1})
+	if block >= a.blocks {
+		a.blocks = block + 1
+	}
+}
+
+// assemble lays out the code at base and patches all placeholders.
+func (a *asmBuf) assemble(base uint64) ([]byte, error) {
+	blockAddr := make([]uint64, a.blocks)
+	addr := base
+	for _, it := range a.items {
+		if it.mark >= 0 {
+			blockAddr[it.mark] = addr
+		}
+		addr += uint64(it.size)
+	}
+	out := make([]byte, 0, addr-base)
+	addr = base
+	for _, it := range a.items {
+		switch {
+		case it.mark >= 0:
+		case it.gen != nil:
+			b, ok := it.gen(addr, blockAddr[it.target])
+			if !ok {
+				return nil, fmt.Errorf("program: branch at %#x to block %d (%#x) out of encodable range",
+					addr, it.target, blockAddr[it.target])
+			}
+			if len(b) != it.size {
+				return nil, fmt.Errorf("program: branch at %#x produced %d bytes, reserved %d",
+					addr, len(b), it.size)
+			}
+			out = append(out, b...)
+		default:
+			out = append(out, it.bytes...)
+		}
+		addr += uint64(it.size)
+	}
+	return out, nil
+}

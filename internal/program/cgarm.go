@@ -1,0 +1,174 @@
+package program
+
+import (
+	"marvel/internal/isa"
+	"marvel/internal/program/ir"
+)
+
+// armMachine is the ARM64L backend: three-address ALU ops with a full
+// operation set (including set-less-than forms), flags-based branches,
+// conditional select, and movz/movk immediate materialization.
+//
+// Register plan: r0..r25 allocatable, r26/r27/r29 codegen scratch, r28
+// stack pointer, r30 reserved for the decoder's movk crack, r31 flags.
+type armMachine struct{}
+
+func (armMachine) arch() isa.Arch { return isa.ARM64L{} }
+func (armMachine) spReg() isa.Reg { return isa.ArmSP }
+
+func (armMachine) allocatable() []isa.Reg {
+	regs := make([]isa.Reg, 0, 26)
+	for r := isa.Reg(0); r <= 25; r++ {
+		regs = append(regs, r)
+	}
+	return regs
+}
+
+func (armMachine) scratch() [3]isa.Reg { return [3]isa.Reg{isa.ArmTmp0, 27, 26} }
+
+func (armMachine) movImm(a *asmBuf, rd isa.Reg, v int64) {
+	u := uint64(v)
+	first := true
+	for hw := uint8(0); hw < 4; hw++ {
+		chunk := uint16(u >> (16 * hw))
+		if chunk == 0 && !(first && hw == 3) {
+			continue
+		}
+		w, _ := isa.ArmMovW(!first, rd, hw, chunk)
+		a.raw32(w)
+		first = false
+	}
+	if first { // v == 0
+		w, _ := isa.ArmMovW(false, rd, 0, 0)
+		a.raw32(w)
+	}
+}
+
+func (armMachine) mov(a *asmBuf, rd, rs isa.Reg) {
+	w, _ := isa.ArmALUReg(isa.AluMovB, rd, rs, rs, 0)
+	a.raw32(w)
+}
+
+func (armMachine) op2(a *asmBuf, op ir.Op, rd, ra, rb isa.Reg) {
+	emit := func(alu isa.AluOp, d, s1, s2 isa.Reg) {
+		w, _ := isa.ArmALUReg(alu, d, s1, s2, 0)
+		a.raw32(w)
+	}
+	emitImm := func(alu isa.AluOp, d, s1 isa.Reg, imm int64) {
+		w, _ := isa.ArmALUImm(alu, d, s1, imm)
+		a.raw32(w)
+	}
+	switch op {
+	case ir.OpCmpEQ:
+		emit(isa.AluSeq, rd, ra, rb)
+	case ir.OpCmpNE:
+		emit(isa.AluSeq, rd, ra, rb)
+		emitImm(isa.AluXor, rd, rd, 1)
+	case ir.OpCmpLTS:
+		emit(isa.AluSltS, rd, ra, rb)
+	case ir.OpCmpLES:
+		emit(isa.AluSltS, rd, rb, ra)
+		emitImm(isa.AluXor, rd, rd, 1)
+	case ir.OpCmpLTU:
+		emit(isa.AluSltU, rd, ra, rb)
+	case ir.OpCmpLEU:
+		emit(isa.AluSltU, rd, rb, ra)
+		emitImm(isa.AluXor, rd, rd, 1)
+	default:
+		alu, _ := aluOf(op)
+		emit(alu, rd, ra, rb)
+	}
+}
+
+func (armMachine) op2imm(a *asmBuf, op ir.Op, rd, ra isa.Reg, imm int64) bool {
+	var alu isa.AluOp
+	switch op {
+	case ir.OpAdd:
+		alu = isa.AluAdd
+	case ir.OpSub:
+		alu = isa.AluSub
+	case ir.OpAnd:
+		alu = isa.AluAnd
+	case ir.OpOr:
+		alu = isa.AluOr
+	case ir.OpXor:
+		alu = isa.AluXor
+	case ir.OpShl:
+		alu = isa.AluShl
+	case ir.OpShrL:
+		alu = isa.AluShrL
+	case ir.OpShrA:
+		alu = isa.AluShrA
+	case ir.OpCmpLTS:
+		alu = isa.AluSltS
+	case ir.OpCmpLTU:
+		alu = isa.AluSltU
+	default:
+		return false
+	}
+	w, ok := isa.ArmALUImm(alu, rd, ra, imm)
+	if !ok {
+		return false
+	}
+	a.raw32(w)
+	return true
+}
+
+func (armMachine) dispFits(off int64) bool { return off >= -512 && off <= 511 }
+
+func (armMachine) load(a *asmBuf, size uint8, signed bool, rd, base isa.Reg, off int64) {
+	w, _ := isa.ArmLdStImm(true, size, signed, rd, base, off)
+	a.raw32(w)
+}
+
+func (armMachine) store(a *asmBuf, size uint8, rs, base isa.Reg, off int64) {
+	w, _ := isa.ArmLdStImm(false, size, false, rs, base, off)
+	a.raw32(w)
+}
+
+func (armMachine) sel(a *asmBuf, rd, rc, rb, rcAlt isa.Reg) {
+	w, _ := isa.ArmALUImm(isa.AluFlags, isa.ArmFlags, rc, 0)
+	a.raw32(w)
+	cs, _ := isa.ArmCSel(isa.CondFNE, rd, rb, rcAlt)
+	a.raw32(cs)
+}
+
+func (armMachine) brCmp(a *asmBuf, op ir.Op, ra, rb isa.Reg, target int) {
+	a.raw32(isa.ArmCmp(ra, rb))
+	c := cmpCond(op)
+	a.fix(4, target, func(pc, dst uint64) ([]byte, bool) {
+		w, ok := isa.ArmBranch(c, int64(dst-pc))
+		if !ok {
+			return nil, false
+		}
+		return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}, true
+	})
+}
+
+func (armMachine) brNZ(a *asmBuf, ra isa.Reg, target int) {
+	w, _ := isa.ArmALUImm(isa.AluFlags, isa.ArmFlags, ra, 0)
+	a.raw32(w)
+	a.fix(4, target, func(pc, dst uint64) ([]byte, bool) {
+		b, ok := isa.ArmBranch(isa.CondFNE, int64(dst-pc))
+		if !ok {
+			return nil, false
+		}
+		return []byte{byte(b), byte(b >> 8), byte(b >> 16), byte(b >> 24)}, true
+	})
+}
+
+func (armMachine) jmp(a *asmBuf, target int) {
+	a.fix(4, target, func(pc, dst uint64) ([]byte, bool) {
+		w, ok := isa.ArmBranch(isa.CondAL, int64(dst-pc))
+		if !ok {
+			return nil, false
+		}
+		return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}, true
+	})
+}
+
+func (armMachine) halt(a *asmBuf) { a.raw32(isa.ArmSys(isa.MagicExit)) }
+
+func (armMachine) magic(a *asmBuf, sel int64) { a.raw32(isa.ArmSys(sel)) }
+
+func (armMachine) wfi(a *asmBuf) { a.raw32(isa.ArmSys(3)) }

@@ -1,0 +1,195 @@
+package program
+
+import (
+	"marvel/internal/isa"
+	"marvel/internal/program/ir"
+)
+
+// rvMachine is the RV64L backend: three-address ALU ops, fused
+// compare-and-branch, no flags, no conditional select (lowered to a short
+// local branch diamond).
+type rvMachine struct{}
+
+func (rvMachine) arch() isa.Arch { return isa.RV64L{} }
+func (rvMachine) spReg() isa.Reg { return isa.RvSP }
+
+func (rvMachine) allocatable() []isa.Reg {
+	regs := []isa.Reg{1, 3, 4}
+	for r := isa.Reg(5); r <= 28; r++ {
+		regs = append(regs, r)
+	}
+	return regs
+}
+
+func (rvMachine) scratch() [3]isa.Reg { return [3]isa.Reg{29, 30, 31} }
+
+// movImm materializes v with the temp-free recursive li expansion:
+// li(rd, v) = li(rd, (v-lo12)>>12); slli rd, 12; addi rd, lo12.
+func (m rvMachine) movImm(a *asmBuf, rd isa.Reg, v int64) {
+	if isa.FitsImm12(v) {
+		w, _ := isa.RvALUImm(isa.AluAdd, rd, isa.RvZero, v)
+		a.raw32(w)
+		return
+	}
+	lo := v << 52 >> 52 // sign-extended low 12 bits
+	m.movImm(a, rd, (v-lo)>>12)
+	w, _ := isa.RvALUImm(isa.AluShl, rd, rd, 12)
+	a.raw32(w)
+	if lo != 0 {
+		w, _ = isa.RvALUImm(isa.AluAdd, rd, rd, lo)
+		a.raw32(w)
+	}
+}
+
+func (rvMachine) mov(a *asmBuf, rd, rs isa.Reg) {
+	w, _ := isa.RvALUImm(isa.AluAdd, rd, rs, 0)
+	a.raw32(w)
+}
+
+func (m rvMachine) op2(a *asmBuf, op ir.Op, rd, ra, rb isa.Reg) {
+	scr := m.scratch()[2]
+	emit := func(alu isa.AluOp, d, s1, s2 isa.Reg) {
+		w, _ := isa.RvALU(alu, d, s1, s2)
+		a.raw32(w)
+	}
+	emitImm := func(alu isa.AluOp, d, s1 isa.Reg, imm int64) {
+		w, _ := isa.RvALUImm(alu, d, s1, imm)
+		a.raw32(w)
+	}
+	switch op {
+	case ir.OpCmpEQ:
+		emit(isa.AluXor, scr, ra, rb)
+		emitImm(isa.AluSltU, rd, scr, 1)
+	case ir.OpCmpNE:
+		emit(isa.AluXor, scr, ra, rb)
+		emit(isa.AluSltU, rd, isa.RvZero, scr)
+	case ir.OpCmpLTS:
+		emit(isa.AluSltS, rd, ra, rb)
+	case ir.OpCmpLES:
+		emit(isa.AluSltS, rd, rb, ra)
+		emitImm(isa.AluXor, rd, rd, 1)
+	case ir.OpCmpLTU:
+		emit(isa.AluSltU, rd, ra, rb)
+	case ir.OpCmpLEU:
+		emit(isa.AluSltU, rd, rb, ra)
+		emitImm(isa.AluXor, rd, rd, 1)
+	default:
+		alu, _ := aluOf(op)
+		emit(alu, rd, ra, rb)
+	}
+}
+
+func (rvMachine) op2imm(a *asmBuf, op ir.Op, rd, ra isa.Reg, imm int64) bool {
+	var alu isa.AluOp
+	switch op {
+	case ir.OpAdd:
+		alu = isa.AluAdd
+	case ir.OpSub:
+		if imm == -2048 {
+			return false
+		}
+		alu, imm = isa.AluAdd, -imm
+	case ir.OpAnd:
+		alu = isa.AluAnd
+	case ir.OpOr:
+		alu = isa.AluOr
+	case ir.OpXor:
+		alu = isa.AluXor
+	case ir.OpShl:
+		alu = isa.AluShl
+	case ir.OpShrL:
+		alu = isa.AluShrL
+	case ir.OpShrA:
+		alu = isa.AluShrA
+	case ir.OpCmpLTS:
+		alu = isa.AluSltS
+	case ir.OpCmpLTU:
+		alu = isa.AluSltU
+	default:
+		return false
+	}
+	w, ok := isa.RvALUImm(alu, rd, ra, imm)
+	if !ok {
+		return false
+	}
+	a.raw32(w)
+	return true
+}
+
+func (rvMachine) dispFits(off int64) bool { return isa.FitsImm12(off) }
+
+func (rvMachine) load(a *asmBuf, size uint8, signed bool, rd, base isa.Reg, off int64) {
+	w, _ := isa.RvLoad(size, signed, rd, base, off)
+	a.raw32(w)
+}
+
+func (rvMachine) store(a *asmBuf, size uint8, rs, base isa.Reg, off int64) {
+	w, _ := isa.RvStore(size, rs, base, off)
+	a.raw32(w)
+}
+
+// sel lowers a select to a 4-instruction local diamond:
+//
+//	beq rc, x0, +12
+//	mv  rd, rb
+//	jal x0, +8
+//	mv  rd, rcAlt
+func (m rvMachine) sel(a *asmBuf, rd, rc, rb, rcAlt isa.Reg) {
+	w, _ := isa.RvBranch(isa.CondEQ, rc, isa.RvZero, 12)
+	a.raw32(w)
+	m.mov(a, rd, rb)
+	j, _ := isa.RvJal(isa.RvZero, 8)
+	a.raw32(j)
+	m.mov(a, rd, rcAlt)
+}
+
+// rvBranchCond maps compare ops to RV64L branch conditions, swapping
+// operands for the <= forms the ISA lacks.
+func rvBranchCond(op ir.Op, ra, rb isa.Reg) (isa.Cond, isa.Reg, isa.Reg, bool) {
+	switch op {
+	case ir.OpCmpEQ:
+		return isa.CondEQ, ra, rb, true
+	case ir.OpCmpNE:
+		return isa.CondNE, ra, rb, true
+	case ir.OpCmpLTS:
+		return isa.CondLTS, ra, rb, true
+	case ir.OpCmpLES:
+		return isa.CondGES, rb, ra, true // a<=b ⇔ b>=a
+	case ir.OpCmpLTU:
+		return isa.CondLTU, ra, rb, true
+	case ir.OpCmpLEU:
+		return isa.CondGEU, rb, ra, true
+	}
+	return isa.CondNone, 0, 0, false
+}
+
+func (rvMachine) brCmp(a *asmBuf, op ir.Op, ra, rb isa.Reg, target int) {
+	c, r1, r2, _ := rvBranchCond(op, ra, rb)
+	a.fix(4, target, func(pc, dst uint64) ([]byte, bool) {
+		w, ok := isa.RvBranch(c, r1, r2, int64(dst-pc))
+		if !ok {
+			return nil, false
+		}
+		return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}, true
+	})
+}
+
+func (m rvMachine) brNZ(a *asmBuf, ra isa.Reg, target int) {
+	m.brCmp(a, ir.OpCmpNE, ra, isa.RvZero, target)
+}
+
+func (rvMachine) jmp(a *asmBuf, target int) {
+	a.fix(4, target, func(pc, dst uint64) ([]byte, bool) {
+		w, ok := isa.RvJal(isa.RvZero, int64(dst-pc))
+		if !ok {
+			return nil, false
+		}
+		return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}, true
+	})
+}
+
+func (rvMachine) halt(a *asmBuf) { a.raw32(isa.RvSys(isa.MagicExit)) }
+
+func (rvMachine) magic(a *asmBuf, sel int64) { a.raw32(isa.RvSys(sel)) }
+
+func (rvMachine) wfi(a *asmBuf) { a.raw32(isa.RvSys(3)) }

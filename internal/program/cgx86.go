@@ -1,0 +1,212 @@
+package program
+
+import (
+	"marvel/internal/isa"
+	"marvel/internal/program/ir"
+)
+
+// x86Machine is the X86L backend: two-address ALU operations, flags-based
+// control flow via CMP/Jcc, CMOV for selects and compare values, and the
+// implicit RAX/RDX divide. Only ten registers are allocatable (r1, r3,
+// r5..r12): r0/r2 are the divide's implicit operands, r4 is the stack
+// pointer and r13..r15 are codegen scratch — the register pressure that
+// gives the X86L binaries their characteristic spill traffic.
+type x86Machine struct{}
+
+func (x86Machine) arch() isa.Arch { return isa.X86L{} }
+func (x86Machine) spReg() isa.Reg { return isa.X86SP }
+
+func (x86Machine) allocatable() []isa.Reg {
+	regs := []isa.Reg{1, 3}
+	for r := isa.Reg(5); r <= 12; r++ {
+		regs = append(regs, r)
+	}
+	return regs
+}
+
+func (x86Machine) scratch() [3]isa.Reg { return [3]isa.Reg{13, 14, 15} }
+
+func (x86Machine) movImm(a *asmBuf, rd isa.Reg, v int64) {
+	if b, ok := isa.X86MovImm32(rd, v); ok {
+		a.raw(b)
+		return
+	}
+	a.raw(isa.X86MovImm64(rd, uint64(v)))
+}
+
+func (x86Machine) mov(a *asmBuf, rd, rs isa.Reg) { a.raw(isa.X86MovRR(rd, rs)) }
+
+func x86Commutative(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpMul, ir.OpMulHU:
+		return true
+	}
+	return false
+}
+
+// twoAddr arranges rd = ra OP rb on a two-address machine, then calls emit
+// with (dst, src) such that dst already holds the left operand.
+func (m x86Machine) twoAddr(a *asmBuf, op ir.Op, rd, ra, rb isa.Reg, emit func(dst, src isa.Reg)) {
+	scr2 := m.scratch()[2]
+	switch {
+	case rd == ra:
+		emit(rd, rb)
+	case rd == rb:
+		if x86Commutative(op) {
+			emit(rd, ra)
+			return
+		}
+		m.mov(a, scr2, ra)
+		emit(scr2, rb)
+		m.mov(a, rd, scr2)
+	default:
+		m.mov(a, rd, ra)
+		emit(rd, rb)
+	}
+}
+
+func (m x86Machine) op2(a *asmBuf, op ir.Op, rd, ra, rb isa.Reg) {
+	switch {
+	case op.IsCmp():
+		a.raw2(isa.X86ALUrr(isa.AluFlags, ra, rb))
+		m.cmpValue(a, op, rd)
+	case op == ir.OpDiv || op == ir.OpDivU || op == ir.OpRem || op == ir.OpRemU:
+		signed := op == ir.OpDiv || op == ir.OpRem
+		m.mov(a, isa.X86RAX, ra)
+		a.raw(isa.X86Div(signed, rb))
+		if op == ir.OpRem || op == ir.OpRemU {
+			m.mov(a, rd, isa.X86RDX)
+		} else {
+			m.mov(a, rd, isa.X86RAX)
+		}
+	case op == ir.OpMul || op == ir.OpMulHU:
+		m.twoAddr(a, op, rd, ra, rb, func(dst, src isa.Reg) {
+			a.raw(isa.X86Mul(op == ir.OpMulHU, dst, src))
+		})
+	case op == ir.OpShl || op == ir.OpShrL || op == ir.OpShrA:
+		alu, _ := aluOf(op)
+		m.twoAddr(a, op, rd, ra, rb, func(dst, src isa.Reg) {
+			a.raw2(isa.X86ShiftRR(alu, dst, src))
+		})
+	default:
+		alu, _ := aluOf(op)
+		m.twoAddr(a, op, rd, ra, rb, func(dst, src isa.Reg) {
+			a.raw2(isa.X86ALUrr(alu, dst, src))
+		})
+	}
+}
+
+// cmpValue materializes the 0/1 result of a compare whose flags are set.
+func (m x86Machine) cmpValue(a *asmBuf, op ir.Op, rd isa.Reg) {
+	scr2 := m.scratch()[2]
+	m.movImm(a, rd, 0)
+	m.movImm(a, scr2, 1)
+	cm, _ := isa.X86CMov(cmpCond(op), rd, scr2)
+	a.raw(cm)
+}
+
+func (m x86Machine) op2imm(a *asmBuf, op ir.Op, rd, ra isa.Reg, imm int64) bool {
+	if imm < -1<<31 || imm >= 1<<31 {
+		return false
+	}
+	switch {
+	case op.IsCmp():
+		b, ok := isa.X86ALUri(isa.AluFlags, ra, imm)
+		if !ok {
+			return false
+		}
+		a.raw(b)
+		m.cmpValue(a, op, rd)
+		return true
+	case op == ir.OpShl || op == ir.OpShrL || op == ir.OpShrA:
+		alu, _ := aluOf(op)
+		if rd != ra {
+			m.mov(a, rd, ra)
+		}
+		b, ok := isa.X86Shift(alu, rd, imm)
+		if !ok {
+			return false
+		}
+		a.raw(b)
+		return true
+	case op == ir.OpAdd || op == ir.OpSub || op == ir.OpAnd || op == ir.OpOr || op == ir.OpXor:
+		alu, _ := aluOf(op)
+		if rd != ra {
+			m.mov(a, rd, ra)
+		}
+		b, ok := isa.X86ALUri(alu, rd, imm)
+		if !ok {
+			return false
+		}
+		a.raw(b)
+		return true
+	}
+	return false
+}
+
+func (x86Machine) dispFits(off int64) bool { return off >= -1<<31 && off < 1<<31 }
+
+func (x86Machine) load(a *asmBuf, size uint8, signed bool, rd, base isa.Reg, off int64) {
+	b, _ := isa.X86Load(size, signed, rd, base, off)
+	a.raw(b)
+}
+
+func (x86Machine) store(a *asmBuf, size uint8, rs, base isa.Reg, off int64) {
+	b, _ := isa.X86Store(size, rs, base, off)
+	a.raw(b)
+}
+
+func (m x86Machine) sel(a *asmBuf, rd, rc, rb, rcAlt isa.Reg) {
+	cmp, _ := isa.X86ALUri(isa.AluFlags, rc, 0)
+	a.raw(cmp)
+	if rd == rb {
+		cm, _ := isa.X86CMov(isa.CondFEQ, rd, rcAlt)
+		a.raw(cm)
+		return
+	}
+	if rd != rcAlt {
+		m.mov(a, rd, rcAlt)
+	}
+	cm, _ := isa.X86CMov(isa.CondFNE, rd, rb)
+	a.raw(cm)
+}
+
+func (x86Machine) brCmp(a *asmBuf, op ir.Op, ra, rb isa.Reg, target int) {
+	b, _ := isa.X86ALUrr(isa.AluFlags, ra, rb)
+	a.raw(b)
+	c := cmpCond(op)
+	a.fix(isa.X86JccSize, target, func(pc, dst uint64) ([]byte, bool) {
+		rel := int64(dst - (pc + uint64(isa.X86JccSize)))
+		if rel < -1<<31 || rel >= 1<<31 {
+			return nil, false
+		}
+		bb, ok := isa.X86Jcc(c, rel)
+		return bb, ok
+	})
+}
+
+func (m x86Machine) brNZ(a *asmBuf, ra isa.Reg, target int) {
+	cmp, _ := isa.X86ALUri(isa.AluFlags, ra, 0)
+	a.raw(cmp)
+	a.fix(isa.X86JccSize, target, func(pc, dst uint64) ([]byte, bool) {
+		rel := int64(dst - (pc + uint64(isa.X86JccSize)))
+		bb, ok := isa.X86Jcc(isa.CondFNE, rel)
+		return bb, ok
+	})
+}
+
+func (x86Machine) jmp(a *asmBuf, target int) {
+	a.fix(isa.X86JmpSize, target, func(pc, dst uint64) ([]byte, bool) {
+		rel := int64(dst - (pc + uint64(isa.X86JmpSize)))
+		if rel < -1<<31 || rel >= 1<<31 {
+			return nil, false
+		}
+		return isa.X86Jmp(rel), true
+	})
+}
+
+func (x86Machine) halt(a *asmBuf) { a.raw(isa.X86Halt()) }
+
+func (x86Machine) magic(a *asmBuf, sel int64) { a.raw(isa.X86Magic(byte(sel))) }
+
+func (x86Machine) wfi(a *asmBuf) { a.raw(isa.X86Magic(3)) }

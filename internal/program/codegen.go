@@ -1,0 +1,338 @@
+package program
+
+import (
+	"fmt"
+
+	"marvel/internal/isa"
+	"marvel/internal/mem"
+	"marvel/internal/program/ir"
+)
+
+// machine is the per-ISA instruction-selection backend. The shared driver
+// handles register allocation, spill staging through the three reserved
+// scratch registers, immediate materialization and branch layout; backends
+// only emit encodings.
+//
+// Scratch register convention: the driver stages spilled operand A in
+// scr[0], spilled operand B (or a materialized immediate) in scr[1], and
+// uses scr[2] for address arithmetic when a displacement does not fit the
+// ISA's encoding. Backends may clobber scr[2] inside op2/sel, and must not
+// touch scr[0]/scr[1] except as the operands they were passed.
+type machine interface {
+	arch() isa.Arch
+	spReg() isa.Reg
+	allocatable() []isa.Reg
+	scratch() [3]isa.Reg
+
+	movImm(a *asmBuf, rd isa.Reg, v int64)
+	mov(a *asmBuf, rd, rs isa.Reg)
+	// op2 emits rd = ra OP rb for any binary IR op including compares.
+	op2(a *asmBuf, op ir.Op, rd, ra, rb isa.Reg)
+	// op2imm emits rd = ra OP imm when the ISA encodes it; false otherwise.
+	op2imm(a *asmBuf, op ir.Op, rd, ra isa.Reg, imm int64) bool
+	// dispFits reports whether a load/store displacement is encodable.
+	dispFits(off int64) bool
+	load(a *asmBuf, size uint8, signed bool, rd, base isa.Reg, off int64)
+	store(a *asmBuf, size uint8, rs, base isa.Reg, off int64)
+	// sel emits rd = (rc != 0) ? rb : rcAlt.
+	sel(a *asmBuf, rd, rc, rb, rcAlt isa.Reg)
+	// brCmp emits a fused compare-and-branch to target for a compare op.
+	brCmp(a *asmBuf, op ir.Op, ra, rb isa.Reg, target int)
+	// brNZ branches to target when ra != 0.
+	brNZ(a *asmBuf, ra isa.Reg, target int)
+	jmp(a *asmBuf, target int)
+	halt(a *asmBuf)
+	magic(a *asmBuf, sel int64)
+	wfi(a *asmBuf)
+}
+
+func machineFor(a isa.Arch) (machine, error) {
+	switch a.Name() {
+	case "riscv":
+		return rvMachine{}, nil
+	case "arm":
+		return armMachine{}, nil
+	case "x86":
+		return x86Machine{}, nil
+	}
+	return nil, fmt.Errorf("program: no backend for %q", a.Name())
+}
+
+// Image is a compiled, loadable workload.
+type Image struct {
+	Arch      isa.Arch
+	Prog      *ir.Program
+	Code      []byte
+	Entry     uint64
+	InitialSP uint64
+	SPReg     isa.Reg
+}
+
+// Compile lowers p to machine code for the given ISA.
+func Compile(a isa.Arch, p *ir.Program) (*Image, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := machineFor(a)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := allocate(p, m.allocatable())
+	if err != nil {
+		return nil, err
+	}
+	g := &gen{m: m, p: p, alloc: alloc, scr: m.scratch(), sp: m.spReg(), a: &asmBuf{}}
+	if err := g.run(); err != nil {
+		return nil, err
+	}
+	code, err := g.a.assemble(p.CodeBase)
+	if err != nil {
+		return nil, err
+	}
+	if p.CodeBase+uint64(len(code)) > uint64(p.MemSize) {
+		return nil, fmt.Errorf("program: %s code (%d bytes) overflows memory", p.Name, len(code))
+	}
+	sp := (p.StackTop - uint64(alloc.FrameSize)) &^ 15
+	return &Image{
+		Arch:      a,
+		Prog:      p,
+		Code:      code,
+		Entry:     p.CodeBase,
+		InitialSP: sp,
+		SPReg:     m.spReg(),
+	}, nil
+}
+
+// LoadInto writes the image's code and data segments into main memory.
+func (im *Image) LoadInto(memory *mem.Memory) error {
+	if err := memory.Write(im.Entry, im.Code); err != nil {
+		return fmt.Errorf("program: loading code: %w", err)
+	}
+	for _, s := range im.Prog.Data {
+		if err := memory.Write(s.Base, s.Bytes); err != nil {
+			return fmt.Errorf("program: loading data at %#x: %w", s.Base, err)
+		}
+	}
+	return nil
+}
+
+type gen struct {
+	m     machine
+	p     *ir.Program
+	alloc *Alloc
+	scr   [3]isa.Reg
+	sp    isa.Reg
+	a     *asmBuf
+}
+
+// use stages a value into a register: its allocated register, or the given
+// scratch filled from the spill slot.
+func (g *gen) use(v ir.Val, scratch isa.Reg) isa.Reg {
+	if r := g.alloc.Reg[v]; r != isa.NoReg {
+		return r
+	}
+	g.ldst(true, 8, false, scratch, g.sp, g.alloc.SlotOff(v))
+	return scratch
+}
+
+// dst returns the register a result should be computed into.
+func (g *gen) dst(v ir.Val, scratch isa.Reg) isa.Reg {
+	if r := g.alloc.Reg[v]; r != isa.NoReg {
+		return r
+	}
+	return scratch
+}
+
+// finishDst spills the computed result when v lives on the stack.
+func (g *gen) finishDst(v ir.Val, r isa.Reg) {
+	if g.alloc.Reg[v] == isa.NoReg {
+		g.ldst(false, 8, false, r, g.sp, g.alloc.SlotOff(v))
+	}
+}
+
+// ldst emits a load/store, synthesizing the address in scr[2] when the
+// displacement does not fit the ISA encoding.
+func (g *gen) ldst(isLoad bool, size uint8, signed bool, r, base isa.Reg, off int64) {
+	if g.m.dispFits(off) {
+		if isLoad {
+			g.m.load(g.a, size, signed, r, base, off)
+		} else {
+			g.m.store(g.a, size, r, base, off)
+		}
+		return
+	}
+	g.m.movImm(g.a, g.scr[2], off)
+	g.m.op2(g.a, ir.OpAdd, g.scr[2], base, g.scr[2])
+	if isLoad {
+		g.m.load(g.a, size, signed, r, g.scr[2], 0)
+	} else {
+		g.m.store(g.a, size, r, g.scr[2], 0)
+	}
+}
+
+func (g *gen) run() error {
+	for bi := range g.p.Blocks {
+		g.a.mark(bi)
+		blk := &g.p.Blocks[bi]
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			if g.alloc.FusedAt(bi, ii) {
+				continue
+			}
+			if err := g.instr(bi, ii, in); err != nil {
+				return fmt.Errorf("program: %s block %d instr %d (%s): %w",
+					g.p.Name, bi, ii, in.Op, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gen) instr(bi, ii int, in *ir.Instr) error {
+	m, a := g.m, g.a
+	next := bi + 1
+	switch in.Op {
+	case ir.OpConst:
+		rd := g.dst(in.Dst, g.scr[0])
+		m.movImm(a, rd, in.Imm)
+		g.finishDst(in.Dst, rd)
+	case ir.OpMov:
+		ra := g.use(in.A, g.scr[0])
+		rd := g.dst(in.Dst, g.scr[0])
+		if rd != ra {
+			m.mov(a, rd, ra)
+		}
+		g.finishDst(in.Dst, rd)
+	case ir.OpSelect:
+		rc := g.use(in.A, g.scr[0])
+		rb := g.use(in.B, g.scr[1])
+		rAlt := g.use(in.C, g.scr[2])
+		rd := g.dst(in.Dst, g.scr[0])
+		m.sel(a, rd, rc, rb, rAlt)
+		g.finishDst(in.Dst, rd)
+	case ir.OpLoad:
+		base := g.use(in.A, g.scr[0])
+		rd := g.dst(in.Dst, g.scr[0])
+		g.ldst(true, in.Size, in.Signed, rd, base, in.Imm)
+		g.finishDst(in.Dst, rd)
+	case ir.OpStore:
+		base := g.use(in.A, g.scr[0])
+		val := g.use(in.B, g.scr[1])
+		g.ldst(false, in.Size, false, val, base, in.Imm)
+	case ir.OpBr:
+		if in.Then != next {
+			m.jmp(a, in.Then)
+		}
+	case ir.OpBrIf:
+		if fc, ok := g.fusedCmpBefore(bi, ii); ok {
+			g.fusedBranch(fc, in, next)
+			return nil
+		}
+		ra := g.use(in.A, g.scr[0])
+		m.brNZ(a, ra, in.Then)
+		if in.Else != next {
+			m.jmp(a, in.Else)
+		}
+	case ir.OpHalt:
+		m.halt(a)
+	case ir.OpCheckpoint:
+		m.magic(a, isa.MagicCheckpoint)
+	case ir.OpSwitchCPU:
+		m.magic(a, isa.MagicSwitchCPU)
+	case ir.OpWFI:
+		m.wfi(a)
+	default: // binary operations
+		ra := g.use(in.A, g.scr[0])
+		rd := g.dst(in.Dst, g.scr[0])
+		if in.B == ir.NoVal {
+			if !m.op2imm(a, in.Op, rd, ra, in.Imm) {
+				m.movImm(a, g.scr[1], in.Imm)
+				m.op2(a, in.Op, rd, ra, g.scr[1])
+			}
+		} else {
+			rb := g.use(in.B, g.scr[1])
+			m.op2(a, in.Op, rd, ra, rb)
+		}
+		g.finishDst(in.Dst, rd)
+	}
+	return nil
+}
+
+func (g *gen) fusedCmpBefore(bi, ii int) (*ir.Instr, bool) {
+	if ii > 0 && g.alloc.FusedAt(bi, ii-1) {
+		return &g.p.Blocks[bi].Instrs[ii-1], true
+	}
+	return nil, false
+}
+
+// fusedBranch lowers cmp+brif to a compare-and-branch pair.
+func (g *gen) fusedBranch(cmp *ir.Instr, br *ir.Instr, next int) {
+	ra := g.use(cmp.A, g.scr[0])
+	var rb isa.Reg
+	if cmp.B == ir.NoVal {
+		g.m.movImm(g.a, g.scr[1], cmp.Imm)
+		rb = g.scr[1]
+	} else {
+		rb = g.use(cmp.B, g.scr[1])
+	}
+	g.m.brCmp(g.a, cmp.Op, ra, rb, br.Then)
+	if br.Else != next {
+		g.m.jmp(g.a, br.Else)
+	}
+}
+
+// cmpCond maps an IR compare op to the flags-based condition used by the
+// ARM64L and X86L backends.
+func cmpCond(op ir.Op) isa.Cond {
+	switch op {
+	case ir.OpCmpEQ:
+		return isa.CondFEQ
+	case ir.OpCmpNE:
+		return isa.CondFNE
+	case ir.OpCmpLTS:
+		return isa.CondFLTS
+	case ir.OpCmpLES:
+		return isa.CondFLES
+	case ir.OpCmpLTU:
+		return isa.CondFLTU
+	case ir.OpCmpLEU:
+		return isa.CondFLEU
+	}
+	return isa.CondNone
+}
+
+// aluOf maps arithmetic IR ops to micro-op ALU selectors shared by the
+// backends (compares and select are handled specially per backend).
+func aluOf(op ir.Op) (isa.AluOp, bool) {
+	switch op {
+	case ir.OpAdd:
+		return isa.AluAdd, true
+	case ir.OpSub:
+		return isa.AluSub, true
+	case ir.OpMul:
+		return isa.AluMul, true
+	case ir.OpMulHU:
+		return isa.AluMulHU, true
+	case ir.OpDiv:
+		return isa.AluDiv, true
+	case ir.OpDivU:
+		return isa.AluDivU, true
+	case ir.OpRem:
+		return isa.AluRem, true
+	case ir.OpRemU:
+		return isa.AluRemU, true
+	case ir.OpAnd:
+		return isa.AluAnd, true
+	case ir.OpOr:
+		return isa.AluOr, true
+	case ir.OpXor:
+		return isa.AluXor, true
+	case ir.OpShl:
+		return isa.AluShl, true
+	case ir.OpShrL:
+		return isa.AluShrL, true
+	case ir.OpShrA:
+		return isa.AluShrA, true
+	}
+	return 0, false
+}

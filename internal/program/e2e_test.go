@@ -1,0 +1,368 @@
+package program_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"marvel/internal/config"
+	"marvel/internal/isa"
+	"marvel/internal/program"
+	"marvel/internal/program/ir"
+	"marvel/internal/soc"
+)
+
+const outBase = 0x20000
+
+// runOn compiles p for a and executes it on the full CPU model.
+func runOn(t *testing.T, a isa.Arch, p *ir.Program) soc.RunResult {
+	t.Helper()
+	img, err := program.Compile(a, p)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", a.Name(), err)
+	}
+	pre := config.Fast()
+	sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+	if err != nil {
+		t.Fatalf("%s: system: %v", a.Name(), err)
+	}
+	return sys.Run(20_000_000)
+}
+
+// checkAll runs p on the interpreter and all three ISAs and demands
+// identical output.
+func checkAll(t *testing.T, p *ir.Program) {
+	t.Helper()
+	want, err := ir.Interp(p, 0)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	for _, a := range isa.All() {
+		res := runOn(t, a, p)
+		if res.Status != soc.RunCompleted {
+			t.Fatalf("%s: %s run %v (trap %v) after %d cycles",
+				p.Name, a.Name(), res.Status, res.Trap, res.Cycles)
+		}
+		if !bytes.Equal(res.Output, want.Output) {
+			t.Fatalf("%s: %s output mismatch:\n got %x\nwant %x",
+				p.Name, a.Name(), res.Output, want.Output)
+		}
+	}
+}
+
+func out64(b *ir.Builder, slot int64, v ir.Val) {
+	base := b.Const(outBase)
+	b.Store(base, slot*8, v, 8)
+}
+
+func TestArithProgram(t *testing.T) {
+	b := ir.New("arith")
+	b.SetOutput(outBase, 13*8)
+	x := b.Const(1234567)
+	y := b.Const(-891)
+	out64(b, 0, b.Add(x, y))
+	out64(b, 1, b.Sub(x, y))
+	out64(b, 2, b.Mul(x, y))
+	out64(b, 3, b.Div(x, y))
+	out64(b, 4, b.Rem(x, y))
+	out64(b, 5, b.DivU(x, y))
+	out64(b, 6, b.RemU(x, y))
+	out64(b, 7, b.And(x, y))
+	out64(b, 8, b.Or(x, y))
+	out64(b, 9, b.Xor(x, y))
+	out64(b, 10, b.ShlI(x, 13))
+	out64(b, 11, b.ShrLI(y, 3))
+	out64(b, 12, b.ShrAI(y, 3))
+	b.Halt()
+	checkAll(t, b.MustProgram())
+}
+
+func TestCompareAndSelect(t *testing.T) {
+	b := ir.New("cmpsel")
+	b.SetOutput(outBase, 16*8)
+	x := b.Const(-5)
+	y := b.Const(7)
+	i := int64(0)
+	for _, op := range []ir.Op{ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLTS, ir.OpCmpLES, ir.OpCmpLTU, ir.OpCmpLEU} {
+		out64(b, i, b.Op2(op, ir.NoVal, x, y))
+		i++
+		out64(b, i, b.Op2(op, ir.NoVal, y, x))
+		i++
+	}
+	c := b.Op2(ir.OpCmpLTS, ir.NoVal, x, y)
+	out64(b, i, b.Select(c, x, y))
+	i++
+	c2 := b.Op2(ir.OpCmpLTS, ir.NoVal, y, x)
+	out64(b, i, b.Select(c2, x, y))
+	b.Halt()
+	checkAll(t, b.MustProgram())
+}
+
+func TestLoopSum(t *testing.T) {
+	b := ir.New("loopsum")
+	b.SetOutput(outBase, 8)
+	sum := b.Temp()
+	b.ConstTo(sum, 0)
+	b.LoopN(100, func(i ir.Val) {
+		sq := b.Mul(i, i)
+		b.Mov(sum, b.Add(sum, sq))
+	})
+	out64(b, 0, sum)
+	b.Halt()
+	checkAll(t, b.MustProgram())
+}
+
+func TestMemoryAndWidths(t *testing.T) {
+	b := ir.New("widths")
+	b.SetOutput(outBase, 8*8)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(0xE0 + i)
+	}
+	const dataAt = 0x30000
+	b.AddData(dataAt, data)
+	base := b.Const(dataAt)
+	out64(b, 0, b.Load(base, 0, 1, false))
+	out64(b, 1, b.Load(base, 1, 1, true))
+	out64(b, 2, b.Load(base, 2, 2, false))
+	out64(b, 3, b.Load(base, 2, 2, true))
+	out64(b, 4, b.Load(base, 4, 4, false))
+	out64(b, 5, b.Load(base, 4, 4, true))
+	out64(b, 6, b.Load(base, 8, 8, false))
+	// Byte store then wider read-back.
+	v := b.Const(0x7A)
+	b.Store(base, 32, v, 1)
+	out64(b, 7, b.Load(base, 32, 8, false))
+	b.Halt()
+	checkAll(t, b.MustProgram())
+}
+
+func TestSpillPressure(t *testing.T) {
+	// More live values than any ISA has registers forces spilling on all
+	// backends (x86 spills first at ~10 registers).
+	b := ir.New("spill")
+	b.SetOutput(outBase, 8)
+	vals := make([]ir.Val, 40)
+	for i := range vals {
+		vals[i] = b.Const(int64(i*i + 3))
+	}
+	sum := b.Const(0)
+	for _, v := range vals {
+		sum = b.Add(sum, v) // keeps every vals[i] live until used
+	}
+	// Use them all again in reverse so live ranges overlap heavily.
+	for i := len(vals) - 1; i >= 0; i-- {
+		sum = b.Op2(ir.OpXor, ir.NoVal, sum, vals[i])
+	}
+	out64(b, 0, sum)
+	b.Halt()
+	checkAll(t, b.MustProgram())
+}
+
+func TestBigConstants(t *testing.T) {
+	b := ir.New("bigconst")
+	b.SetOutput(outBase, 4*8)
+	out64(b, 0, b.Const(0x7FFFFFFFFFFFFFFF))
+	out64(b, 1, b.Const(-0x123456789ABCDEF0))
+	out64(b, 2, b.Const(0x00000000FFFFFFFF))
+	out64(b, 3, b.Const(0xFFFF0000))
+	b.Halt()
+	checkAll(t, b.MustProgram())
+}
+
+func TestNestedLoopsMatrix(t *testing.T) {
+	b := ir.New("matmul-small")
+	const n = 6
+	const aAt, bAt, cAt = 0x30000, 0x31000, outBase
+	rng := rand.New(rand.NewSource(3))
+	av := make([]byte, n*n*8)
+	bv := make([]byte, n*n*8)
+	rng.Read(av)
+	rng.Read(bv)
+	b.AddData(aAt, av)
+	b.AddData(bAt, bv)
+	b.SetOutput(outBase, n*n*8)
+	ab := b.Const(aAt)
+	bb := b.Const(bAt)
+	cb := b.Const(cAt)
+	b.LoopN(n, func(i ir.Val) {
+		b.LoopN(n, func(j ir.Val) {
+			acc := b.Temp()
+			b.ConstTo(acc, 0)
+			b.LoopN(n, func(k ir.Val) {
+				ai := b.Add(b.Mul(i, b.Const(n)), k)
+				bi := b.Add(b.Mul(k, b.Const(n)), j)
+				va := b.Load(b.Add(ab, b.ShlI(ai, 3)), 0, 8, false)
+				vb := b.Load(b.Add(bb, b.ShlI(bi, 3)), 0, 8, false)
+				b.Mov(acc, b.Add(acc, b.Mul(va, vb)))
+			})
+			ci := b.Add(b.Mul(i, b.Const(n)), j)
+			b.Store(b.Add(cb, b.ShlI(ci, 3)), 0, acc, 8)
+		})
+	})
+	b.Halt()
+	checkAll(t, b.MustProgram())
+}
+
+func TestDivByZeroBehaviour(t *testing.T) {
+	// RV64L/ARM64L define divide-by-zero (all-ones); X86L traps, so the
+	// same program crashes there — an ISA-differentiating behaviour.
+	b := ir.New("div0")
+	b.SetOutput(outBase, 8)
+	x := b.Const(42)
+	z := b.Const(0)
+	out64(b, 0, b.DivU(x, z))
+	b.Halt()
+	p := b.MustProgram()
+
+	for _, a := range []isa.Arch{isa.RV64L{}, isa.ARM64L{}} {
+		res := runOn(t, a, p)
+		if res.Status != soc.RunCompleted {
+			t.Fatalf("%s: div0 should complete, got %v", a.Name(), res.Status)
+		}
+		want := bytes.Repeat([]byte{0xFF}, 8)
+		if !bytes.Equal(res.Output, want) {
+			t.Fatalf("%s: div0 output %x", a.Name(), res.Output)
+		}
+	}
+	res := runOn(t, isa.X86L{}, p)
+	if res.Status != soc.RunCrashed {
+		t.Fatalf("x86: div0 should crash, got %v", res.Status)
+	}
+}
+
+func TestCheckpointWindowMarkers(t *testing.T) {
+	b := ir.New("window")
+	b.SetOutput(outBase, 8)
+	b.Checkpoint()
+	sum := b.Temp()
+	b.ConstTo(sum, 0)
+	b.LoopN(50, func(i ir.Val) {
+		b.Mov(sum, b.Add(sum, i))
+	})
+	b.SwitchCPU()
+	out64(b, 0, sum)
+	b.Halt()
+	p := b.MustProgram()
+
+	for _, a := range isa.All() {
+		img, err := program.Compile(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre := config.Fast()
+		sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run(1_000_000)
+		if res.Status != soc.RunCompleted {
+			t.Fatalf("%s: %v", a.Name(), res.Status)
+		}
+		lo, hi, ok := sys.HasWindow()
+		if !ok || hi <= lo {
+			t.Fatalf("%s: window markers missing: %d %d %v", a.Name(), lo, hi, ok)
+		}
+	}
+}
+
+func TestUnfusedBranchCondition(t *testing.T) {
+	// A comparison used twice cannot fuse; exercises materialized 0/1.
+	b := ir.New("unfused")
+	b.SetOutput(outBase, 2*8)
+	x := b.Const(3)
+	y := b.Const(9)
+	c := b.Op2(ir.OpCmpLTU, ir.NoVal, x, y)
+	then := b.NewBlock()
+	els := b.NewBlock()
+	join := b.NewBlock()
+	res := b.Temp()
+	b.BrIf(c, then, els)
+	b.SetBlock(then)
+	b.ConstTo(res, 111)
+	b.Br(join)
+	b.SetBlock(els)
+	b.ConstTo(res, 222)
+	b.Br(join)
+	b.SetBlock(join)
+	out64(b, 0, res)
+	out64(b, 1, c) // second use of the comparison value
+	b.Halt()
+	checkAll(t, b.MustProgram())
+}
+
+func TestStoreLoadForwardingPattern(t *testing.T) {
+	// Repeated store-then-load to the same address stresses the LQ/SQ
+	// forwarding path.
+	b := ir.New("fwd")
+	b.SetOutput(outBase, 8)
+	base := b.Const(0x30000)
+	acc := b.Temp()
+	b.ConstTo(acc, 1)
+	b.LoopN(64, func(i ir.Val) {
+		b.Store(base, 0, acc, 8)
+		v := b.Load(base, 0, 8, false)
+		b.Mov(acc, b.Add(v, i))
+	})
+	out64(b, 0, acc)
+	b.Halt()
+	checkAll(t, b.MustProgram())
+}
+
+func TestCodeDensityDiffersAcrossISAs(t *testing.T) {
+	// X86L variable-length code should be denser than the fixed 32-bit
+	// ISAs for the same program — the property behind the L1I studies.
+	b := ir.New("density")
+	b.SetOutput(outBase, 8)
+	s := b.Const(0)
+	b.LoopN(20, func(i ir.Val) {
+		b.Mov(s, b.Add(s, b.Mul(i, i)))
+	})
+	out64(b, 0, s)
+	b.Halt()
+	p := b.MustProgram()
+	sizes := map[string]int{}
+	for _, a := range isa.All() {
+		img, err := program.Compile(a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[a.Name()] = len(img.Code)
+	}
+	for n, s := range sizes {
+		if s == 0 {
+			t.Fatalf("%s: empty code", n)
+		}
+	}
+	t.Logf("code sizes: %v", sizes)
+}
+
+func TestCompileRejectsBrokenPrograms(t *testing.T) {
+	p := &ir.Program{Name: "broken", MemSize: 1 << 20}
+	if _, err := program.Compile(isa.RV64L{}, p); err == nil {
+		t.Fatal("empty program should fail validation")
+	}
+}
+
+func BenchmarkCompileRV(b *testing.B) {
+	p := benchProgram()
+	for i := 0; i < b.N; i++ {
+		if _, err := program.Compile(isa.RV64L{}, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchProgram() *ir.Program {
+	b := ir.New("bench")
+	b.SetOutput(outBase, 8)
+	s := b.Const(0)
+	b.LoopN(64, func(i ir.Val) {
+		b.Mov(s, b.Add(s, b.Mul(i, i)))
+	})
+	base := b.Const(outBase)
+	b.Store(base, 0, s, 8)
+	b.Halt()
+	return b.MustProgram()
+}
+

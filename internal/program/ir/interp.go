@@ -1,0 +1,216 @@
+package ir
+
+import "fmt"
+
+// InterpResult summarizes an interpreter run.
+type InterpResult struct {
+	Output     []byte // contents of the program's output region
+	DynInstrs  uint64 // dynamically executed IR instructions
+	MemImage   []byte // full final memory (for whole-image comparison)
+	Terminated bool
+}
+
+// InterpError reports a runtime fault during interpretation.
+type InterpError struct {
+	Block, Instr int
+	Msg          string
+}
+
+func (e *InterpError) Error() string {
+	return fmt.Sprintf("ir: runtime fault at block %d instr %d: %s", e.Block, e.Instr, e.Msg)
+}
+
+// Interp executes p to completion against a fresh memory image and returns
+// the output region. It is the semantic reference for the per-ISA code
+// generators: a compiled program run on the CPU model must produce exactly
+// the same output. maxInstrs bounds runaway programs (0 = default bound).
+func Interp(p *Program, maxInstrs uint64) (*InterpResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxInstrs == 0 {
+		maxInstrs = 200_000_000
+	}
+	memory := make([]byte, p.MemSize)
+	for _, s := range p.Data {
+		if int(s.Base)+len(s.Bytes) > len(memory) {
+			return nil, fmt.Errorf("ir: %s data segment at %#x overflows memory", p.Name, s.Base)
+		}
+		copy(memory[s.Base:], s.Bytes)
+	}
+	vals := make([]uint64, p.NumVals)
+	res := &InterpResult{}
+
+	bi := p.Entry
+	for {
+		blk := &p.Blocks[bi]
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			res.DynInstrs++
+			if res.DynInstrs > maxInstrs {
+				return nil, &InterpError{bi, ii, "instruction budget exhausted"}
+			}
+			switch in.Op {
+			case OpConst:
+				vals[in.Dst] = uint64(in.Imm)
+			case OpMov:
+				vals[in.Dst] = vals[in.A]
+			case OpSelect:
+				if vals[in.A] != 0 {
+					vals[in.Dst] = vals[in.B]
+				} else {
+					vals[in.Dst] = vals[in.C]
+				}
+			case OpLoad:
+				addr := vals[in.A] + uint64(in.Imm)
+				if addr+uint64(in.Size) > uint64(len(memory)) {
+					return nil, &InterpError{bi, ii, fmt.Sprintf("load at %#x out of range", addr)}
+				}
+				var v uint64
+				for k := 0; k < int(in.Size); k++ {
+					v |= uint64(memory[addr+uint64(k)]) << (8 * k)
+				}
+				vals[in.Dst] = extend(v, in.Size, in.Signed)
+			case OpStore:
+				addr := vals[in.A] + uint64(in.Imm)
+				if addr+uint64(in.Size) > uint64(len(memory)) {
+					return nil, &InterpError{bi, ii, fmt.Sprintf("store at %#x out of range", addr)}
+				}
+				v := vals[in.B]
+				for k := 0; k < int(in.Size); k++ {
+					memory[addr+uint64(k)] = byte(v >> (8 * k))
+				}
+			case OpBr:
+				bi = in.Then
+			case OpBrIf:
+				if vals[in.A] != 0 {
+					bi = in.Then
+				} else {
+					bi = in.Else
+				}
+			case OpHalt:
+				res.Terminated = true
+				res.MemImage = memory
+				if p.OutLen > 0 {
+					res.Output = append([]byte(nil), memory[p.OutBase:p.OutBase+uint64(p.OutLen)]...)
+				}
+				return res, nil
+			case OpCheckpoint, OpSwitchCPU, OpWFI:
+				// Simulator directives: no architectural effect here.
+			default:
+				a := vals[in.A]
+				var bv uint64
+				if in.B == NoVal {
+					bv = uint64(in.Imm)
+				} else {
+					bv = vals[in.B]
+				}
+				vals[in.Dst] = EvalBinary(in.Op, a, bv)
+			}
+		}
+	}
+}
+
+func extend(v uint64, size uint8, signed bool) uint64 {
+	switch size {
+	case 1:
+		if signed {
+			return uint64(int64(int8(v)))
+		}
+		return v & 0xFF
+	case 2:
+		if signed {
+			return uint64(int64(int16(v)))
+		}
+		return v & 0xFFFF
+	case 4:
+		if signed {
+			return uint64(int64(int32(v)))
+		}
+		return v & 0xFFFFFFFF
+	default:
+		return v
+	}
+}
+
+// EvalBinary computes a binary IR operation; shared with the accelerator
+// execution engine.
+func EvalBinary(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpMulHU:
+		return mulHU(a, b)
+	case OpDiv:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return a
+		}
+		return uint64(int64(a) / int64(b))
+	case OpDivU:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case OpRem:
+		if b == 0 {
+			return a
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case OpRemU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (b & 63)
+	case OpShrL:
+		return a >> (b & 63)
+	case OpShrA:
+		return uint64(int64(a) >> (b & 63))
+	case OpCmpEQ:
+		return b2u(a == b)
+	case OpCmpNE:
+		return b2u(a != b)
+	case OpCmpLTS:
+		return b2u(int64(a) < int64(b))
+	case OpCmpLES:
+		return b2u(int64(a) <= int64(b))
+	case OpCmpLTU:
+		return b2u(a < b)
+	case OpCmpLEU:
+		return b2u(a <= b)
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mulHU(a, b uint64) uint64 {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + aLo*bLo>>32
+	w1 := t&mask + aLo*bHi
+	return aHi*bHi + t>>32 + w1>>32
+}

@@ -1,0 +1,444 @@
+// Package ir defines the small integer intermediate representation that
+// marvel workloads are written in. An ir.Program plays two roles, mirroring
+// the paper's toolchain: it is compiled by internal/program's per-ISA code
+// generators into machine code for the CPU models (the MiBench-style
+// workloads), and it is executed directly by the internal/accel dataflow
+// engine (the gem5-SALAM role, where LLVM IR is the accelerator
+// description).
+//
+// The IR is deliberately simple: 64-bit integer values in an unbounded set
+// of mutable virtual registers, basic blocks ending in explicit
+// terminators, and byte-addressed loads and stores against the program's
+// data space.
+package ir
+
+import "fmt"
+
+// Val names a virtual register. Values are mutable (no SSA): loops assign
+// them repeatedly.
+type Val int32
+
+// NoVal marks an absent operand.
+const NoVal Val = -1
+
+// Op enumerates IR operations.
+type Op uint8
+
+// Operations. For binary operations, B == NoVal means the second operand is
+// the immediate Imm.
+const (
+	OpConst Op = iota // Dst = Imm
+	OpMov             // Dst = A
+	OpAdd
+	OpSub
+	OpMul
+	OpMulHU
+	OpDiv // signed
+	OpDivU
+	OpRem
+	OpRemU
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShrL
+	OpShrA
+	OpCmpEQ // Dst = (A == B)
+	OpCmpNE
+	OpCmpLTS
+	OpCmpLES
+	OpCmpLTU
+	OpCmpLEU
+	OpSelect     // Dst = A != 0 ? B : C
+	OpLoad       // Dst = mem[A + Imm] (Size bytes, Signed extension)
+	OpStore      // mem[A + Imm] = B (Size bytes)
+	OpBr         // terminator: goto Then
+	OpBrIf       // terminator: if A != 0 goto Then else Else
+	OpHalt       // terminator: end of program
+	OpCheckpoint // simulator directive: start of injection window
+	OpSwitchCPU  // simulator directive: end of injection window
+	OpWFI        // wait for interrupt (SoC driver programs)
+	opNum
+)
+
+// IsCmp reports whether op produces a 0/1 comparison result.
+func (o Op) IsCmp() bool { return o >= OpCmpEQ && o <= OpCmpLEU }
+
+// IsBinary reports whether op is a two-operand arithmetic/logic operation
+// (including comparisons).
+func (o Op) IsBinary() bool { return o >= OpAdd && o <= OpCmpLEU }
+
+// IsTerm reports whether op ends a basic block.
+func (o Op) IsTerm() bool { return o == OpBr || o == OpBrIf || o == OpHalt }
+
+func (o Op) String() string {
+	names := [...]string{
+		"const", "mov", "add", "sub", "mul", "mulhu", "div", "divu", "rem",
+		"remu", "and", "or", "xor", "shl", "shrl", "shra", "cmpeq", "cmpne",
+		"cmplts", "cmples", "cmpltu", "cmpleu", "select", "load", "store",
+		"br", "brif", "halt", "checkpoint", "switchcpu", "wfi",
+	}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op      Op
+	Dst     Val
+	A, B, C Val
+	Imm     int64
+	Size    uint8 // load/store width: 1, 2, 4, 8
+	Signed  bool  // sign-extending load
+	Then    int   // branch target block
+	Else    int   // fall-through block for OpBrIf
+}
+
+// Block is a basic block; the final instruction is its terminator.
+type Block struct {
+	Instrs []Instr
+}
+
+// Segment is an initialized data region of the program image.
+type Segment struct {
+	Base  uint64
+	Bytes []byte
+}
+
+// Program is a complete workload: code, initialized data, and the memory
+// layout the loader and output comparator need.
+type Program struct {
+	Name    string
+	Blocks  []Block
+	Entry   int
+	NumVals int
+
+	Data []Segment
+
+	MemSize  int    // total simulated main-memory size in bytes
+	CodeBase uint64 // where machine code is placed
+	StackTop uint64
+	OutBase  uint64 // program output region (SDC comparison)
+	OutLen   int
+}
+
+// Validate checks structural invariants: every block terminated, every
+// branch target in range, every operand defined.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("ir: %s has no blocks", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Blocks) {
+		return fmt.Errorf("ir: %s entry %d out of range", p.Name, p.Entry)
+	}
+	for bi, b := range p.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("ir: %s block %d empty", p.Name, bi)
+		}
+		for ii, in := range b.Instrs {
+			last := ii == len(b.Instrs)-1
+			if in.Op.IsTerm() != last {
+				return fmt.Errorf("ir: %s block %d instr %d: terminator placement", p.Name, bi, ii)
+			}
+			if in.Op >= opNum {
+				return fmt.Errorf("ir: %s block %d instr %d: bad op", p.Name, bi, ii)
+			}
+			for _, v := range [3]Val{in.A, in.B, in.C} {
+				if v != NoVal && (v < 0 || int(v) >= p.NumVals) {
+					return fmt.Errorf("ir: %s block %d instr %d: operand %d out of range", p.Name, bi, ii, v)
+				}
+			}
+			if in.Dst != NoVal && int(in.Dst) >= p.NumVals {
+				return fmt.Errorf("ir: %s block %d instr %d: dst out of range", p.Name, bi, ii)
+			}
+			switch in.Op {
+			case OpBr:
+				if in.Then < 0 || in.Then >= len(p.Blocks) {
+					return fmt.Errorf("ir: %s block %d: br target %d", p.Name, bi, in.Then)
+				}
+			case OpBrIf:
+				if in.Then < 0 || in.Then >= len(p.Blocks) || in.Else < 0 || in.Else >= len(p.Blocks) {
+					return fmt.Errorf("ir: %s block %d: brif targets %d/%d", p.Name, bi, in.Then, in.Else)
+				}
+			case OpLoad, OpStore:
+				switch in.Size {
+				case 1, 2, 4, 8:
+				default:
+					return fmt.Errorf("ir: %s block %d instr %d: size %d", p.Name, bi, ii, in.Size)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Builder constructs Programs. The zero Builder is not usable; call New.
+type Builder struct {
+	p   *Program
+	cur int
+}
+
+// New creates a builder with one entry block selected.
+func New(name string) *Builder {
+	b := &Builder{p: &Program{
+		Name:     name,
+		Blocks:   []Block{{}},
+		MemSize:  4 << 20,
+		CodeBase: 0x1000,
+	}}
+	return b
+}
+
+// Program finalizes and returns the program.
+func (b *Builder) Program() (*Program, error) {
+	if b.p.StackTop == 0 {
+		b.p.StackTop = uint64(b.p.MemSize) - 64
+	}
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustProgram is Program for tests and static workload definitions; it
+// panics on structural errors, which are programming bugs.
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SetOutput declares the program's output region for SDC comparison.
+func (b *Builder) SetOutput(base uint64, n int) {
+	b.p.OutBase, b.p.OutLen = base, n
+}
+
+// AddData registers an initialized data segment.
+func (b *Builder) AddData(base uint64, bytes []byte) {
+	b.p.Data = append(b.p.Data, Segment{Base: base, Bytes: append([]byte(nil), bytes...)})
+}
+
+// NewBlock appends an empty block and returns its id.
+func (b *Builder) NewBlock() int {
+	b.p.Blocks = append(b.p.Blocks, Block{})
+	return len(b.p.Blocks) - 1
+}
+
+// SetBlock selects the block subsequent instructions append to.
+func (b *Builder) SetBlock(id int) { b.cur = id }
+
+// CurBlock returns the selected block id.
+func (b *Builder) CurBlock() int { return b.cur }
+
+// Temp allocates a fresh virtual register.
+func (b *Builder) Temp() Val {
+	v := Val(b.p.NumVals)
+	b.p.NumVals++
+	return v
+}
+
+func (b *Builder) emit(i Instr) {
+	blk := &b.p.Blocks[b.cur]
+	blk.Instrs = append(blk.Instrs, i)
+}
+
+func (b *Builder) emitDst(i Instr) Val {
+	if i.Dst == NoVal {
+		i.Dst = b.Temp()
+	}
+	b.emit(i)
+	return i.Dst
+}
+
+// Const materializes an immediate into a fresh value.
+func (b *Builder) Const(v int64) Val {
+	return b.emitDst(Instr{Op: OpConst, Dst: NoVal, A: NoVal, B: NoVal, C: NoVal, Imm: v})
+}
+
+// ConstTo materializes an immediate into dst.
+func (b *Builder) ConstTo(dst Val, v int64) {
+	b.emit(Instr{Op: OpConst, Dst: dst, A: NoVal, B: NoVal, C: NoVal, Imm: v})
+}
+
+// Mov copies src into dst (loop-variable update).
+func (b *Builder) Mov(dst, src Val) {
+	b.emit(Instr{Op: OpMov, Dst: dst, A: src, B: NoVal, C: NoVal})
+}
+
+// Op2 emits a binary operation into dst (fresh value when dst == NoVal).
+func (b *Builder) Op2(op Op, dst, x, y Val) Val {
+	return b.emitDst(Instr{Op: op, Dst: dst, A: x, B: y, C: NoVal})
+}
+
+// Op2I emits a binary operation with an immediate right operand.
+func (b *Builder) Op2I(op Op, dst, x Val, imm int64) Val {
+	return b.emitDst(Instr{Op: op, Dst: dst, A: x, B: NoVal, C: NoVal, Imm: imm})
+}
+
+// Convenience binary helpers (fresh destination).
+
+// Add returns x + y.
+func (b *Builder) Add(x, y Val) Val { return b.Op2(OpAdd, NoVal, x, y) }
+
+// AddI returns x + imm.
+func (b *Builder) AddI(x Val, imm int64) Val { return b.Op2I(OpAdd, NoVal, x, imm) }
+
+// Sub returns x - y.
+func (b *Builder) Sub(x, y Val) Val { return b.Op2(OpSub, NoVal, x, y) }
+
+// Mul returns x * y.
+func (b *Builder) Mul(x, y Val) Val { return b.Op2(OpMul, NoVal, x, y) }
+
+// Div returns the signed quotient x / y.
+func (b *Builder) Div(x, y Val) Val { return b.Op2(OpDiv, NoVal, x, y) }
+
+// DivU returns the unsigned quotient x / y.
+func (b *Builder) DivU(x, y Val) Val { return b.Op2(OpDivU, NoVal, x, y) }
+
+// Rem returns the signed remainder.
+func (b *Builder) Rem(x, y Val) Val { return b.Op2(OpRem, NoVal, x, y) }
+
+// RemU returns the unsigned remainder.
+func (b *Builder) RemU(x, y Val) Val { return b.Op2(OpRemU, NoVal, x, y) }
+
+// And returns x & y.
+func (b *Builder) And(x, y Val) Val { return b.Op2(OpAnd, NoVal, x, y) }
+
+// AndI returns x & imm.
+func (b *Builder) AndI(x Val, imm int64) Val { return b.Op2I(OpAnd, NoVal, x, imm) }
+
+// Or returns x | y.
+func (b *Builder) Or(x, y Val) Val { return b.Op2(OpOr, NoVal, x, y) }
+
+// Xor returns x ^ y.
+func (b *Builder) Xor(x, y Val) Val { return b.Op2(OpXor, NoVal, x, y) }
+
+// XorI returns x ^ imm.
+func (b *Builder) XorI(x Val, imm int64) Val { return b.Op2I(OpXor, NoVal, x, imm) }
+
+// ShlI returns x << imm.
+func (b *Builder) ShlI(x Val, imm int64) Val { return b.Op2I(OpShl, NoVal, x, imm) }
+
+// ShrLI returns x >> imm (logical).
+func (b *Builder) ShrLI(x Val, imm int64) Val { return b.Op2I(OpShrL, NoVal, x, imm) }
+
+// ShrAI returns x >> imm (arithmetic).
+func (b *Builder) ShrAI(x Val, imm int64) Val { return b.Op2I(OpShrA, NoVal, x, imm) }
+
+// Select returns cond != 0 ? x : y.
+func (b *Builder) Select(cond, x, y Val) Val {
+	return b.emitDst(Instr{Op: OpSelect, Dst: NoVal, A: cond, B: x, C: y})
+}
+
+// Load reads Size bytes at base+off.
+func (b *Builder) Load(base Val, off int64, size uint8, signed bool) Val {
+	return b.emitDst(Instr{Op: OpLoad, Dst: NoVal, A: base, B: NoVal, C: NoVal, Imm: off, Size: size, Signed: signed})
+}
+
+// LoadTo reads into dst.
+func (b *Builder) LoadTo(dst, base Val, off int64, size uint8, signed bool) {
+	b.emit(Instr{Op: OpLoad, Dst: dst, A: base, B: NoVal, C: NoVal, Imm: off, Size: size, Signed: signed})
+}
+
+// Store writes Size bytes of val at base+off.
+func (b *Builder) Store(base Val, off int64, val Val, size uint8) {
+	b.emit(Instr{Op: OpStore, Dst: NoVal, A: base, B: val, C: NoVal, Imm: off, Size: size})
+}
+
+// Br ends the block with an unconditional branch.
+func (b *Builder) Br(target int) {
+	b.emit(Instr{Op: OpBr, Dst: NoVal, A: NoVal, B: NoVal, C: NoVal, Then: target})
+}
+
+// BrIf ends the block: if cond != 0 goto then else goto els.
+func (b *Builder) BrIf(cond Val, then, els int) {
+	b.emit(Instr{Op: OpBrIf, Dst: NoVal, A: cond, B: NoVal, C: NoVal, Then: then, Else: els})
+}
+
+// Halt ends the program.
+func (b *Builder) Halt() {
+	b.emit(Instr{Op: OpHalt, Dst: NoVal, A: NoVal, B: NoVal, C: NoVal})
+}
+
+// WFI emits a wait-for-interrupt: the core sleeps until an external
+// interrupt (e.g. an accelerator completion) is pending.
+func (b *Builder) WFI() {
+	b.emit(Instr{Op: OpWFI, Dst: NoVal, A: NoVal, B: NoVal, C: NoVal})
+}
+
+// Checkpoint marks the start of the fault-injection window (m5_checkpoint).
+func (b *Builder) Checkpoint() {
+	b.emit(Instr{Op: OpCheckpoint, Dst: NoVal, A: NoVal, B: NoVal, C: NoVal})
+}
+
+// SwitchCPU marks the end of the fault-injection window (m5_switch_cpu).
+func (b *Builder) SwitchCPU() {
+	b.emit(Instr{Op: OpSwitchCPU, Dst: NoVal, A: NoVal, B: NoVal, C: NoVal})
+}
+
+// Loop emits a counted loop: body(i) runs for i = 0 .. n-1. The index value
+// is allocated by the builder; after Loop returns the builder is positioned
+// in the exit block.
+func (b *Builder) Loop(n Val, body func(i Val)) {
+	i := b.Temp()
+	b.ConstTo(i, 0)
+	head := b.NewBlock()
+	bodyB := b.NewBlock()
+	exit := b.NewBlock()
+	b.Br(head)
+	b.SetBlock(head)
+	c := b.Op2(OpCmpLTS, NoVal, i, n)
+	b.BrIf(c, bodyB, exit)
+	b.SetBlock(bodyB)
+	body(i)
+	next := b.Op2I(OpAdd, NoVal, i, 1)
+	b.Mov(i, next)
+	b.Br(head)
+	b.SetBlock(exit)
+}
+
+// LoopN is Loop with a constant trip count.
+func (b *Builder) LoopN(n int64, body func(i Val)) {
+	b.Loop(b.Const(n), body)
+}
+
+// While emits a while loop: cond() is evaluated in a fresh header block and
+// body() runs while it is non-zero. The builder ends in the exit block.
+func (b *Builder) While(cond func() Val, body func()) {
+	head := b.NewBlock()
+	bodyB := b.NewBlock()
+	exit := b.NewBlock()
+	b.Br(head)
+	b.SetBlock(head)
+	c := cond()
+	b.BrIf(c, bodyB, exit)
+	b.SetBlock(bodyB)
+	body()
+	b.Br(head)
+	b.SetBlock(exit)
+}
+
+// If emits a conditional: then() when cond != 0, otherwise els() (which may
+// be nil). The builder ends in the join block.
+func (b *Builder) If(cond Val, then func(), els func()) {
+	thenB := b.NewBlock()
+	join := b.NewBlock()
+	elsB := join
+	if els != nil {
+		elsB = b.NewBlock()
+	}
+	b.BrIf(cond, thenB, elsB)
+	b.SetBlock(thenB)
+	then()
+	b.Br(join)
+	if els != nil {
+		b.SetBlock(elsB)
+		els()
+		b.Br(join)
+	}
+	b.SetBlock(join)
+}

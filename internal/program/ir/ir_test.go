@@ -1,0 +1,238 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderProducesValidPrograms(t *testing.T) {
+	b := New("t")
+	b.SetOutput(0x1000, 8)
+	x := b.Const(4)
+	y := b.Const(5)
+	b.Store(b.Const(0x1000), 0, b.Add(x, y), 8)
+	b.Halt()
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumVals == 0 || len(p.Blocks) == 0 {
+		t.Fatal("empty program")
+	}
+}
+
+func TestValidateCatchesBrokenTerminators(t *testing.T) {
+	p := &Program{
+		Name:    "bad",
+		Blocks:  []Block{{Instrs: []Instr{{Op: OpConst, Dst: 0, A: NoVal, B: NoVal, C: NoVal}}}},
+		NumVals: 1,
+		MemSize: 1 << 20,
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("unterminated block should fail")
+	}
+	p.Blocks[0].Instrs = append(p.Blocks[0].Instrs,
+		Instr{Op: OpBr, Then: 99, A: NoVal, B: NoVal, C: NoVal, Dst: NoVal})
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range branch target should fail")
+	}
+}
+
+func TestValidateCatchesBadOperands(t *testing.T) {
+	b := New("t")
+	blk := &b.p.Blocks[0]
+	blk.Instrs = append(blk.Instrs,
+		Instr{Op: OpAdd, Dst: 0, A: 55, B: NoVal, C: NoVal}, // A out of range
+		Instr{Op: OpHalt, Dst: NoVal, A: NoVal, B: NoVal, C: NoVal})
+	b.p.NumVals = 1
+	if err := b.p.Validate(); err == nil {
+		t.Fatal("operand out of range should fail")
+	}
+}
+
+func TestInterpSimple(t *testing.T) {
+	b := New("t")
+	b.SetOutput(0x100, 8)
+	s := b.Temp()
+	b.ConstTo(s, 0)
+	b.LoopN(10, func(i Val) {
+		b.Mov(s, b.Add(s, i))
+	})
+	b.Store(b.Const(0x100), 0, s, 8)
+	b.Halt()
+	res, err := Interp(b.MustProgram(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 45 {
+		t.Fatalf("sum = %d, want 45", res.Output[0])
+	}
+	if res.DynInstrs == 0 {
+		t.Fatal("no dynamic instruction count")
+	}
+}
+
+func TestInterpDetectsOutOfRange(t *testing.T) {
+	b := New("t")
+	base := b.Const(1 << 40)
+	b.Store(base, 0, b.Const(1), 8)
+	b.Halt()
+	if _, err := Interp(b.MustProgram(), 0); err == nil {
+		t.Fatal("out-of-range store should fail")
+	}
+}
+
+func TestInterpInstructionBudget(t *testing.T) {
+	b := New("t")
+	loop := b.NewBlock()
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop) // infinite loop
+	if _, err := Interp(b.MustProgram(), 1000); err == nil {
+		t.Fatal("infinite loop should exhaust budget")
+	}
+}
+
+func TestWhileAndIfHelpers(t *testing.T) {
+	b := New("t")
+	b.SetOutput(0x100, 16)
+	n := b.Temp()
+	b.ConstTo(n, 0)
+	i := b.Temp()
+	b.ConstTo(i, 10)
+	b.While(func() Val { return b.Op2I(OpCmpNE, NoVal, i, 0) }, func() {
+		b.Mov(i, b.Op2I(OpSub, NoVal, i, 1))
+		b.Mov(n, b.AddI(n, 2))
+	})
+	out := b.Const(0x100)
+	b.Store(out, 0, n, 8)
+	c := b.Op2I(OpCmpEQ, NoVal, n, 20)
+	r := b.Temp()
+	b.If(c, func() { b.ConstTo(r, 1) }, func() { b.ConstTo(r, 2) })
+	b.Store(out, 8, r, 8)
+	b.Halt()
+	res, err := Interp(b.MustProgram(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 20 || res.Output[8] != 1 {
+		t.Fatalf("while/if: %v", res.Output)
+	}
+}
+
+func TestEvalBinaryMatchesGo(t *testing.T) {
+	f := func(a, b uint64) bool {
+		checks := []struct {
+			op   Op
+			want uint64
+		}{
+			{OpAdd, a + b},
+			{OpSub, a - b},
+			{OpMul, a * b},
+			{OpAnd, a & b},
+			{OpOr, a | b},
+			{OpXor, a ^ b},
+			{OpShl, a << (b & 63)},
+			{OpShrL, a >> (b & 63)},
+			{OpShrA, uint64(int64(a) >> (b & 63))},
+		}
+		for _, c := range checks {
+			if EvalBinary(c.op, a, b) != c.want {
+				return false
+			}
+		}
+		if b != 0 {
+			if EvalBinary(OpDivU, a, b) != a/b {
+				return false
+			}
+			if EvalBinary(OpRemU, a, b) != a%b {
+				return false
+			}
+		}
+		cmp := []struct {
+			op   Op
+			want bool
+		}{
+			{OpCmpEQ, a == b},
+			{OpCmpNE, a != b},
+			{OpCmpLTS, int64(a) < int64(b)},
+			{OpCmpLES, int64(a) <= int64(b)},
+			{OpCmpLTU, a < b},
+			{OpCmpLEU, a <= b},
+		}
+		for _, c := range cmp {
+			got := EvalBinary(c.op, a, b)
+			if (got == 1) != c.want || got > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulHU(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0},
+		{1 << 63, 2, 1},
+		{^uint64(0), ^uint64(0), ^uint64(0) - 1},
+		{0xFFFFFFFF, 0xFFFFFFFF, 0},
+		{1 << 32, 1 << 32, 1},
+	}
+	for _, c := range cases {
+		if got := EvalBinary(OpMulHU, c.a, c.b); got != c.want {
+			t.Errorf("mulhu(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpStringsAndPredicates(t *testing.T) {
+	for o := OpConst; o < opNum; o++ {
+		if o.String() == "" {
+			t.Fatalf("op %d has no name", o)
+		}
+	}
+	if !OpCmpEQ.IsCmp() || OpAdd.IsCmp() {
+		t.Error("IsCmp wrong")
+	}
+	if !OpBr.IsTerm() || OpAdd.IsTerm() {
+		t.Error("IsTerm wrong")
+	}
+	if !OpAdd.IsBinary() || OpLoad.IsBinary() {
+		t.Error("IsBinary wrong")
+	}
+}
+
+func TestSignedLoadsInInterp(t *testing.T) {
+	b := New("t")
+	b.AddData(0x200, []byte{0xFF, 0x80, 0x00, 0x80, 0xFF, 0xFF, 0xFF, 0xFF})
+	b.SetOutput(0x100, 24)
+	base := b.Const(0x200)
+	out := b.Const(0x100)
+	b.Store(out, 0, b.Load(base, 0, 1, true), 8)  // -1
+	b.Store(out, 8, b.Load(base, 0, 1, false), 8) // 255
+	b.Store(out, 16, b.Load(base, 2, 2, true), 8) // 0x8000 sign-extended
+	b.Halt()
+	res, err := Interp(b.MustProgram(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(i int) uint64 {
+		var v uint64
+		for k := 0; k < 8; k++ {
+			v |= uint64(res.Output[i*8+k]) << (8 * k)
+		}
+		return v
+	}
+	if get(0) != ^uint64(0) {
+		t.Errorf("signed byte load: %#x", get(0))
+	}
+	if get(1) != 255 {
+		t.Errorf("unsigned byte load: %d", get(1))
+	}
+	if get(2) != ^uint64(0x7FFF) {
+		t.Errorf("signed halfword load: %#x", get(2))
+	}
+}

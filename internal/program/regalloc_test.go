@@ -1,0 +1,44 @@
+package program
+
+import (
+	"testing"
+
+	"marvel/internal/isa"
+	"marvel/internal/program/ir"
+)
+
+func TestRegallocIntervalsSanity(t *testing.T) {
+	b := ir.New("ra")
+	b.SetOutput(0x20000, 8)
+	s := b.Const(0)
+	b.LoopN(10, func(i ir.Val) {
+		b.Mov(s, b.Add(s, i))
+	})
+	b.Store(b.Const(0x20000), 0, s, 8)
+	b.Halt()
+	p := b.MustProgram()
+	for _, m := range []machine{rvMachine{}, armMachine{}, x86Machine{}} {
+		alloc, err := allocate(p, m.allocatable())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[isa.Reg]bool{}
+		for _, r := range m.allocatable() {
+			if seen[r] {
+				t.Fatalf("%s: duplicate allocatable reg %d", m.arch().Name(), r)
+			}
+			seen[r] = true
+			for _, s := range m.scratch() {
+				if r == s {
+					t.Fatalf("%s: scratch %d is allocatable", m.arch().Name(), s)
+				}
+			}
+			if r == m.spReg() {
+				t.Fatalf("%s: sp is allocatable", m.arch().Name())
+			}
+		}
+		if alloc.FrameSize%16 != 0 {
+			t.Fatalf("frame size %d not aligned", alloc.FrameSize)
+		}
+	}
+}

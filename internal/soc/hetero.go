@@ -1,0 +1,83 @@
+package soc
+
+import (
+	"fmt"
+
+	"marvel/internal/accel"
+	"marvel/internal/program/ir"
+)
+
+// AttachCluster maps an accelerator cluster's MMRs at the MMIO base, routes
+// its DMA engine at main memory, and wires its completion line through the
+// system's interrupt controller (GIC or PLIC depending on the ISA) — the
+// heterogeneous SoC of the paper's Figure 1.
+func (s *System) AttachCluster(c *accel.Cluster) error {
+	if err := s.Bus.Map(MMIOBase, MMIOBase+accel.MMRBytes, c); err != nil {
+		return err
+	}
+	s.AddDevice(c)
+	return nil
+}
+
+// hostBufBase is where DriverProgram relocates the task's host buffers so
+// they never collide with the driver's code or data.
+const hostBufBase = 0x100000
+
+// RelocateTask rewrites a standalone task's host-buffer addresses into the
+// driver program's address space.
+func RelocateTask(task accel.Task) accel.Task {
+	out := task
+	out.Bufs = append([]accel.HostBuf(nil), task.Bufs...)
+	for i := range out.Bufs {
+		out.Bufs[i].Addr = hostBufBase + uint64(i)*0x10000
+	}
+	return out
+}
+
+// DriverProgram builds the host-side program that drives an accelerator
+// task end to end: it loads the input buffers into memory, writes the
+// buffer addresses into the accelerator's argument MMRs, sets the start
+// bit, sleeps in WFI until the completion interrupt, then copies the
+// accelerator's output into the program output region so SDC comparison
+// covers the whole heterogeneous flow.
+//
+// The task must already be relocated with RelocateTask.
+func DriverProgram(task accel.Task) (*ir.Program, error) {
+	b := ir.New("accel-driver")
+	outBuf := task.Bufs[task.OutArg]
+	for _, buf := range task.Bufs {
+		if buf.Init != nil {
+			b.AddData(buf.Addr, buf.Init)
+		}
+	}
+	const progOut = 0x20000
+	if uint64(outBuf.Len) > hostBufBase-progOut {
+		return nil, fmt.Errorf("soc: output buffer too large for driver layout")
+	}
+	b.SetOutput(progOut, outBuf.Len)
+	b.Checkpoint()
+
+	mmr := b.Const(MMIOBase)
+	for _, buf := range task.Bufs {
+		b.Store(mmr, int64(accel.MMRArg0+8*buf.Arg), b.Const(int64(buf.Addr)), 8)
+	}
+	b.Store(mmr, accel.MMRCtrl, b.Const(accel.CtrlStart|accel.CtrlIE), 8)
+	b.WFI()
+
+	// Copy the DMA'd output through the CPU's data cache into the
+	// program output region.
+	src := b.Const(int64(outBuf.Addr))
+	dst := b.Const(progOut)
+	b.LoopN(int64(outBuf.Len/8), func(i ir.Val) {
+		off := b.ShlI(i, 3)
+		v := b.Load(b.Add(src, off), 0, 8, false)
+		b.Store(b.Add(dst, off), 0, v, 8)
+	})
+	for r := int64(outBuf.Len &^ 7); r < int64(outBuf.Len); r++ {
+		v := b.Load(src, r, 1, false)
+		b.Store(dst, r, v, 1)
+	}
+	b.SwitchCPU()
+	b.Halt()
+	return b.Program()
+}

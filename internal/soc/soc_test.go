@@ -1,0 +1,200 @@
+package soc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"marvel/internal/accel"
+	"marvel/internal/config"
+	"marvel/internal/isa"
+	"marvel/internal/machsuite"
+	"marvel/internal/program"
+	"marvel/internal/program/ir"
+	"marvel/internal/soc"
+)
+
+// TestHeterogeneousSoCRunsGemm drives the gemm accelerator from a CPU
+// program through MMRs, DMA and the completion interrupt, for each ISA
+// (exercising the GIC on Arm/x86 and the PLIC on RISC-V, the paper's
+// §III-C port).
+func TestHeterogeneousSoCRunsGemm(t *testing.T) {
+	spec, err := machsuite.ByName("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.Ref()
+	for _, a := range isa.All() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			task := soc.RelocateTask(spec.Task)
+			prog, err := soc.DriverProgram(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := program.Compile(a, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre := config.TableII()
+			sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl, err := accel.NewCluster(spec.Design, accel.MemHostPort{Mem: sys.Mem})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.AttachCluster(cl); err != nil {
+				t.Fatal(err)
+			}
+			wantCtrl := a.Traits().InterruptCtrl
+			if sys.IntCtrl.Name() != wantCtrl {
+				t.Fatalf("interrupt controller %q, want %q", sys.IntCtrl.Name(), wantCtrl)
+			}
+			res := sys.Run(20_000_000)
+			if res.Status != soc.RunCompleted {
+				t.Fatalf("SoC run %v (trap %v) after %d cycles", res.Status, res.Trap, res.Cycles)
+			}
+			if !bytes.Equal(res.Output, want) {
+				t.Fatalf("heterogeneous output mismatch")
+			}
+			if !cl.Done() {
+				t.Fatal("cluster never completed")
+			}
+			t.Logf("%s: SoC cycles=%d accel task cycles=%d", a.Name(), res.Cycles, cl.TaskCycles())
+		})
+	}
+}
+
+// TestWFIActuallySleeps checks the core consumes no instructions while the
+// accelerator computes.
+func TestWFIActuallySleeps(t *testing.T) {
+	spec, err := machsuite.ByName("stencil3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := soc.RelocateTask(spec.Task)
+	prog, err := soc.DriverProgram(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := program.Compile(isa.RV64L{}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := config.Fast()
+	sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := accel.NewCluster(spec.Design, accel.MemHostPort{Mem: sys.Mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachCluster(cl); err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(20_000_000)
+	if res.Status != soc.RunCompleted {
+		t.Fatalf("%v (trap %v)", res.Status, res.Trap)
+	}
+	if res.Stats.Insts > 5000 {
+		t.Errorf("driver committed %d instructions; WFI should idle the core", res.Stats.Insts)
+	}
+	if !bytes.Equal(res.Output, spec.Ref()) {
+		t.Fatal("output mismatch")
+	}
+}
+
+// TestGICAndPLICBehaviour covers the two interrupt-controller models.
+func TestGICAndPLICBehaviour(t *testing.T) {
+	g := soc.NewGIC(4)
+	if g.Pending() {
+		t.Fatal("fresh GIC pending")
+	}
+	g.Set(2, true)
+	if !g.Pending() {
+		t.Fatal("GIC line 2 should pend")
+	}
+	g.Enable(2, false)
+	if g.Pending() {
+		t.Fatal("disabled line must not pend")
+	}
+	g.Enable(2, true)
+	c := g.Clone()
+	g.Set(2, false)
+	if !c.Pending() {
+		t.Fatal("clone must be independent")
+	}
+
+	p := soc.NewPLIC(4)
+	p.Set(1, true)
+	if !p.Pending() {
+		t.Fatal("PLIC line 1 should pend")
+	}
+	if got := p.Claim(); got != 1 {
+		t.Fatalf("claim = %d", got)
+	}
+	if p.Pending() {
+		t.Fatal("claimed source must be masked")
+	}
+	p.Complete(1)
+	if !p.Pending() {
+		t.Fatal("completed source pends again while raised")
+	}
+	p.SetThreshold(5)
+	if p.Pending() {
+		t.Fatal("threshold must mask low-priority sources")
+	}
+	p.SetThreshold(0)
+	p.SetPriority(1, 0)
+	if p.Pending() {
+		t.Fatal("priority 0 disables a source")
+	}
+}
+
+// TestSystemCloneIsolation checks that cloned systems do not share state.
+func TestSystemCloneIsolation(t *testing.T) {
+	spec, err := machsuite.ByName("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = spec
+	// CPU-only clone isolation (the campaign fork path).
+	wl := simpleProgram(t)
+	img, err := program.Compile(isa.ARM64L{}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := config.Fast()
+	sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := sys.Clone()
+	r1 := sys.Run(1_000_000)
+	r2 := clone.Run(1_000_000)
+	if r1.Status != soc.RunCompleted || r2.Status != soc.RunCompleted {
+		t.Fatalf("runs failed: %v %v", r1.Status, r2.Status)
+	}
+	if !bytes.Equal(r1.Output, r2.Output) {
+		t.Fatal("clone produced different output")
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatalf("clone timing differs: %d vs %d", r1.Cycles, r2.Cycles)
+	}
+}
+
+func simpleProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.New("simple")
+	b.SetOutput(0x20000, 8)
+	s := b.Temp()
+	b.ConstTo(s, 0)
+	b.LoopN(200, func(i ir.Val) {
+		b.Mov(s, b.Add(s, b.Mul(i, i)))
+	})
+	b.Store(b.Const(0x20000), 0, s, 8)
+	b.Halt()
+	return b.MustProgram()
+}

@@ -1,0 +1,126 @@
+// Package trace implements the commit-stage trace machinery behind the
+// Hardware Vulnerability Factor analysis (paper §IV-D, Figure 3a): the
+// golden run records a compact hash per committed micro-op; a faulty run
+// recomputes the same hashes and the first mismatch marks the cycle at
+// which the fault became architecturally visible. HVF classifies a fault
+// Benign when the whole faulty commit stream matches, and Corruption when
+// any committed instruction, operand, data transaction or the program
+// order differs.
+package trace
+
+import "marvel/internal/cpu"
+
+// hashRec folds one commit record into a 64-bit fingerprint (FNV-1a over
+// the record's fields). Any difference in PC, kind, destination, result or
+// memory transaction yields a different hash with overwhelming probability.
+func hashRec(r cpu.CommitRec) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xFF
+			h *= prime
+		}
+	}
+	mix(r.PC)
+	mix(uint64(r.Kind)<<8 | uint64(r.Dst))
+	mix(r.Result)
+	mix(r.MemAddr)
+	mix(r.MemData)
+	return h
+}
+
+// Recorder captures the golden commit stream.
+type Recorder struct {
+	hashes []uint64
+}
+
+// NewRecorder returns a Recorder ready to attach.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Hook returns the CommitHook that records the stream.
+func (r *Recorder) Hook() func(cpu.CommitRec) {
+	return func(rec cpu.CommitRec) {
+		r.hashes = append(r.hashes, hashRec(rec))
+	}
+}
+
+// Len returns the number of recorded commits.
+func (r *Recorder) Len() int { return len(r.hashes) }
+
+// Golden freezes the recording into a comparable golden trace.
+func (r *Recorder) Golden() *Golden { return &Golden{hashes: r.hashes} }
+
+// Golden is an immutable fault-free commit trace.
+type Golden struct {
+	hashes []uint64
+}
+
+// Len returns the golden commit count.
+func (g *Golden) Len() int { return len(g.hashes) }
+
+// Slice returns the golden trace starting at commit index from — the view
+// a faulty run forked from a mid-execution checkpoint compares against.
+func (g *Golden) Slice(from int) *Golden {
+	if from < 0 || from > len(g.hashes) {
+		return &Golden{}
+	}
+	return &Golden{hashes: g.hashes[from:]}
+}
+
+// Comparator checks a faulty run's commit stream against a golden trace.
+// It is not safe for concurrent use; create one per run.
+type Comparator struct {
+	golden *Golden
+	pos    int
+
+	diverged   bool
+	divergeIdx int
+}
+
+// NewComparator returns a comparator for one faulty run.
+func NewComparator(g *Golden) *Comparator { return &Comparator{golden: g, divergeIdx: -1} }
+
+// Hook returns the CommitHook that performs the comparison.
+func (c *Comparator) Hook() func(cpu.CommitRec) {
+	return func(rec cpu.CommitRec) {
+		h := hashRec(rec)
+		if c.pos < len(c.golden.hashes) && c.golden.hashes[c.pos] == h {
+			c.pos++
+			return
+		}
+		if !c.diverged {
+			c.diverged = true
+			c.divergeIdx = c.pos
+		}
+		c.pos++
+	}
+}
+
+// Corrupted reports whether the faulty stream has deviated from the golden
+// stream — the HVF "Corruption" class. A stream that ended early (crash)
+// without a hash mismatch is also a corruption, detected by Finalize.
+func (c *Comparator) Corrupted() bool { return c.diverged }
+
+// DivergePoint returns the commit index of the first mismatch (-1 if none).
+func (c *Comparator) DivergePoint() int { return c.divergeIdx }
+
+// Finalize folds stream-length differences in: a faulty run that committed
+// fewer or more micro-ops than the golden run is architecturally visible
+// even if every compared hash matched.
+func (c *Comparator) Finalize() bool {
+	if c.diverged {
+		return true
+	}
+	if c.pos != c.golden.Len() {
+		c.diverged = true
+		c.divergeIdx = c.pos
+		if c.pos > c.golden.Len() {
+			c.divergeIdx = c.golden.Len()
+		}
+	}
+	return c.diverged
+}

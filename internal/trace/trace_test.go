@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"testing"
+
+	"marvel/internal/cpu"
+)
+
+func recs(n int, seed uint64) []cpu.CommitRec {
+	out := make([]cpu.CommitRec, n)
+	for i := range out {
+		out[i] = cpu.CommitRec{
+			PC:     0x1000 + uint64(i)*4,
+			Kind:   1,
+			Dst:    3,
+			Result: seed + uint64(i)*7,
+		}
+	}
+	return out
+}
+
+func TestIdenticalStreamsAreBenign(t *testing.T) {
+	r := NewRecorder()
+	hook := r.Hook()
+	for _, rec := range recs(100, 5) {
+		hook(rec)
+	}
+	g := r.Golden()
+	c := NewComparator(g)
+	ch := c.Hook()
+	for _, rec := range recs(100, 5) {
+		ch(rec)
+	}
+	if c.Finalize() {
+		t.Fatalf("identical streams flagged corrupt at %d", c.DivergePoint())
+	}
+}
+
+func TestValueMismatchDetected(t *testing.T) {
+	r := NewRecorder()
+	hook := r.Hook()
+	faulty := recs(100, 5)
+	for _, rec := range faulty {
+		hook(rec)
+	}
+	g := r.Golden()
+
+	c := NewComparator(g)
+	ch := c.Hook()
+	faulty[40].Result ^= 1 << 13 // single-bit result difference
+	for _, rec := range faulty {
+		ch(rec)
+	}
+	if !c.Finalize() {
+		t.Fatal("corrupted result not detected")
+	}
+	if c.DivergePoint() != 40 {
+		t.Fatalf("diverge point %d, want 40", c.DivergePoint())
+	}
+}
+
+func TestShortStreamIsCorrupt(t *testing.T) {
+	r := NewRecorder()
+	hook := r.Hook()
+	for _, rec := range recs(50, 1) {
+		hook(rec)
+	}
+	g := r.Golden()
+	c := NewComparator(g)
+	ch := c.Hook()
+	for _, rec := range recs(30, 1) {
+		ch(rec)
+	}
+	if c.Corrupted() {
+		t.Fatal("prefix should not be corrupt before Finalize")
+	}
+	if !c.Finalize() {
+		t.Fatal("truncated stream (crash) must be a corruption")
+	}
+}
+
+func TestLongStreamIsCorrupt(t *testing.T) {
+	r := NewRecorder()
+	hook := r.Hook()
+	for _, rec := range recs(30, 1) {
+		hook(rec)
+	}
+	c := NewComparator(r.Golden())
+	ch := c.Hook()
+	for _, rec := range recs(50, 1) {
+		ch(rec)
+	}
+	if !c.Finalize() {
+		t.Fatal("extra commits must be a corruption")
+	}
+}
+
+func TestSliceOffsetsComparison(t *testing.T) {
+	r := NewRecorder()
+	hook := r.Hook()
+	all := recs(100, 9)
+	for _, rec := range all {
+		hook(rec)
+	}
+	g := r.Golden().Slice(60)
+	if g.Len() != 40 {
+		t.Fatalf("sliced length %d", g.Len())
+	}
+	c := NewComparator(g)
+	ch := c.Hook()
+	for _, rec := range all[60:] {
+		ch(rec)
+	}
+	if c.Finalize() {
+		t.Fatal("suffix comparison should match")
+	}
+	if bad := r.Golden().Slice(-1); bad.Len() != 0 {
+		t.Fatal("negative slice should be empty")
+	}
+}
+
+func TestDifferentFieldsChangeHash(t *testing.T) {
+	base := cpu.CommitRec{PC: 0x1000, Kind: 2, Dst: 5, Result: 7, MemAddr: 0x2000, MemData: 9}
+	h0 := hashRec(base)
+	muts := []cpu.CommitRec{base, base, base, base, base}
+	muts[0].PC++
+	muts[1].Kind++
+	muts[2].Result++
+	muts[3].MemAddr++
+	muts[4].MemData++
+	for i, m := range muts {
+		if hashRec(m) == h0 {
+			t.Errorf("mutation %d did not change the hash", i)
+		}
+	}
+}

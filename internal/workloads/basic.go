@@ -1,0 +1,571 @@
+package workloads
+
+import (
+	"sort"
+
+	"marvel/internal/program/ir"
+)
+
+// --- basicmath: gcd, integer square root, cubic polynomial (MiBench
+// basicmath, integer variant) ---
+
+const bmN = 20
+
+func bmInputs() (pairs [][2]uint64, xs []uint64) {
+	r := rng(101)
+	pairs = make([][2]uint64, bmN)
+	xs = make([]uint64, bmN)
+	for i := range pairs {
+		pairs[i] = [2]uint64{uint64(r.Intn(100000) + 1), uint64(r.Intn(100000) + 1)}
+		xs[i] = uint64(r.Intn(1 << 30))
+	}
+	return pairs, xs
+}
+
+func gcdRef(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func isqrtRef(x uint64) uint64 {
+	var res uint64
+	bit := uint64(1) << 30
+	for bit > x {
+		bit >>= 2
+	}
+	for bit != 0 {
+		if x >= res+bit {
+			x -= res + bit
+			res = res>>1 + bit
+		} else {
+			res >>= 1
+		}
+		bit >>= 2
+	}
+	return res
+}
+
+func cubicRef(x uint64) uint64 {
+	// p(x) = x^3 - 5x^2 + 11x - 7 over uint64 wraparound.
+	return x*x*x - 5*x*x + 11*x - 7
+}
+
+func specBasicmath() Spec {
+	return Spec{
+		Name: "basicmath",
+		Ops:  float64(bmN * 3 * 40),
+		Ref: func() []byte {
+			pairs, xs := bmInputs()
+			out := make([]uint64, 0, 3*bmN)
+			for _, p := range pairs {
+				out = append(out, gcdRef(p[0], p[1]))
+			}
+			for _, x := range xs {
+				out = append(out, isqrtRef(x))
+			}
+			for _, x := range xs {
+				out = append(out, cubicRef(x))
+			}
+			return u64le(out)
+		},
+		Build: buildBasicmath,
+	}
+}
+
+func buildBasicmath() *ir.Program {
+	pairs, xs := bmInputs()
+	b := ir.New("basicmath")
+	flat := make([]uint64, 0, 2*bmN)
+	for _, p := range pairs {
+		flat = append(flat, p[0], p[1])
+	}
+	b.AddData(DataBase, u64le(flat))
+	b.AddData(DataBase+0x1000, u64le(xs))
+	b.SetOutput(OutBase, 3*bmN*8)
+	b.Checkpoint()
+
+	pairsB := b.Const(DataBase)
+	xsB := b.Const(DataBase + 0x1000)
+	outB := b.Const(OutBase)
+
+	// gcd
+	b.LoopN(bmN, func(i ir.Val) {
+		av := b.Temp()
+		bv := b.Temp()
+		idx := b.ShlI(i, 1)
+		b.Mov(av, loadIdx64(b, pairsB, idx))
+		b.Mov(bv, loadIdx64(b, pairsB, b.AddI(idx, 1)))
+		b.While(func() ir.Val { return b.Op2I(ir.OpCmpNE, ir.NoVal, bv, 0) }, func() {
+			r := b.RemU(av, bv)
+			b.Mov(av, bv)
+			b.Mov(bv, r)
+		})
+		storeIdx64(b, outB, i, av)
+	})
+
+	// isqrt (bit-by-bit)
+	b.LoopN(bmN, func(i ir.Val) {
+		x := b.Temp()
+		res := b.Temp()
+		bit := b.Temp()
+		b.Mov(x, loadIdx64(b, xsB, i))
+		b.ConstTo(res, 0)
+		b.ConstTo(bit, 1<<30)
+		b.While(func() ir.Val { return b.Op2(ir.OpCmpLTU, ir.NoVal, x, bit) }, func() {
+			b.Mov(bit, b.ShrLI(bit, 2))
+		})
+		b.While(func() ir.Val { return b.Op2I(ir.OpCmpNE, ir.NoVal, bit, 0) }, func() {
+			sum := b.Add(res, bit)
+			cond := b.Op2(ir.OpCmpLEU, ir.NoVal, sum, x)
+			b.If(cond, func() {
+				b.Mov(x, b.Sub(x, sum))
+				b.Mov(res, b.Add(b.ShrLI(res, 1), bit))
+			}, func() {
+				b.Mov(res, b.ShrLI(res, 1))
+			})
+			b.Mov(bit, b.ShrLI(bit, 2))
+		})
+		storeIdx64(b, outB, b.AddI(i, bmN), res)
+	})
+
+	// cubic polynomial
+	b.LoopN(bmN, func(i ir.Val) {
+		x := loadIdx64(b, xsB, i)
+		x2 := b.Mul(x, x)
+		x3 := b.Mul(x2, x)
+		five := b.Mul(x2, b.Const(5))
+		eleven := b.Mul(x, b.Const(11))
+		v := b.Sub(x3, five)
+		v = b.Add(v, eleven)
+		v = b.Op2I(ir.OpSub, ir.NoVal, v, 7)
+		storeIdx64(b, outB, b.AddI(i, 2*bmN), v)
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- bitcount: three population-count methods (MiBench bitcount) ---
+
+const bcN = 48
+
+func bcInputs() []uint64 {
+	r := rng(202)
+	xs := make([]uint64, bcN)
+	for i := range xs {
+		xs[i] = r.Uint64()
+	}
+	return xs
+}
+
+var bcNibble = [16]byte{0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4}
+
+func specBitcount() Spec {
+	return Spec{
+		Name: "bitcount",
+		Ops:  float64(bcN * (64 + 32 + 16)),
+		Ref: func() []byte {
+			xs := bcInputs()
+			var shift, kern, nib uint64
+			for _, x := range xs {
+				for v := x; v != 0; v >>= 1 {
+					shift += v & 1
+				}
+				for v := x; v != 0; v &= v - 1 {
+					kern++
+				}
+				for v := x; v != 0; v >>= 4 {
+					nib += uint64(bcNibble[v&0xF])
+				}
+			}
+			return u64le([]uint64{shift, kern, nib})
+		},
+		Build: buildBitcount,
+	}
+}
+
+func buildBitcount() *ir.Program {
+	xs := bcInputs()
+	b := ir.New("bitcount")
+	b.AddData(DataBase, u64le(xs))
+	b.AddData(DataBase+0x1000, bcNibble[:])
+	b.SetOutput(OutBase, 3*8)
+	b.Checkpoint()
+
+	xsB := b.Const(DataBase)
+	nibB := b.Const(DataBase + 0x1000)
+	outB := b.Const(OutBase)
+	shift := b.Temp()
+	kern := b.Temp()
+	nib := b.Temp()
+	b.ConstTo(shift, 0)
+	b.ConstTo(kern, 0)
+	b.ConstTo(nib, 0)
+
+	b.LoopN(bcN, func(i ir.Val) {
+		x := loadIdx64(b, xsB, i)
+		v := b.Temp()
+
+		b.Mov(v, x)
+		b.While(func() ir.Val { return b.Op2I(ir.OpCmpNE, ir.NoVal, v, 0) }, func() {
+			b.Mov(shift, b.Add(shift, b.AndI(v, 1)))
+			b.Mov(v, b.ShrLI(v, 1))
+		})
+
+		b.Mov(v, x)
+		b.While(func() ir.Val { return b.Op2I(ir.OpCmpNE, ir.NoVal, v, 0) }, func() {
+			b.Mov(kern, b.Op2I(ir.OpAdd, ir.NoVal, kern, 1))
+			b.Mov(v, b.And(v, b.Op2I(ir.OpSub, ir.NoVal, v, 1)))
+		})
+
+		b.Mov(v, x)
+		b.While(func() ir.Val { return b.Op2I(ir.OpCmpNE, ir.NoVal, v, 0) }, func() {
+			idx := b.AndI(v, 0xF)
+			b.Mov(nib, b.Add(nib, loadIdx8(b, nibB, idx)))
+			b.Mov(v, b.ShrLI(v, 4))
+		})
+	})
+
+	storeIdx64(b, outB, b.Const(0), shift)
+	storeIdx64(b, outB, b.Const(1), kern)
+	storeIdx64(b, outB, b.Const(2), nib)
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- qsort: iterative quicksort with an explicit stack (MiBench
+// qsort_small) ---
+
+const qsN = 128
+
+func qsInputs() []uint64 {
+	r := rng(303)
+	xs := make([]uint64, qsN)
+	for i := range xs {
+		xs[i] = uint64(r.Intn(1 << 20))
+	}
+	return xs
+}
+
+func specQsort() Spec {
+	return Spec{
+		Name: "qsort",
+		Ops:  float64(qsN * 7 * 10), // ~N log N comparisons+swaps
+		Ref: func() []byte {
+			xs := qsInputs()
+			sorted := append([]uint64(nil), xs...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			return u64le(sorted)
+		},
+		Build: buildQsort,
+	}
+}
+
+func buildQsort() *ir.Program {
+	xs := qsInputs()
+	b := ir.New("qsort")
+	// The array is sorted in place inside the output region.
+	b.AddData(OutBase, u64le(xs))
+	b.SetOutput(OutBase, qsN*8)
+	const stackAt = DataBase + 0x2000
+	b.Checkpoint()
+
+	arr := b.Const(OutBase)
+	stk := b.Const(stackAt)
+	sp := b.Temp() // entries on the lo/hi stack
+	b.ConstTo(sp, 1)
+	b.Store(stk, 0, b.Const(0), 8)     // lo
+	b.Store(stk, 8, b.Const(qsN-1), 8) // hi
+
+	b.While(func() ir.Val { return b.Op2I(ir.OpCmpNE, ir.NoVal, sp, 0) }, func() {
+		b.Mov(sp, b.Op2I(ir.OpSub, ir.NoVal, sp, 1))
+		off := b.ShlI(sp, 4)
+		lo := b.Temp()
+		hi := b.Temp()
+		b.Mov(lo, b.Load(b.Add(stk, off), 0, 8, false))
+		b.Mov(hi, b.Load(b.Add(stk, off), 8, 8, false))
+		cont := b.Op2(ir.OpCmpLTS, ir.NoVal, lo, hi)
+		b.If(cont, func() {
+			pivot := loadIdx64(b, arr, hi)
+			i := b.Temp()
+			b.Mov(i, lo)
+			j := b.Temp()
+			b.Mov(j, lo)
+			b.While(func() ir.Val { return b.Op2(ir.OpCmpLTS, ir.NoVal, j, hi) }, func() {
+				aj := loadIdx64(b, arr, j)
+				less := b.Op2(ir.OpCmpLTU, ir.NoVal, aj, pivot)
+				b.If(less, func() {
+					ai := loadIdx64(b, arr, i)
+					storeIdx64(b, arr, i, aj)
+					storeIdx64(b, arr, j, ai)
+					b.Mov(i, b.AddI(i, 1))
+				}, nil)
+				b.Mov(j, b.AddI(j, 1))
+			})
+			ai := loadIdx64(b, arr, i)
+			ah := loadIdx64(b, arr, hi)
+			storeIdx64(b, arr, i, ah)
+			storeIdx64(b, arr, hi, ai)
+			// push (lo, i-1) and (i+1, hi)
+			o1 := b.ShlI(sp, 4)
+			b.Store(b.Add(stk, o1), 0, lo, 8)
+			b.Store(b.Add(stk, o1), 8, b.Op2I(ir.OpSub, ir.NoVal, i, 1), 8)
+			b.Mov(sp, b.AddI(sp, 1))
+			o2 := b.ShlI(sp, 4)
+			b.Store(b.Add(stk, o2), 0, b.AddI(i, 1), 8)
+			b.Store(b.Add(stk, o2), 8, hi, 8)
+			b.Mov(sp, b.AddI(sp, 1))
+		}, nil)
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- crc32: table generation plus table-driven CRC (MiBench crc32) ---
+
+const crcMsgLen = 256
+
+func crcInput() []byte {
+	r := rng(404)
+	msg := make([]byte, crcMsgLen)
+	r.Read(msg)
+	return msg
+}
+
+func specCRC32() Spec {
+	return Spec{
+		Name: "crc32",
+		Ops:  float64(256*8 + crcMsgLen*4),
+		Ref: func() []byte {
+			msg := crcInput()
+			var table [256]uint32
+			for i := range table {
+				c := uint32(i)
+				for k := 0; k < 8; k++ {
+					if c&1 != 0 {
+						c = 0xEDB88320 ^ (c >> 1)
+					} else {
+						c >>= 1
+					}
+				}
+				table[i] = c
+			}
+			crc := ^uint32(0)
+			for _, m := range msg {
+				crc = table[(crc^uint32(m))&0xFF] ^ (crc >> 8)
+			}
+			crc = ^crc
+			var tsum uint32
+			for _, t := range table {
+				tsum += t
+			}
+			return u32le([]uint32{crc, tsum})
+		},
+		Build: buildCRC32,
+	}
+}
+
+func buildCRC32() *ir.Program {
+	msg := crcInput()
+	b := ir.New("crc32")
+	b.AddData(DataBase, msg)
+	const tableAt = DataBase + 0x1000
+	b.SetOutput(OutBase, 8)
+	b.Checkpoint()
+
+	msgB := b.Const(DataBase)
+	tabB := b.Const(tableAt)
+	outB := b.Const(OutBase)
+
+	// Generate the table at runtime (the heavy part of the kernel).
+	b.LoopN(256, func(i ir.Val) {
+		c := b.Temp()
+		b.Mov(c, i)
+		b.LoopN(8, func(k ir.Val) {
+			odd := b.AndI(c, 1)
+			shifted := b.ShrLI(c, 1)
+			x := b.XorI(shifted, int64(0xEDB88320))
+			b.Mov(c, b.Select(odd, x, shifted))
+		})
+		storeIdx32(b, tabB, i, c)
+	})
+
+	crc := b.Temp()
+	b.ConstTo(crc, 0xFFFFFFFF)
+	b.LoopN(crcMsgLen, func(i ir.Val) {
+		m := loadIdx8(b, msgB, i)
+		idx := b.AndI(b.Xor(crc, m), 0xFF)
+		t := loadIdx32(b, tabB, idx)
+		b.Mov(crc, b.AndI(b.Xor(t, b.ShrLI(crc, 8)), 0xFFFFFFFF))
+	})
+	b.Mov(crc, b.AndI(b.XorI(crc, -1), 0xFFFFFFFF))
+
+	tsum := b.Temp()
+	b.ConstTo(tsum, 0)
+	b.LoopN(256, func(i ir.Val) {
+		b.Mov(tsum, b.AndI(b.Add(tsum, loadIdx32(b, tabB, i)), 0xFFFFFFFF))
+	})
+
+	b.Store(outB, 0, crc, 4)
+	b.Store(outB, 4, tsum, 4)
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- stringsearch: Boyer-Moore-Horspool over a synthetic text (MiBench
+// stringsearch) ---
+
+const ssTextLen = 512
+
+func ssInputs() (text []byte, patterns [][]byte) {
+	r := rng(505)
+	text = make([]byte, ssTextLen)
+	for i := range text {
+		text[i] = byte('a' + r.Intn(6)) // small alphabet: frequent matches
+	}
+	patterns = [][]byte{
+		[]byte("abc"), []byte("fade"), []byte("cabbage"), []byte("dd"),
+	}
+	return text, patterns
+}
+
+func specStringsearch() Spec {
+	return Spec{
+		Name: "stringsearch",
+		Ops:  float64(4 * ssTextLen * 2),
+		Ref: func() []byte {
+			text, patterns := ssInputs()
+			out := make([]uint64, 0, 2*len(patterns))
+			for _, pat := range patterns {
+				first, count := horspoolRef(text, pat)
+				out = append(out, uint64(first), uint64(count))
+			}
+			return u64le(out)
+		},
+		Build: buildStringsearch,
+	}
+}
+
+func horspoolRef(text, pat []byte) (int64, int64) {
+	m := len(pat)
+	var shift [256]int64
+	for i := range shift {
+		shift[i] = int64(m)
+	}
+	for i := 0; i < m-1; i++ {
+		shift[pat[i]] = int64(m - 1 - i)
+	}
+	first := int64(-1)
+	var count int64
+	pos := int64(0)
+	for pos+int64(m) <= int64(len(text)) {
+		k := int64(m) - 1
+		for k >= 0 && text[pos+k] == pat[k] {
+			k--
+		}
+		if k < 0 {
+			if first < 0 {
+				first = pos
+			}
+			count++
+			pos++
+		} else {
+			pos += shift[text[pos+int64(m)-1]]
+		}
+	}
+	return first, count
+}
+
+func buildStringsearch() *ir.Program {
+	text, patterns := ssInputs()
+	b := ir.New("stringsearch")
+	b.AddData(DataBase, text)
+	patAt := uint64(DataBase + 0x1000)
+	patMeta := make([]uint64, 0, 2*len(patterns))
+	blob := []byte{}
+	for _, p := range patterns {
+		patMeta = append(patMeta, patAt+uint64(len(blob)), uint64(len(p)))
+		blob = append(blob, p...)
+	}
+	b.AddData(patAt, blob)
+	b.AddData(DataBase+0x2000, u64le(patMeta))
+	const shiftAt = DataBase + 0x3000
+	b.SetOutput(OutBase, len(patterns)*16)
+	b.Checkpoint()
+
+	textB := b.Const(DataBase)
+	metaB := b.Const(DataBase + 0x2000)
+	shiftB := b.Const(shiftAt)
+	outB := b.Const(OutBase)
+
+	b.LoopN(int64(len(patterns)), func(p ir.Val) {
+		pm := b.ShlI(p, 1)
+		pat := b.Temp()
+		m := b.Temp()
+		b.Mov(pat, loadIdx64(b, metaB, pm))
+		b.Mov(m, loadIdx64(b, metaB, b.AddI(pm, 1)))
+
+		b.LoopN(256, func(i ir.Val) {
+			storeIdx64(b, shiftB, i, m)
+		})
+		mm1 := b.Op2I(ir.OpSub, ir.NoVal, m, 1)
+		b.Loop(mm1, func(i ir.Val) {
+			ch := loadIdx8(b, pat, i)
+			storeIdx64(b, shiftB, ch, b.Sub(mm1, i))
+		})
+
+		first := b.Temp()
+		count := b.Temp()
+		pos := b.Temp()
+		b.ConstTo(first, -1)
+		b.ConstTo(count, 0)
+		b.ConstTo(pos, 0)
+		limit := b.Const(ssTextLen)
+		b.While(func() ir.Val {
+			return b.Op2(ir.OpCmpLEU, ir.NoVal, b.Add(pos, m), limit)
+		}, func() {
+			k := b.Temp()
+			b.Mov(k, mm1)
+			keep := b.Temp()
+			b.ConstTo(keep, 1)
+			b.While(func() ir.Val {
+				ge0 := b.Op2(ir.OpCmpLES, ir.NoVal, b.Const(0), k)
+				return b.And(ge0, keep)
+			}, func() {
+				tc := loadIdx8(b, textB, b.Add(pos, k))
+				pc := loadIdx8(b, pat, k)
+				eq := b.Op2(ir.OpCmpEQ, ir.NoVal, tc, pc)
+				b.If(eq, func() {
+					b.Mov(k, b.Op2I(ir.OpSub, ir.NoVal, k, 1))
+				}, func() {
+					b.ConstTo(keep, 0)
+				})
+			})
+			matched := b.Op2I(ir.OpCmpLTS, ir.NoVal, k, 0)
+			b.If(matched, func() {
+				neg := b.Op2I(ir.OpCmpLTS, ir.NoVal, first, 0)
+				b.Mov(first, b.Select(neg, pos, first))
+				b.Mov(count, b.AddI(count, 1))
+				b.Mov(pos, b.AddI(pos, 1))
+			}, func() {
+				lastIdx := b.Add(pos, mm1)
+				ch := loadIdx8(b, textB, lastIdx)
+				b.Mov(pos, b.Add(pos, loadIdx64(b, shiftB, ch)))
+			})
+		})
+		o := b.ShlI(p, 1)
+		storeIdx64(b, outB, o, first)
+		storeIdx64(b, outB, b.AddI(o, 1), count)
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}

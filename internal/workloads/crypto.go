@@ -1,0 +1,828 @@
+package workloads
+
+import (
+	"crypto/aes"
+	"math"
+
+	"marvel/internal/program/ir"
+)
+
+// --- sha: SHA-1 over two pre-padded blocks (MiBench sha) ---
+
+const shaBlocks = 2
+
+func shaMessage() []byte {
+	r := rng(909)
+	msg := make([]byte, shaBlocks*64)
+	r.Read(msg)
+	return msg
+}
+
+func sha1Ref(blocks []byte) [5]uint32 {
+	h := [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	rotl := func(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
+	var w [80]uint32
+	for blk := 0; blk+64 <= len(blocks); blk += 64 {
+		for i := 0; i < 16; i++ {
+			o := blk + i*4
+			w[i] = uint32(blocks[o])<<24 | uint32(blocks[o+1])<<16 |
+				uint32(blocks[o+2])<<8 | uint32(blocks[o+3])
+		}
+		for i := 16; i < 80; i++ {
+			w[i] = rotl(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+		}
+		a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+		for i := 0; i < 80; i++ {
+			var f, k uint32
+			switch {
+			case i < 20:
+				f, k = b&c|^b&d, 0x5A827999
+			case i < 40:
+				f, k = b^c^d, 0x6ED9EBA1
+			case i < 60:
+				f, k = b&c|b&d|c&d, 0x8F1BBCDC
+			default:
+				f, k = b^c^d, 0xCA62C1D6
+			}
+			t := rotl(a, 5) + f + e + k + w[i]
+			e, d, c, b, a = d, c, rotl(b, 30), a, t
+		}
+		h[0] += a
+		h[1] += b
+		h[2] += c
+		h[3] += d
+		h[4] += e
+	}
+	return h
+}
+
+func specSHA() Spec {
+	return Spec{
+		Name: "sha",
+		Ops:  float64(shaBlocks * 80 * 12),
+		Ref: func() []byte {
+			h := sha1Ref(shaMessage())
+			return u32le(h[:])
+		},
+		Build: buildSHA,
+	}
+}
+
+func buildSHA() *ir.Program {
+	msg := shaMessage()
+	b := ir.New("sha")
+	b.AddData(DataBase, msg)
+	const wAt = DataBase + 0x1000 // 80 x u32 schedule
+	b.SetOutput(OutBase, 5*4)
+	b.Checkpoint()
+
+	m32 := int64(0xFFFFFFFF)
+	and32 := func(v ir.Val) ir.Val { return b.AndI(v, m32) }
+	rotl := func(x ir.Val, n int64) ir.Val {
+		l := b.ShlI(x, n)
+		r := b.ShrLI(and32(x), 64-((64-32)+n)) // (x & m32) >> (32-n)
+		_ = r
+		rr := b.ShrLI(and32(x), 32-n)
+		return and32(b.Or(l, rr))
+	}
+
+	msgB := b.Const(DataBase)
+	wB := b.Const(wAt)
+	outB := b.Const(OutBase)
+
+	h0 := b.Temp()
+	h1 := b.Temp()
+	h2 := b.Temp()
+	h3 := b.Temp()
+	h4 := b.Temp()
+	b.ConstTo(h0, 0x67452301)
+	b.ConstTo(h1, 0xEFCDAB89)
+	b.ConstTo(h2, 0x98BADCFE)
+	b.ConstTo(h3, 0x10325476)
+	b.ConstTo(h4, 0xC3D2E1F0)
+
+	b.LoopN(shaBlocks, func(blk ir.Val) {
+		base := b.Add(msgB, b.ShlI(blk, 6))
+		b.LoopN(16, func(i ir.Val) {
+			o := b.ShlI(i, 2)
+			b0 := b.Load(b.Add(base, o), 0, 1, false)
+			b1 := b.Load(b.Add(base, o), 1, 1, false)
+			b2 := b.Load(b.Add(base, o), 2, 1, false)
+			b3 := b.Load(b.Add(base, o), 3, 1, false)
+			w := b.Or(b.ShlI(b0, 24), b.Or(b.ShlI(b1, 16), b.Or(b.ShlI(b2, 8), b3)))
+			storeIdx32(b, wB, i, w)
+		})
+		i := b.Temp()
+		b.ConstTo(i, 16)
+		b.While(func() ir.Val { return b.Op2I(ir.OpCmpLTS, ir.NoVal, i, 80) }, func() {
+			x := b.Xor(loadIdx32(b, wB, b.Op2I(ir.OpSub, ir.NoVal, i, 3)),
+				loadIdx32(b, wB, b.Op2I(ir.OpSub, ir.NoVal, i, 8)))
+			x = b.Xor(x, loadIdx32(b, wB, b.Op2I(ir.OpSub, ir.NoVal, i, 14)))
+			x = b.Xor(x, loadIdx32(b, wB, b.Op2I(ir.OpSub, ir.NoVal, i, 16)))
+			storeIdx32(b, wB, i, rotl(x, 1))
+			b.Mov(i, b.AddI(i, 1))
+		})
+
+		av := b.Temp()
+		bv := b.Temp()
+		cv := b.Temp()
+		dv := b.Temp()
+		ev := b.Temp()
+		b.Mov(av, h0)
+		b.Mov(bv, h1)
+		b.Mov(cv, h2)
+		b.Mov(dv, h3)
+		b.Mov(ev, h4)
+
+		round := func(lo, hi int64, fk func() (ir.Val, int64)) {
+			j := b.Temp()
+			b.ConstTo(j, lo)
+			b.While(func() ir.Val { return b.Op2I(ir.OpCmpLTS, ir.NoVal, j, hi) }, func() {
+				f, k := fk()
+				t := b.Add(rotl(av, 5), f)
+				t = b.Add(t, ev)
+				t = b.Op2I(ir.OpAdd, ir.NoVal, t, k)
+				t = and32(b.Add(t, loadIdx32(b, wB, j)))
+				b.Mov(ev, dv)
+				b.Mov(dv, cv)
+				b.Mov(cv, rotl(bv, 30))
+				b.Mov(bv, av)
+				b.Mov(av, t)
+				b.Mov(j, b.AddI(j, 1))
+			})
+		}
+		round(0, 20, func() (ir.Val, int64) {
+			f := b.Or(b.And(bv, cv), b.And(b.XorI(bv, m32), dv))
+			return f, 0x5A827999
+		})
+		round(20, 40, func() (ir.Val, int64) {
+			return b.Xor(bv, b.Xor(cv, dv)), 0x6ED9EBA1
+		})
+		round(40, 60, func() (ir.Val, int64) {
+			f := b.Or(b.And(bv, cv), b.Or(b.And(bv, dv), b.And(cv, dv)))
+			return f, int64(0x8F1BBCDC)
+		})
+		round(60, 80, func() (ir.Val, int64) {
+			return b.Xor(bv, b.Xor(cv, dv)), int64(0xCA62C1D6)
+		})
+
+		b.Mov(h0, and32(b.Add(h0, av)))
+		b.Mov(h1, and32(b.Add(h1, bv)))
+		b.Mov(h2, and32(b.Add(h2, cv)))
+		b.Mov(h3, and32(b.Add(h3, dv)))
+		b.Mov(h4, and32(b.Add(h4, ev)))
+	})
+
+	storeIdx32(b, outB, b.Const(0), h0)
+	storeIdx32(b, outB, b.Const(1), h1)
+	storeIdx32(b, outB, b.Const(2), h2)
+	storeIdx32(b, outB, b.Const(3), h3)
+	storeIdx32(b, outB, b.Const(4), h4)
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- fft: 64-point fixed-point radix-2 FFT (integer MiBench fft stand-in;
+// the repo's ISAs are integer-only, so Q15 fixed point replaces floats) ---
+
+const fftN = 64
+
+func fftInput() []int32 {
+	r := rng(1010)
+	in := make([]int32, fftN)
+	for i := range in {
+		in[i] = int32(r.Intn(1<<14) - 1<<13)
+	}
+	return in
+}
+
+func fftTwiddles() (cosT, sinT []int32) {
+	cosT = make([]int32, fftN/2)
+	sinT = make([]int32, fftN/2)
+	for i := range cosT {
+		ang := -2 * math.Pi * float64(i) / fftN
+		cosT[i] = int32(math.Round(math.Cos(ang) * 32767))
+		sinT[i] = int32(math.Round(math.Sin(ang) * 32767))
+	}
+	return cosT, sinT
+}
+
+func fftRef() (re, im []int32) {
+	in := fftInput()
+	cosT, sinT := fftTwiddles()
+	re = make([]int32, fftN)
+	im = make([]int32, fftN)
+	// Bit-reversal permutation.
+	bits := 6
+	for i := 0; i < fftN; i++ {
+		r := 0
+		for k := 0; k < bits; k++ {
+			r = r<<1 | i>>k&1
+		}
+		re[r] = in[i]
+	}
+	qmul := func(a, b int32) int32 { return int32(int64(a) * int64(b) >> 15) }
+	for size := 2; size <= fftN; size <<= 1 {
+		half := size / 2
+		step := fftN / size
+		for base := 0; base < fftN; base += size {
+			for k := 0; k < half; k++ {
+				tw := k * step
+				tr := qmul(re[base+k+half], cosT[tw]) - qmul(im[base+k+half], sinT[tw])
+				ti := qmul(re[base+k+half], sinT[tw]) + qmul(im[base+k+half], cosT[tw])
+				re[base+k+half] = re[base+k] - tr
+				im[base+k+half] = im[base+k] - ti
+				re[base+k] += tr
+				im[base+k] += ti
+			}
+		}
+	}
+	return re, im
+}
+
+func specFFT() Spec {
+	return Spec{
+		Name: "fft",
+		Ops:  float64(5 * fftN * 6 * 6), // N log N butterflies, ~6 mults each
+		Ref: func() []byte {
+			re, im := fftRef()
+			return append(u32le(toU32(re)), u32le(toU32(im))...)
+		},
+		Build: buildFFT,
+	}
+}
+
+func toU32(xs []int32) []uint32 {
+	out := make([]uint32, len(xs))
+	for i, x := range xs {
+		out[i] = uint32(x)
+	}
+	return out
+}
+
+func buildFFT() *ir.Program {
+	in := fftInput()
+	cosT, sinT := fftTwiddles()
+	b := ir.New("fft")
+	b.AddData(DataBase, u32le(toU32(in)))
+	b.AddData(DataBase+0x1000, u32le(toU32(cosT)))
+	b.AddData(DataBase+0x2000, u32le(toU32(sinT)))
+	b.SetOutput(OutBase, 2*fftN*4)
+	b.Checkpoint()
+
+	inB := b.Const(DataBase)
+	cosB := b.Const(DataBase + 0x1000)
+	sinB := b.Const(DataBase + 0x2000)
+	reB := b.Const(OutBase)
+	imB := b.Const(OutBase + fftN*4)
+
+	ld32s := func(base, i ir.Val) ir.Val {
+		return b.Load(b.Add(base, b.ShlI(i, 2)), 0, 4, true)
+	}
+	qmul := func(x, y ir.Val) ir.Val { return b.ShrAI(b.Mul(x, y), 15) }
+
+	// Bit-reversal copy into the output (working) arrays.
+	b.LoopN(fftN, func(i ir.Val) {
+		r := b.Temp()
+		b.ConstTo(r, 0)
+		b.LoopN(6, func(k ir.Val) {
+			bit := b.AndI(b.Op2(ir.OpShrL, ir.NoVal, i, k), 1)
+			b.Mov(r, b.Or(b.ShlI(r, 1), bit))
+		})
+		storeIdx32(b, reB, r, ld32s(inB, i))
+		storeIdx32(b, imB, r, b.Const(0))
+	})
+
+	size := b.Temp()
+	b.ConstTo(size, 2)
+	b.While(func() ir.Val { return b.Op2I(ir.OpCmpLES, ir.NoVal, size, fftN) }, func() {
+		half := b.ShrLI(size, 1)
+		step := b.DivU(b.Const(fftN), size)
+		base := b.Temp()
+		b.ConstTo(base, 0)
+		b.While(func() ir.Val { return b.Op2I(ir.OpCmpLTS, ir.NoVal, base, fftN) }, func() {
+			k := b.Temp()
+			b.ConstTo(k, 0)
+			b.While(func() ir.Val { return b.Op2(ir.OpCmpLTS, ir.NoVal, k, half) }, func() {
+				tw := b.Mul(k, step)
+				hi := b.Add(base, b.Add(k, half))
+				lo := b.Add(base, k)
+				reb := ld32s(reB, hi)
+				imb := ld32s(imB, hi)
+				cw := ld32s(cosB, tw)
+				sw := ld32s(sinB, tw)
+				tr := b.Sub(qmul(reb, cw), qmul(imb, sw))
+				ti := b.Add(qmul(reb, sw), qmul(imb, cw))
+				rl := ld32s(reB, lo)
+				il := ld32s(imB, lo)
+				storeIdx32(b, reB, hi, b.Sub(rl, tr))
+				storeIdx32(b, imB, hi, b.Sub(il, ti))
+				storeIdx32(b, reB, lo, b.Add(rl, tr))
+				storeIdx32(b, imB, lo, b.Add(il, ti))
+				b.Mov(k, b.AddI(k, 1))
+			})
+			b.Mov(base, b.Add(base, size))
+		})
+		b.Mov(size, b.ShlI(size, 1))
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- adpcme / adpcmd: IMA ADPCM encoder and decoder (MiBench adpcm) ---
+
+const adpcmN = 256
+
+var imaIndexTable = [16]int64{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+var imaStepTable = [89]int64{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+	41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+	190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+	724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484,
+	7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818,
+	18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+func adpcmSamples() []int16 {
+	r := rng(1111)
+	s := make([]int16, adpcmN)
+	phase := 0.0
+	for i := range s {
+		phase += 0.07 + 0.01*float64(r.Intn(5))
+		s[i] = int16(9000*math.Sin(phase)) + int16(r.Intn(600)-300)
+	}
+	return s
+}
+
+func adpcmEncodeRef(samples []int16) []byte {
+	codes := make([]byte, len(samples))
+	valpred, index := int64(0), int64(0)
+	for i, sm := range samples {
+		step := imaStepTable[index]
+		diff := int64(sm) - valpred
+		var sign int64
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		var delta, vpdiff int64
+		vpdiff = step >> 3
+		if diff >= step {
+			delta = 4
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 2
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 1
+			vpdiff += step
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		} else if valpred < -32768 {
+			valpred = -32768
+		}
+		delta |= sign
+		index += imaIndexTable[delta]
+		if index < 0 {
+			index = 0
+		} else if index > 88 {
+			index = 88
+		}
+		codes[i] = byte(delta)
+	}
+	return codes
+}
+
+func adpcmDecodeRef(codes []byte) []int16 {
+	out := make([]int16, len(codes))
+	valpred, index := int64(0), int64(0)
+	for i, cb := range codes {
+		delta := int64(cb)
+		step := imaStepTable[index]
+		index += imaIndexTable[delta]
+		if index < 0 {
+			index = 0
+		} else if index > 88 {
+			index = 88
+		}
+		sign := delta & 8
+		delta &= 7
+		vpdiff := step >> 3
+		if delta&4 != 0 {
+			vpdiff += step
+		}
+		if delta&2 != 0 {
+			vpdiff += step >> 1
+		}
+		if delta&1 != 0 {
+			vpdiff += step >> 2
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		if valpred > 32767 {
+			valpred = 32767
+		} else if valpred < -32768 {
+			valpred = -32768
+		}
+		out[i] = int16(valpred)
+	}
+	return out
+}
+
+func specADPCMe() Spec {
+	return Spec{
+		Name: "adpcme",
+		Ops:  float64(adpcmN * 25),
+		Ref: func() []byte {
+			return adpcmEncodeRef(adpcmSamples())
+		},
+		Build: buildADPCMe,
+	}
+}
+
+func specADPCMd() Spec {
+	return Spec{
+		Name: "adpcmd",
+		Ops:  float64(adpcmN * 20),
+		Ref: func() []byte {
+			dec := adpcmDecodeRef(adpcmEncodeRef(adpcmSamples()))
+			out := make([]uint16, len(dec))
+			for i, v := range dec {
+				out[i] = uint16(v)
+			}
+			return u16le(out)
+		},
+		Build: buildADPCMd,
+	}
+}
+
+// emitClamp16 clamps v to the int16 range.
+func emitClamp16(b *ir.Builder, v ir.Val) ir.Val {
+	over := b.Op2(ir.OpCmpLTS, ir.NoVal, b.Const(32767), v)
+	v = b.Select(over, b.Const(32767), v)
+	under := b.Op2I(ir.OpCmpLTS, ir.NoVal, v, -32768)
+	return b.Select(under, b.Const(-32768), v)
+}
+
+// emitIndexClamp clamps the step-table index to [0, 88].
+func emitIndexClamp(b *ir.Builder, v ir.Val) ir.Val {
+	neg := b.Op2I(ir.OpCmpLTS, ir.NoVal, v, 0)
+	v = b.Select(neg, b.Const(0), v)
+	over := b.Op2(ir.OpCmpLTS, ir.NoVal, b.Const(88), v)
+	return b.Select(over, b.Const(88), v)
+}
+
+func adpcmTables(b *ir.Builder) (stepB, idxB ir.Val) {
+	steps := make([]uint32, len(imaStepTable))
+	for i, s := range imaStepTable {
+		steps[i] = uint32(s)
+	}
+	idxs := make([]uint32, len(imaIndexTable))
+	for i, s := range imaIndexTable {
+		idxs[i] = uint32(int32(s))
+	}
+	b.AddData(DataBase+0x4000, u32le(steps))
+	b.AddData(DataBase+0x5000, u32le(idxs))
+	return b.Const(DataBase + 0x4000), b.Const(DataBase + 0x5000)
+}
+
+func buildADPCMe() *ir.Program {
+	samples := adpcmSamples()
+	b := ir.New("adpcme")
+	raw := make([]uint16, len(samples))
+	for i, s := range samples {
+		raw[i] = uint16(s)
+	}
+	b.AddData(DataBase, u16le(raw))
+	stepB, idxB := adpcmTables(b)
+	b.SetOutput(OutBase, adpcmN)
+	b.Checkpoint()
+
+	inB := b.Const(DataBase)
+	outB := b.Const(OutBase)
+	valpred := b.Temp()
+	index := b.Temp()
+	b.ConstTo(valpred, 0)
+	b.ConstTo(index, 0)
+
+	b.LoopN(adpcmN, func(i ir.Val) {
+		sm := b.Load(b.Add(inB, b.ShlI(i, 1)), 0, 2, true)
+		step := b.Temp()
+		b.Mov(step, b.Load(b.Add(stepB, b.ShlI(index, 2)), 0, 4, true))
+		diff := b.Temp()
+		b.Mov(diff, b.Sub(sm, valpred))
+		neg := b.Op2I(ir.OpCmpLTS, ir.NoVal, diff, 0)
+		sign := b.Select(neg, b.Const(8), b.Const(0))
+		b.Mov(diff, b.Select(neg, b.Sub(b.Const(0), diff), diff))
+
+		delta := b.Temp()
+		vpdiff := b.Temp()
+		b.ConstTo(delta, 0)
+		b.Mov(vpdiff, b.ShrAI(step, 3))
+		ge := b.Op2(ir.OpCmpLES, ir.NoVal, step, diff)
+		b.If(ge, func() {
+			b.Mov(delta, b.Const(4))
+			b.Mov(diff, b.Sub(diff, step))
+			b.Mov(vpdiff, b.Add(vpdiff, step))
+		}, nil)
+		b.Mov(step, b.ShrAI(step, 1))
+		ge2 := b.Op2(ir.OpCmpLES, ir.NoVal, step, diff)
+		b.If(ge2, func() {
+			b.Mov(delta, b.Op2I(ir.OpOr, ir.NoVal, delta, 2))
+			b.Mov(diff, b.Sub(diff, step))
+			b.Mov(vpdiff, b.Add(vpdiff, step))
+		}, nil)
+		b.Mov(step, b.ShrAI(step, 1))
+		ge3 := b.Op2(ir.OpCmpLES, ir.NoVal, step, diff)
+		b.If(ge3, func() {
+			b.Mov(delta, b.Op2I(ir.OpOr, ir.NoVal, delta, 1))
+			b.Mov(vpdiff, b.Add(vpdiff, step))
+		}, nil)
+
+		isNeg := b.Op2I(ir.OpCmpNE, ir.NoVal, sign, 0)
+		b.Mov(valpred, b.Select(isNeg, b.Sub(valpred, vpdiff), b.Add(valpred, vpdiff)))
+		b.Mov(valpred, emitClamp16(b, valpred))
+		b.Mov(delta, b.Or(delta, sign))
+		inc := b.Load(b.Add(idxB, b.ShlI(delta, 2)), 0, 4, true)
+		b.Mov(index, emitIndexClamp(b, b.Add(index, inc)))
+		storeIdx8(b, outB, i, delta)
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+func buildADPCMd() *ir.Program {
+	codes := adpcmEncodeRef(adpcmSamples())
+	b := ir.New("adpcmd")
+	b.AddData(DataBase, codes)
+	stepB, idxB := adpcmTables(b)
+	b.SetOutput(OutBase, adpcmN*2)
+	b.Checkpoint()
+
+	inB := b.Const(DataBase)
+	outB := b.Const(OutBase)
+	valpred := b.Temp()
+	index := b.Temp()
+	b.ConstTo(valpred, 0)
+	b.ConstTo(index, 0)
+
+	b.LoopN(adpcmN, func(i ir.Val) {
+		delta := b.Temp()
+		b.Mov(delta, loadIdx8(b, inB, i))
+		step := b.Load(b.Add(stepB, b.ShlI(index, 2)), 0, 4, true)
+		inc := b.Load(b.Add(idxB, b.ShlI(delta, 2)), 0, 4, true)
+		b.Mov(index, emitIndexClamp(b, b.Add(index, inc)))
+
+		sign := b.AndI(delta, 8)
+		mag := b.AndI(delta, 7)
+		vpdiff := b.Temp()
+		b.Mov(vpdiff, b.ShrAI(step, 3))
+		has4 := b.AndI(mag, 4)
+		b.If(b.Op2I(ir.OpCmpNE, ir.NoVal, has4, 0), func() {
+			b.Mov(vpdiff, b.Add(vpdiff, step))
+		}, nil)
+		has2 := b.AndI(mag, 2)
+		b.If(b.Op2I(ir.OpCmpNE, ir.NoVal, has2, 0), func() {
+			b.Mov(vpdiff, b.Add(vpdiff, b.ShrAI(step, 1)))
+		}, nil)
+		has1 := b.AndI(mag, 1)
+		b.If(b.Op2I(ir.OpCmpNE, ir.NoVal, has1, 0), func() {
+			b.Mov(vpdiff, b.Add(vpdiff, b.ShrAI(step, 2)))
+		}, nil)
+
+		isNeg := b.Op2I(ir.OpCmpNE, ir.NoVal, sign, 0)
+		b.Mov(valpred, b.Select(isNeg, b.Sub(valpred, vpdiff), b.Add(valpred, vpdiff)))
+		b.Mov(valpred, emitClamp16(b, valpred))
+		b.Store(b.Add(outB, b.ShlI(i, 1)), 0, valpred, 2)
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- rijndael: AES-128 ECB encryption of four blocks. The golden output
+// comes from crypto/aes, so the IR implementation is checked against an
+// independent, known-correct implementation. ---
+
+const aesBlocks = 4
+
+func aesInputs() (key, pt []byte) {
+	r := rng(1212)
+	key = make([]byte, 16)
+	pt = make([]byte, 16*aesBlocks)
+	r.Read(key)
+	r.Read(pt)
+	return key, pt
+}
+
+var aesSbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+func aesExpandKeyRef(key []byte) []byte {
+	rcon := byte(1)
+	ek := make([]byte, 176)
+	copy(ek, key)
+	for i := 16; i < 176; i += 4 {
+		t := [4]byte{ek[i-4], ek[i-3], ek[i-2], ek[i-1]}
+		if i%16 == 0 {
+			t[0], t[1], t[2], t[3] = aesSbox[t[1]]^rcon, aesSbox[t[2]], aesSbox[t[3]], aesSbox[t[0]]
+			rcon = xtime(rcon)
+		}
+		for k := 0; k < 4; k++ {
+			ek[i+k] = ek[i-16+k] ^ t[k]
+		}
+	}
+	return ek
+}
+
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+func specRijndael() Spec {
+	return Spec{
+		Name: "rijndael",
+		Ops:  float64(aesBlocks * 10 * 16 * 8),
+		Ref: func() []byte {
+			key, pt := aesInputs()
+			c, err := aes.NewCipher(key)
+			if err != nil {
+				panic(err)
+			}
+			out := make([]byte, len(pt))
+			for i := 0; i < len(pt); i += 16 {
+				c.Encrypt(out[i:i+16], pt[i:i+16])
+			}
+			return out
+		},
+		Build: buildRijndael,
+	}
+}
+
+func buildRijndael() *ir.Program {
+	key, pt := aesInputs()
+	b := ir.New("rijndael")
+	b.AddData(DataBase, pt)
+	b.AddData(DataBase+0x1000, aesSbox[:])
+	b.AddData(DataBase+0x2000, key)
+	const ekAt = DataBase + 0x3000  // expanded key, 176 bytes
+	const stAt = DataBase + 0x4000  // working state, 16 bytes
+	const tmpAt = DataBase + 0x4100 // shifted/mixed scratch, 16 bytes
+	b.SetOutput(OutBase, 16*aesBlocks)
+	b.Checkpoint()
+
+	sbox := b.Const(DataBase + 0x1000)
+	keyB := b.Const(DataBase + 0x2000)
+	ekB := b.Const(ekAt)
+	ptB := b.Const(DataBase)
+	outB := b.Const(OutBase)
+	stB := b.Const(stAt)
+	tmpB := b.Const(tmpAt)
+
+	sub := func(v ir.Val) ir.Val { return loadIdx8(b, sbox, v) }
+	xt := func(v ir.Val) ir.Val {
+		hi := b.AndI(v, 0x80)
+		sh := b.AndI(b.ShlI(v, 1), 0xFF)
+		return b.Select(b.Op2I(ir.OpCmpNE, ir.NoVal, hi, 0), b.XorI(sh, 0x1b), sh)
+	}
+
+	// Key expansion.
+	b.LoopN(16, func(i ir.Val) {
+		storeIdx8(b, ekB, i, loadIdx8(b, keyB, i))
+	})
+	rcon := b.Temp()
+	b.ConstTo(rcon, 1)
+	i := b.Temp()
+	b.ConstTo(i, 16)
+	b.While(func() ir.Val { return b.Op2I(ir.OpCmpLTS, ir.NoVal, i, 176) }, func() {
+		t0 := b.Temp()
+		t1 := b.Temp()
+		t2 := b.Temp()
+		t3 := b.Temp()
+		b.Mov(t0, loadIdx8(b, ekB, b.Op2I(ir.OpSub, ir.NoVal, i, 4)))
+		b.Mov(t1, loadIdx8(b, ekB, b.Op2I(ir.OpSub, ir.NoVal, i, 3)))
+		b.Mov(t2, loadIdx8(b, ekB, b.Op2I(ir.OpSub, ir.NoVal, i, 2)))
+		b.Mov(t3, loadIdx8(b, ekB, b.Op2I(ir.OpSub, ir.NoVal, i, 1)))
+		isRound := b.Op2I(ir.OpCmpEQ, ir.NoVal, b.AndI(i, 15), 0)
+		b.If(isRound, func() {
+			n0 := b.Xor(sub(t1), rcon)
+			n1 := sub(t2)
+			n2 := sub(t3)
+			n3 := sub(t0)
+			b.Mov(t0, n0)
+			b.Mov(t1, n1)
+			b.Mov(t2, n2)
+			b.Mov(t3, n3)
+			b.Mov(rcon, xt(rcon))
+		}, nil)
+		prev := b.Op2I(ir.OpSub, ir.NoVal, i, 16)
+		storeIdx8(b, ekB, i, b.Xor(loadIdx8(b, ekB, prev), t0))
+		storeIdx8(b, ekB, b.AddI(i, 1), b.Xor(loadIdx8(b, ekB, b.AddI(prev, 1)), t1))
+		storeIdx8(b, ekB, b.AddI(i, 2), b.Xor(loadIdx8(b, ekB, b.AddI(prev, 2)), t2))
+		storeIdx8(b, ekB, b.AddI(i, 3), b.Xor(loadIdx8(b, ekB, b.AddI(prev, 3)), t3))
+		b.Mov(i, b.AddI(i, 4))
+	})
+
+	addRoundKey := func(round int64) {
+		b.LoopN(16, func(j ir.Val) {
+			k := loadIdx8(b, ekB, b.Op2I(ir.OpAdd, ir.NoVal, j, round*16))
+			storeIdx8(b, stB, j, b.Xor(loadIdx8(b, stB, j), k))
+		})
+	}
+
+	// shiftRows source index table: dst j <- src shiftMap[j].
+	shiftMap := [16]int64{0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11}
+
+	subAndShift := func() {
+		for j := int64(0); j < 16; j++ {
+			v := sub(loadIdx8(b, stB, b.Const(shiftMap[j])))
+			storeIdx8(b, tmpB, b.Const(j), v)
+		}
+		b.LoopN(16, func(j ir.Val) {
+			storeIdx8(b, stB, j, loadIdx8(b, tmpB, j))
+		})
+	}
+
+	mixColumns := func() {
+		b.LoopN(4, func(c ir.Val) {
+			base := b.ShlI(c, 2)
+			a0 := loadIdx8(b, stB, base)
+			a1 := loadIdx8(b, stB, b.AddI(base, 1))
+			a2 := loadIdx8(b, stB, b.AddI(base, 2))
+			a3 := loadIdx8(b, stB, b.AddI(base, 3))
+			all := b.Xor(b.Xor(a0, a1), b.Xor(a2, a3))
+			m0 := b.Xor(b.Xor(a0, all), xt(b.Xor(a0, a1)))
+			m1 := b.Xor(b.Xor(a1, all), xt(b.Xor(a1, a2)))
+			m2 := b.Xor(b.Xor(a2, all), xt(b.Xor(a2, a3)))
+			m3 := b.Xor(b.Xor(a3, all), xt(b.Xor(a3, a0)))
+			storeIdx8(b, stB, base, m0)
+			storeIdx8(b, stB, b.AddI(base, 1), m1)
+			storeIdx8(b, stB, b.AddI(base, 2), m2)
+			storeIdx8(b, stB, b.AddI(base, 3), m3)
+		})
+	}
+
+	b.LoopN(aesBlocks, func(blk ir.Val) {
+		off := b.ShlI(blk, 4)
+		b.LoopN(16, func(j ir.Val) {
+			storeIdx8(b, stB, j, loadIdx8(b, ptB, b.Add(off, j)))
+		})
+		addRoundKey(0)
+		for round := int64(1); round <= 9; round++ {
+			subAndShift()
+			mixColumns()
+			addRoundKey(round)
+		}
+		subAndShift()
+		addRoundKey(10)
+		b.LoopN(16, func(j ir.Val) {
+			storeIdx8(b, outB, b.Add(off, j), loadIdx8(b, stB, j))
+		})
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}

@@ -1,0 +1,497 @@
+package workloads
+
+import "marvel/internal/program/ir"
+
+// The three susan kernels (smooth, edges, corners in the paper's figures)
+// share a synthetic grayscale image and differ in the stencil computed on
+// the interior pixels.
+
+const (
+	susW = 24
+	susH = 24
+)
+
+func susImage() []byte {
+	r := rng(606)
+	img := make([]byte, susW*susH)
+	// Blocky structure plus noise so edges and corners exist.
+	for y := 0; y < susH; y++ {
+		for x := 0; x < susW; x++ {
+			v := 40
+			if x > susW/2 {
+				v = 180
+			}
+			if y > susH/2 {
+				v += 50
+			}
+			v += r.Intn(16)
+			img[y*susW+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// --- smooth: 3x3 box filter ---
+
+func specSmooth() Spec {
+	return Spec{
+		Name: "smooth",
+		Ops:  float64((susW - 2) * (susH - 2) * 10),
+		Ref: func() []byte {
+			img := susImage()
+			out := make([]byte, (susW-2)*(susH-2))
+			for y := 1; y < susH-1; y++ {
+				for x := 1; x < susW-1; x++ {
+					sum := 0
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							sum += int(img[(y+dy)*susW+x+dx])
+						}
+					}
+					out[(y-1)*(susW-2)+x-1] = byte(sum / 9)
+				}
+			}
+			return out
+		},
+		Build: buildSmooth,
+	}
+}
+
+func buildSmooth() *ir.Program {
+	img := susImage()
+	b := ir.New("smooth")
+	b.AddData(DataBase, img)
+	b.SetOutput(OutBase, (susW-2)*(susH-2))
+	b.Checkpoint()
+
+	imgB := b.Const(DataBase)
+	outB := b.Const(OutBase)
+	nine := b.Const(9)
+
+	b.LoopN(susH-2, func(y ir.Val) {
+		b.LoopN(susW-2, func(x ir.Val) {
+			sum := b.Temp()
+			b.ConstTo(sum, 0)
+			b.LoopN(3, func(dy ir.Val) {
+				row := b.Mul(b.Add(y, dy), b.Const(susW))
+				b.LoopN(3, func(dx ir.Val) {
+					idx := b.Add(row, b.Add(x, dx))
+					b.Mov(sum, b.Add(sum, loadIdx8(b, imgB, idx)))
+				})
+			})
+			oIdx := b.Add(b.Mul(y, b.Const(susW-2)), x)
+			storeIdx8(b, outB, oIdx, b.DivU(sum, nine))
+		})
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- edges: gradient magnitude threshold (Sobel-style) ---
+
+const edgeThresh = 160
+
+func susGradients(img []byte, x, y int) (gx, gy int64) {
+	p := func(dx, dy int) int64 { return int64(img[(y+dy)*susW+x+dx]) }
+	gx = p(1, -1) + 2*p(1, 0) + p(1, 1) - p(-1, -1) - 2*p(-1, 0) - p(-1, 1)
+	gy = p(-1, 1) + 2*p(0, 1) + p(1, 1) - p(-1, -1) - 2*p(0, -1) - p(1, -1)
+	return gx, gy
+}
+
+func specEdges() Spec {
+	return Spec{
+		Name: "edges",
+		Ops:  float64((susW - 2) * (susH - 2) * 20),
+		Ref: func() []byte {
+			img := susImage()
+			out := make([]byte, (susW-2)*(susH-2))
+			for y := 1; y < susH-1; y++ {
+				for x := 1; x < susW-1; x++ {
+					gx, gy := susGradients(img, x, y)
+					if gx < 0 {
+						gx = -gx
+					}
+					if gy < 0 {
+						gy = -gy
+					}
+					if gx+gy > edgeThresh {
+						out[(y-1)*(susW-2)+x-1] = 255
+					}
+				}
+			}
+			return out
+		},
+		Build: buildEdges,
+	}
+}
+
+// emitGradients emits the Sobel gradient computation for interior pixel
+// (x+1, y+1) where x, y iterate from 0.
+func emitGradients(b *ir.Builder, imgB, x, y ir.Val) (gx, gy ir.Val) {
+	// Pixel helper over the interior coordinate system.
+	p := func(dx, dy int64) ir.Val {
+		row := b.Mul(b.Op2I(ir.OpAdd, ir.NoVal, y, 1+dy), b.Const(susW))
+		idx := b.Add(row, b.Op2I(ir.OpAdd, ir.NoVal, x, 1+dx))
+		return loadIdx8(b, imgB, idx)
+	}
+	gxv := b.Add(p(1, -1), b.Add(b.ShlI(p(1, 0), 1), p(1, 1)))
+	gxn := b.Add(p(-1, -1), b.Add(b.ShlI(p(-1, 0), 1), p(-1, 1)))
+	gyv := b.Add(p(-1, 1), b.Add(b.ShlI(p(0, 1), 1), p(1, 1)))
+	gyn := b.Add(p(-1, -1), b.Add(b.ShlI(p(0, -1), 1), p(1, -1)))
+	return b.Sub(gxv, gxn), b.Sub(gyv, gyn)
+}
+
+func emitAbs(b *ir.Builder, v ir.Val) ir.Val {
+	neg := b.Op2I(ir.OpCmpLTS, ir.NoVal, v, 0)
+	zero := b.Const(0)
+	return b.Select(neg, b.Sub(zero, v), v)
+}
+
+func buildEdges() *ir.Program {
+	img := susImage()
+	b := ir.New("edges")
+	b.AddData(DataBase, img)
+	b.SetOutput(OutBase, (susW-2)*(susH-2))
+	b.Checkpoint()
+
+	imgB := b.Const(DataBase)
+	outB := b.Const(OutBase)
+
+	b.LoopN(susH-2, func(y ir.Val) {
+		b.LoopN(susW-2, func(x ir.Val) {
+			gx, gy := emitGradients(b, imgB, x, y)
+			mag := b.Add(emitAbs(b, gx), emitAbs(b, gy))
+			isEdge := b.Op2(ir.OpCmpLTS, ir.NoVal, b.Const(edgeThresh), mag)
+			v := b.Select(isEdge, b.Const(255), b.Const(0))
+			oIdx := b.Add(b.Mul(y, b.Const(susW-2)), x)
+			storeIdx8(b, outB, oIdx, v)
+		})
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- corners: Harris-style response sign test ---
+
+const cornerThresh = 1 << 16
+
+func specCorners() Spec {
+	return Spec{
+		Name: "corners",
+		Ops:  float64((susW - 2) * (susH - 2) * 26),
+		Ref: func() []byte {
+			img := susImage()
+			out := make([]byte, (susW-2)*(susH-2))
+			for y := 1; y < susH-1; y++ {
+				for x := 1; x < susW-1; x++ {
+					gx, gy := susGradients(img, x, y)
+					sxx, syy, sxy := gx*gx, gy*gy, gx*gy
+					r := sxx*syy - sxy*sxy - (sxx+syy)<<4
+					if r > cornerThresh {
+						out[(y-1)*(susW-2)+x-1] = 1
+					}
+				}
+			}
+			return out
+		},
+		Build: buildCorners,
+	}
+}
+
+func buildCorners() *ir.Program {
+	img := susImage()
+	b := ir.New("corners")
+	b.AddData(DataBase, img)
+	b.SetOutput(OutBase, (susW-2)*(susH-2))
+	b.Checkpoint()
+
+	imgB := b.Const(DataBase)
+	outB := b.Const(OutBase)
+
+	b.LoopN(susH-2, func(y ir.Val) {
+		b.LoopN(susW-2, func(x ir.Val) {
+			gx, gy := emitGradients(b, imgB, x, y)
+			sxx := b.Mul(gx, gx)
+			syy := b.Mul(gy, gy)
+			sxy := b.Mul(gx, gy)
+			det := b.Sub(b.Mul(sxx, syy), b.Mul(sxy, sxy))
+			trace := b.ShlI(b.Add(sxx, syy), 4)
+			r := b.Sub(det, trace)
+			isCorner := b.Op2(ir.OpCmpLTS, ir.NoVal, b.Const(cornerThresh), r)
+			v := b.Select(isCorner, b.Const(1), b.Const(0))
+			oIdx := b.Add(b.Mul(y, b.Const(susW-2)), x)
+			storeIdx8(b, outB, oIdx, v)
+		})
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- dijkstra: O(V^2) single-source shortest paths (MiBench dijkstra) ---
+
+const djN = 24
+const djInf = 1 << 30
+
+func djGraph() []uint32 {
+	r := rng(707)
+	adj := make([]uint32, djN*djN)
+	for i := 0; i < djN; i++ {
+		for j := 0; j < djN; j++ {
+			switch {
+			case i == j:
+				adj[i*djN+j] = 0
+			case r.Intn(3) == 0:
+				adj[i*djN+j] = djInf // no edge
+			default:
+				adj[i*djN+j] = uint32(r.Intn(99) + 1)
+			}
+		}
+	}
+	return adj
+}
+
+func specDijkstra() Spec {
+	return Spec{
+		Name: "dijkstra",
+		Ops:  float64(djN * djN * 4),
+		Ref: func() []byte {
+			adj := djGraph()
+			dist := make([]uint32, djN)
+			visited := make([]bool, djN)
+			for i := range dist {
+				dist[i] = djInf
+			}
+			dist[0] = 0
+			for it := 0; it < djN; it++ {
+				best, bestD := -1, uint32(djInf+1)
+				for v := 0; v < djN; v++ {
+					if !visited[v] && dist[v] < bestD {
+						best, bestD = v, dist[v]
+					}
+				}
+				if best < 0 {
+					break
+				}
+				visited[best] = true
+				for v := 0; v < djN; v++ {
+					w := adj[best*djN+v]
+					if w < djInf && dist[best]+w < dist[v] {
+						dist[v] = dist[best] + w
+					}
+				}
+			}
+			return u32le(dist)
+		},
+		Build: buildDijkstra,
+	}
+}
+
+func buildDijkstra() *ir.Program {
+	adj := djGraph()
+	b := ir.New("dijkstra")
+	b.AddData(DataBase, u32le(adj))
+	const visitedAt = DataBase + 0x4000
+	b.SetOutput(OutBase, djN*4)
+	b.Checkpoint()
+
+	adjB := b.Const(DataBase)
+	visB := b.Const(visitedAt)
+	distB := b.Const(OutBase)
+
+	b.LoopN(djN, func(i ir.Val) {
+		storeIdx32(b, distB, i, b.Const(djInf))
+		storeIdx8(b, visB, i, b.Const(0))
+	})
+	b.Store(distB, 0, b.Const(0), 4)
+
+	b.LoopN(djN, func(it ir.Val) {
+		best := b.Temp()
+		bestD := b.Temp()
+		b.ConstTo(best, -1)
+		b.ConstTo(bestD, djInf+1)
+		b.LoopN(djN, func(v ir.Val) {
+			vis := loadIdx8(b, visB, v)
+			d := loadIdx32(b, distB, v)
+			notVis := b.Op2I(ir.OpCmpEQ, ir.NoVal, vis, 0)
+			closer := b.Op2(ir.OpCmpLTU, ir.NoVal, d, bestD)
+			take := b.And(notVis, closer)
+			b.Mov(best, b.Select(take, v, best))
+			b.Mov(bestD, b.Select(take, d, bestD))
+		})
+		found := b.Op2(ir.OpCmpLES, ir.NoVal, b.Const(0), best)
+		b.If(found, func() {
+			storeIdx8(b, visB, best, b.Const(1))
+			row := b.Mul(best, b.Const(djN))
+			db := loadIdx32(b, distB, best)
+			b.LoopN(djN, func(v ir.Val) {
+				w := loadIdx32(b, adjB, b.Add(row, v))
+				hasEdge := b.Op2I(ir.OpCmpLTU, ir.NoVal, w, djInf)
+				cand := b.Add(db, w)
+				dv := loadIdx32(b, distB, v)
+				better := b.Op2(ir.OpCmpLTU, ir.NoVal, cand, dv)
+				take := b.And(hasEdge, better)
+				storeIdx32(b, distB, v, b.Select(take, cand, dv))
+			})
+		}, nil)
+	})
+
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}
+
+// --- patricia: binary trie insert/lookup over 16-bit keys (MiBench
+// patricia, simplified to a fixed-depth radix trie) ---
+
+const (
+	patInserts = 48
+	patLookups = 80
+	patBits    = 16
+)
+
+func patKeys() (ins, look []uint16) {
+	r := rng(808)
+	ins = make([]uint16, patInserts)
+	look = make([]uint16, patLookups)
+	for i := range ins {
+		ins[i] = uint16(r.Intn(1 << patBits))
+	}
+	for i := range look {
+		if r.Intn(2) == 0 {
+			look[i] = ins[r.Intn(len(ins))]
+		} else {
+			look[i] = uint16(r.Intn(1 << patBits))
+		}
+	}
+	return ins, look
+}
+
+func specPatricia() Spec {
+	return Spec{
+		Name: "patricia",
+		Ops:  float64((patInserts + patLookups) * patBits * 3),
+		Ref: func() []byte {
+			ins, look := patKeys()
+			type node struct {
+				child [2]int32
+				term  bool
+			}
+			nodes := []node{{}}
+			for _, k := range ins {
+				cur := int32(0)
+				for bit := patBits - 1; bit >= 0; bit-- {
+					d := k >> uint(bit) & 1
+					if nodes[cur].child[d] == 0 {
+						nodes = append(nodes, node{})
+						nodes[cur].child[d] = int32(len(nodes) - 1)
+					}
+					cur = nodes[cur].child[d]
+				}
+				nodes[cur].term = true
+			}
+			var hits uint64
+			for _, k := range look {
+				cur := int32(0)
+				ok := true
+				for bit := patBits - 1; bit >= 0 && ok; bit-- {
+					d := k >> uint(bit) & 1
+					if nodes[cur].child[d] == 0 {
+						ok = false
+					} else {
+						cur = nodes[cur].child[d]
+					}
+				}
+				if ok && nodes[cur].term {
+					hits++
+				}
+			}
+			return u64le([]uint64{uint64(len(nodes)), hits})
+		},
+		Build: buildPatricia,
+	}
+}
+
+func buildPatricia() *ir.Program {
+	ins, look := patKeys()
+	b := ir.New("patricia")
+	b.AddData(DataBase, u16le(ins))
+	b.AddData(DataBase+0x1000, u16le(look))
+	// Node pool: child0 u32, child1 u32, term u32 (12 bytes/node).
+	const poolAt = DataBase + 0x8000
+	b.SetOutput(OutBase, 16)
+	b.Checkpoint()
+
+	insB := b.Const(DataBase)
+	lookB := b.Const(DataBase + 0x1000)
+	pool := b.Const(poolAt)
+	twelve := b.Const(12)
+	nnodes := b.Temp()
+	b.ConstTo(nnodes, 1) // root pre-allocated (zeroed memory)
+
+	nodeAddr := func(idx ir.Val) ir.Val { return b.Add(pool, b.Mul(idx, twelve)) }
+
+	b.LoopN(patInserts, func(i ir.Val) {
+		k := b.Load(b.Add(insB, b.ShlI(i, 1)), 0, 2, false)
+		cur := b.Temp()
+		b.ConstTo(cur, 0)
+		bit := b.Temp()
+		b.ConstTo(bit, patBits-1)
+		b.While(func() ir.Val { return b.Op2(ir.OpCmpLES, ir.NoVal, b.Const(0), bit) }, func() {
+			d := b.AndI(b.Op2(ir.OpShrL, ir.NoVal, k, bit), 1)
+			slot := b.Add(nodeAddr(cur), b.ShlI(d, 2))
+			next := b.Temp()
+			b.Mov(next, b.Load(slot, 0, 4, false))
+			isZero := b.Op2I(ir.OpCmpEQ, ir.NoVal, next, 0)
+			b.If(isZero, func() {
+				b.Store(slot, 0, nnodes, 4)
+				b.Mov(next, nnodes)
+				b.Mov(nnodes, b.AddI(nnodes, 1))
+			}, nil)
+			b.Mov(cur, next)
+			b.Mov(bit, b.Op2I(ir.OpSub, ir.NoVal, bit, 1))
+		})
+		b.Store(nodeAddr(cur), 8, b.Const(1), 4)
+	})
+
+	hits := b.Temp()
+	b.ConstTo(hits, 0)
+	b.LoopN(patLookups, func(i ir.Val) {
+		k := b.Load(b.Add(lookB, b.ShlI(i, 1)), 0, 2, false)
+		cur := b.Temp()
+		ok := b.Temp()
+		bit := b.Temp()
+		b.ConstTo(cur, 0)
+		b.ConstTo(ok, 1)
+		b.ConstTo(bit, patBits-1)
+		b.While(func() ir.Val {
+			ge0 := b.Op2(ir.OpCmpLES, ir.NoVal, b.Const(0), bit)
+			return b.And(ge0, ok)
+		}, func() {
+			d := b.AndI(b.Op2(ir.OpShrL, ir.NoVal, k, bit), 1)
+			next := b.Load(b.Add(nodeAddr(cur), b.ShlI(d, 2)), 0, 4, false)
+			isZero := b.Op2I(ir.OpCmpEQ, ir.NoVal, next, 0)
+			b.If(isZero, func() {
+				b.ConstTo(ok, 0)
+			}, func() {
+				b.Mov(cur, next)
+			})
+			b.Mov(bit, b.Op2I(ir.OpSub, ir.NoVal, bit, 1))
+		})
+		term := b.Load(nodeAddr(cur), 8, 4, false)
+		hit := b.And(ok, b.Op2I(ir.OpCmpNE, ir.NoVal, term, 0))
+		b.Mov(hits, b.Add(hits, hit))
+	})
+
+	outB := b.Const(OutBase)
+	b.Store(outB, 0, nnodes, 8)
+	b.Store(outB, 8, hits, 8)
+	b.SwitchCPU()
+	b.Halt()
+	return b.MustProgram()
+}

@@ -1,0 +1,55 @@
+package workloads
+
+import "marvel/internal/program/ir"
+
+// ValidationL1D reproduces the paper's Listing 1 sanity-check program for
+// the L1 data cache injector: an array exactly the size of the data cache
+// is zero-filled over several passes (warming every way of every set under
+// the pseudo-LRU policy), a checkpoint opens the injection window, a nop
+// loop runs while faults are injected, the window closes, and the program
+// sums the array. A non-zero sum means the injected fault was observed;
+// the measured AVF of a transient campaign over this program must be ~100%.
+func ValidationL1D(cacheBytes int) Spec {
+	words := int64(cacheBytes / 8)
+	return Spec{
+		Name: "validate-l1d",
+		Ops:  float64(words),
+		Ref: func() []byte {
+			return make([]byte, 8) // fault-free sum is zero
+		},
+		Build: func() *ir.Program {
+			b := ir.New("validate-l1d")
+			// Align the array so it tiles the cache exactly.
+			const arrAt = 0x40000
+			b.SetOutput(OutBase, 8)
+			arr := b.Const(arrAt)
+			zero := b.Const(0)
+
+			// Warm-up: ten zero-filling passes (Listing 1 lines 13-15).
+			b.LoopN(10, func(j ir.Val) {
+				b.Loop(b.Const(words), func(i ir.Val) {
+					storeIdx64(b, arr, i, zero)
+				})
+			})
+
+			// Injection window: nop loop (lines 17-19).
+			b.Checkpoint()
+			cnt := b.Temp()
+			b.ConstTo(cnt, 0)
+			b.LoopN(3000, func(i ir.Val) {
+				b.Mov(cnt, b.Add(cnt, i))
+			})
+			b.SwitchCPU()
+
+			// Fault-free check window: sum all words (lines 22-24).
+			sum := b.Temp()
+			b.ConstTo(sum, 0)
+			b.Loop(b.Const(words), func(i ir.Val) {
+				b.Mov(sum, b.Or(sum, loadIdx64(b, arr, i)))
+			})
+			b.Store(b.Const(OutBase), 0, sum, 8)
+			b.Halt()
+			return b.MustProgram()
+		},
+	}
+}

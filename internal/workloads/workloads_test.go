@@ -1,0 +1,167 @@
+package workloads_test
+
+import (
+	"bytes"
+	"testing"
+
+	"marvel/internal/config"
+	"marvel/internal/isa"
+	"marvel/internal/program"
+	"marvel/internal/program/ir"
+	"marvel/internal/soc"
+	"marvel/internal/workloads"
+)
+
+func TestAllHaveUniqueNamesAndOps(t *testing.T) {
+	specs := workloads.All()
+	if len(specs) != 15 {
+		t.Fatalf("want 15 workloads (the paper's suite), got %d", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Ops <= 0 {
+			t.Errorf("%s: non-positive Ops", s.Name)
+		}
+	}
+	for _, name := range []string{"dijkstra", "edges", "corners", "smooth", "adpcme"} {
+		if !seen[name] {
+			t.Errorf("paper benchmark %q missing", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := workloads.ByName("sha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workloads.ByName("nope"); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+	if _, err := workloads.Subset([]string{"sha", "fft"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workloads.Subset([]string{"sha", "bogus"}); err == nil {
+		t.Fatal("bogus subset should fail")
+	}
+}
+
+// TestInterpMatchesReference checks the IR implementation against the
+// pure-Go golden implementation for every workload.
+func TestInterpMatchesReference(t *testing.T) {
+	for _, s := range workloads.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			p := s.Build()
+			res, err := ir.Interp(p, 0)
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			want := s.Ref()
+			if !bytes.Equal(res.Output, want) {
+				g, w := firstDiff(res.Output, want)
+				t.Fatalf("IR output diverges from Go reference\n got %x\nwant %x", g, w)
+			}
+		})
+	}
+}
+
+// TestCPUMatchesReference runs every workload on the full out-of-order CPU
+// model for all three ISAs and compares against the golden output. This is
+// the repository's deepest integration test: ISA encoders, code
+// generation, caches and the pipeline all have to agree with native Go.
+func TestCPUMatchesReference(t *testing.T) {
+	archs := isa.All()
+	if testing.Short() {
+		archs = []isa.Arch{isa.RV64L{}}
+	}
+	for _, s := range workloads.All() {
+		for _, a := range archs {
+			s, a := s, a
+			t.Run(s.Name+"/"+a.Name(), func(t *testing.T) {
+				t.Parallel()
+				p := s.Build()
+				img, err := program.Compile(a, p)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				pre := config.TableII()
+				sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := sys.Run(50_000_000)
+				if res.Status != soc.RunCompleted {
+					t.Fatalf("run %v (trap %v) after %d cycles", res.Status, res.Trap, res.Cycles)
+				}
+				want := s.Ref()
+				if !bytes.Equal(res.Output, want) {
+					g, w := firstDiff(res.Output, want)
+					t.Fatalf("CPU output diverges from reference\n got %x\nwant %x", g, w)
+				}
+				if lo, hi, ok := sys.HasWindow(); !ok || hi <= lo {
+					t.Fatalf("injection window missing: %d..%d ok=%v", lo, hi, ok)
+				}
+			})
+		}
+	}
+}
+
+func firstDiff(got, want []byte) ([]byte, []byte) {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			lo := i - 8
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 24
+			if hi > n {
+				hi = n
+			}
+			return got[lo:hi], want[lo:hi]
+		}
+	}
+	return got, want
+}
+
+// TestGoldenCycleCounts records that workloads stay within the simulation
+// budget intended for fault campaigns, and that the injection window is a
+// meaningful fraction of the run.
+func TestGoldenCycleCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, s := range workloads.All() {
+		p := s.Build()
+		img, err := program.Compile(isa.RV64L{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre := config.TableII()
+		sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run(50_000_000)
+		if res.Status != soc.RunCompleted {
+			t.Fatalf("%s: %v", s.Name, res.Status)
+		}
+		lo, hi, _ := sys.HasWindow()
+		t.Logf("%-13s cycles=%-8d insts=%-8d IPC=%.2f window=[%d,%d]",
+			s.Name, res.Cycles, res.Stats.Insts, res.Stats.IPC(), lo, hi)
+		if res.Cycles > 3_000_000 {
+			t.Errorf("%s: golden run too long for campaigns (%d cycles)", s.Name, res.Cycles)
+		}
+		if hi-lo < res.Cycles/4 {
+			t.Errorf("%s: injection window [%d,%d] too small vs %d cycles",
+				s.Name, lo, hi, res.Cycles)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+// Package marvel is a Go reproduction of gem5-MARVEL (HPCA 2024), the
+// first consolidated microarchitecture-level fault-injection framework for
+// heterogeneous SoCs. The library bundles, all built from scratch:
+//
+//   - a cycle-level out-of-order CPU model executing three simplified
+//     64-bit ISAs (Arm-, x86- and RISC-V-flavoured) through real caches,
+//     with decode running on raw instruction bytes;
+//   - a gem5-SALAM-style accelerator engine (dataflow kernels over
+//     scratchpads, register banks, MMRs, DMA, interrupts) plus the eight
+//     MachSuite designs of the paper's Table IV;
+//   - the fifteen MiBench-style workloads of the paper's figures, compiled
+//     per ISA through a small IR toolchain;
+//   - the MARVEL fault framework itself: transient and permanent fault
+//     models, statistical mask generation, parallel campaign execution
+//     with checkpoint forking and early termination, Masked/SDC/Crash and
+//     HVF classification, and AVF/wAVF/HVF/OPF metrics.
+//
+// This root package is the stable facade: examples, tools and downstream
+// users drive campaigns through it without touching internal packages.
+package marvel
+
+import (
+	"fmt"
+
+	"marvel/internal/accel"
+	"marvel/internal/campaign"
+	"marvel/internal/config"
+	"marvel/internal/core"
+	"marvel/internal/isa"
+	"marvel/internal/machsuite"
+	"marvel/internal/metrics"
+	"marvel/internal/program"
+	"marvel/internal/soc"
+	"marvel/internal/workloads"
+)
+
+// Supported ISA names.
+const (
+	ISAArm   = "arm"
+	ISAX86   = "x86"
+	ISARiscv = "riscv"
+)
+
+// ISAs returns the ISA names in the paper's figure order.
+func ISAs() []string { return []string{ISAArm, ISAX86, ISARiscv} }
+
+// FaultModel selects the injected fault type (the paper's Table III).
+type FaultModel string
+
+// Fault models.
+const (
+	Transient FaultModel = "transient"
+	StuckAt0  FaultModel = "stuck-at-0"
+	StuckAt1  FaultModel = "stuck-at-1"
+)
+
+func (m FaultModel) internal() (core.Model, error) {
+	switch m {
+	case "", Transient:
+		return core.Transient, nil
+	case StuckAt0:
+		return core.StuckAt0, nil
+	case StuckAt1:
+		return core.StuckAt1, nil
+	}
+	return 0, fmt.Errorf("marvel: unknown fault model %q", m)
+}
+
+// WorkloadNames lists the fifteen MiBench-style benchmarks.
+func WorkloadNames() []string { return workloads.Names() }
+
+// DesignNames lists the eight MachSuite accelerator designs.
+func DesignNames() []string {
+	var out []string
+	for _, s := range machsuite.All() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// CPUTargets lists the CPU-side injection targets.
+func CPUTargets() []string { return append([]string(nil), campaign.CPUTargets...) }
+
+// Component describes one accelerator injection target (Table IV).
+type Component struct {
+	Design     string
+	Name       string
+	PaperBytes int
+	ModelBytes int
+	Kind       string // "SPM" or "RegBank"
+}
+
+// TableIV returns the accelerator component inventory of the paper's
+// Table IV.
+func TableIV() []Component {
+	var out []Component
+	for _, c := range machsuite.TableIV() {
+		out = append(out, Component{
+			Design:     c.Design,
+			Name:       c.Name,
+			PaperBytes: c.PaperBytes,
+			ModelBytes: c.ModelBytes,
+			Kind:       c.Kind.String(),
+		})
+	}
+	return out
+}
+
+// CampaignOptions configures a CPU fault-injection campaign.
+type CampaignOptions struct {
+	ISA      string // "arm", "x86", "riscv"
+	Workload string // one of WorkloadNames()
+	Target   string // one of CPUTargets()
+	Model    FaultModel
+	Faults   int // statistical sample size (paper default: 1000)
+	Seed     int64
+
+	// ValidOnly draws faults over live entries only.
+	ValidOnly bool
+	// HVF additionally classifies every run at the commit stage.
+	HVF bool
+	// EarlyTermination enables the §IV-B campaign optimizations.
+	EarlyTermination bool
+	// PhysRegs overrides the physical register file size (Figure 15);
+	// 0 keeps the Table II value of 128.
+	PhysRegs int
+	// Workers bounds campaign parallelism; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// Report is the outcome of a CPU campaign.
+type Report struct {
+	Workload string
+	ISA      string
+	Target   string
+	Model    FaultModel
+
+	Faults int
+	Masked int
+	SDC    int
+	Crash  int
+
+	AVF      float64
+	SDCAVF   float64
+	CrashAVF float64
+	HVF      float64
+	Margin   float64 // statistical error at 95% confidence
+
+	GoldenCycles uint64
+	GoldenInsts  uint64
+	IPC          float64
+	EarlyStops   int
+}
+
+// RunCampaign executes one CPU fault-injection campaign.
+func RunCampaign(o CampaignOptions) (*Report, error) {
+	a, err := isa.ByName(o.ISA)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workloads.ByName(o.Workload)
+	if err != nil {
+		return nil, err
+	}
+	model, err := o.Model.internal()
+	if err != nil {
+		return nil, err
+	}
+	img, err := program.Compile(a, spec.Build())
+	if err != nil {
+		return nil, err
+	}
+	pre := config.TableII()
+	if o.PhysRegs > 0 {
+		pre = pre.WithPhysRegs(o.PhysRegs)
+	}
+	dom := core.DomainWholeArray
+	if o.ValidOnly {
+		dom = core.DomainValidOnly
+	}
+	res, err := campaign.Run(campaign.Config{
+		Image:            img,
+		Preset:           pre,
+		Target:           o.Target,
+		Model:            model,
+		Faults:           o.Faults,
+		Seed:             o.Seed,
+		Domain:           dom,
+		Workers:          o.Workers,
+		HVF:              o.HVF,
+		EarlyTermination: o.EarlyTermination,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Workload:     o.Workload,
+		ISA:          o.ISA,
+		Target:       o.Target,
+		Model:        o.Model,
+		Faults:       res.Counts.Total(),
+		Masked:       res.Counts.Masked,
+		SDC:          res.Counts.SDC,
+		Crash:        res.Counts.Crash,
+		AVF:          res.Counts.AVF(),
+		SDCAVF:       res.Counts.SDCAVF(),
+		CrashAVF:     res.Counts.CrashAVF(),
+		HVF:          res.Counts.HVF(),
+		Margin:       res.Margin,
+		GoldenCycles: res.Golden.Cycles,
+		GoldenInsts:  res.Golden.Insts,
+		IPC:          res.Golden.Stats.IPC(),
+		EarlyStops:   res.Counts.EarlyStops,
+	}, nil
+}
+
+// AccelOptions configures an accelerator fault-injection campaign.
+type AccelOptions struct {
+	Design    string // one of DesignNames()
+	Component string // one of the design's Table IV components
+	Model     FaultModel
+	Faults    int
+	Seed      int64
+	// GemmMultipliers overrides the gemm datapath's multiplier count
+	// (the Figure 17 design-space exploration); 0 keeps the default.
+	GemmMultipliers int
+}
+
+// AccelReport is the outcome of an accelerator campaign.
+type AccelReport struct {
+	Design    string
+	Component string
+	Faults    int
+	Masked    int
+	SDC       int
+	Crash     int
+	AVF       float64
+	SDCAVF    float64
+	CrashAVF  float64
+	Margin    float64
+
+	TaskCycles uint64
+	AreaUnits  float64
+}
+
+// RunAccelCampaign executes one accelerator fault-injection campaign.
+func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
+	spec, err := machsuite.ByName(o.Design)
+	if err != nil {
+		return nil, err
+	}
+	design, task := spec.Design, spec.Task
+	if o.Design == "gemm" && o.GemmMultipliers > 0 {
+		design = machsuite.GemmDesign(o.GemmMultipliers)
+		task = machsuite.GemmTask()
+	}
+	model, err := o.Model.internal()
+	if err != nil {
+		return nil, err
+	}
+	res, err := accel.RunCampaign(accel.CampaignConfig{
+		Design: design,
+		Task:   task,
+		Target: o.Component,
+		Model:  model,
+		Faults: o.Faults,
+		Seed:   o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AccelReport{
+		Design:     o.Design,
+		Component:  o.Component,
+		Faults:     res.Counts.Total(),
+		Masked:     res.Counts.Masked,
+		SDC:        res.Counts.SDC,
+		Crash:      res.Counts.Crash,
+		AVF:        res.Counts.AVF(),
+		SDCAVF:     res.Counts.SDCAVF(),
+		CrashAVF:   res.Counts.CrashAVF(),
+		Margin:     res.Margin,
+		TaskCycles: res.GoldenCycles,
+		AreaUnits:  accel.AreaUnits(design),
+	}, nil
+}
+
+// GoldenReport summarizes a fault-free workload run.
+type GoldenReport struct {
+	Workload string
+	ISA      string
+	Cycles   uint64
+	Insts    uint64
+	IPC      float64
+	CodeSize int
+	Ops      float64
+}
+
+// RunGolden executes a workload without faults, for performance studies.
+func RunGolden(isaName, workload string) (*GoldenReport, error) {
+	a, err := isa.ByName(isaName)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	img, err := program.Compile(a, spec.Build())
+	if err != nil {
+		return nil, err
+	}
+	pre := config.TableII()
+	sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+	if err != nil {
+		return nil, err
+	}
+	res := sys.Run(500_000_000)
+	if res.Status != soc.RunCompleted {
+		return nil, fmt.Errorf("marvel: golden run %v (trap %v)", res.Status, res.Trap)
+	}
+	return &GoldenReport{
+		Workload: workload,
+		ISA:      isaName,
+		Cycles:   res.Cycles,
+		Insts:    res.Stats.Insts,
+		IPC:      res.Stats.IPC(),
+		CodeSize: len(img.Code),
+		Ops:      spec.Ops,
+	}, nil
+}
+
+// SoCReport summarizes a heterogeneous CPU+accelerator run.
+type SoCReport struct {
+	ISA         string
+	Design      string
+	IntCtrl     string // "gic" or "plic"
+	SoCCycles   uint64
+	AccelCycles uint64
+	CPUInsts    uint64
+	OutputOK    bool
+}
+
+// RunSoC drives an accelerator design from a CPU program over MMRs, DMA
+// and the completion interrupt — the full heterogeneous flow of Figure 1.
+func RunSoC(isaName, design string) (*SoCReport, error) {
+	a, err := isa.ByName(isaName)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := machsuite.ByName(design)
+	if err != nil {
+		return nil, err
+	}
+	task := soc.RelocateTask(spec.Task)
+	prog, err := soc.DriverProgram(task)
+	if err != nil {
+		return nil, err
+	}
+	img, err := program.Compile(a, prog)
+	if err != nil {
+		return nil, err
+	}
+	pre := config.TableII()
+	sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := accel.NewCluster(spec.Design, accel.MemHostPort{Mem: sys.Mem})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.AttachCluster(cl); err != nil {
+		return nil, err
+	}
+	res := sys.Run(100_000_000)
+	if res.Status != soc.RunCompleted {
+		return nil, fmt.Errorf("marvel: SoC run %v (trap %v)", res.Status, res.Trap)
+	}
+	want := spec.Ref()
+	ok := len(res.Output) == len(want)
+	if ok {
+		for i := range want {
+			if res.Output[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	return &SoCReport{
+		ISA:         isaName,
+		Design:      design,
+		IntCtrl:     sys.IntCtrl.Name(),
+		SoCCycles:   res.Cycles,
+		AccelCycles: cl.TaskCycles(),
+		CPUInsts:    res.Stats.Insts,
+		OutputOK:    ok,
+	}, nil
+}
+
+// WeightedAVF aggregates per-benchmark AVFs weighted by execution time
+// (the paper's §V-A wAVF).
+func WeightedAVF(reports []*Report) float64 {
+	avfs := make([]float64, len(reports))
+	ts := make([]float64, len(reports))
+	for i, r := range reports {
+		avfs[i] = r.AVF
+		ts[i] = float64(r.GoldenCycles)
+	}
+	return metrics.WeightedAVF(avfs, ts)
+}
+
+// WeightedSDCAVF aggregates the SDC component of the AVF the same way.
+func WeightedSDCAVF(reports []*Report) float64 {
+	avfs := make([]float64, len(reports))
+	ts := make([]float64, len(reports))
+	for i, r := range reports {
+		avfs[i] = r.SDCAVF
+		ts[i] = float64(r.GoldenCycles)
+	}
+	return metrics.WeightedAVF(avfs, ts)
+}
+
+// ClockHz is the modeled SoC clock for OPS/OPF computations.
+const ClockHz = 1e9
+
+// OPF computes the Operations-per-Failure metric of §V-G.
+func OPF(ops float64, cycles uint64, avf float64) float64 {
+	return metrics.OPF(ops, cycles, ClockHz, avf)
+}
+
+// OPS computes operations per second at the modeled clock.
+func OPS(ops float64, cycles uint64) float64 {
+	return metrics.OPS(ops, cycles, ClockHz)
+}
+
+// SampleSize returns the Leveugle et al. statistical sample size for a
+// structure of populationBits at error margin e and 95% confidence.
+func SampleSize(populationBits uint64, e float64) int {
+	return core.SampleSize(populationBits, e, 1.96)
+}
