@@ -212,8 +212,13 @@ func BenchmarkAblation_EarlyTermination(b *testing.B) {
 	}
 }
 
-// BenchmarkAblation_CheckpointForking compares forking faulty runs from the
-// checkpoint snapshot (what campaigns do) against cold-started simulations.
+// BenchmarkAblation_CheckpointForking measures the campaign's faulty-run
+// setup strategies: legacy per-run deep cloning of the checkpoint vs
+// copy-on-write forking with dirty-state reset, plus the cold-start
+// baseline (no checkpoint at all). The per-fault-setup sub-benchmarks
+// isolate the setup cost itself — the acceptance bar is CoW reset at least
+// 2x cheaper than a legacy clone — while the end-to-end ones include the
+// simulation so the whole-campaign effect is visible.
 func BenchmarkAblation_CheckpointForking(b *testing.B) {
 	spec, err := workloads.ByName("rijndael")
 	if err != nil {
@@ -224,7 +229,8 @@ func BenchmarkAblation_CheckpointForking(b *testing.B) {
 		b.Fatal(err)
 	}
 	pre := config.TableII()
-	b.Run("fork-from-checkpoint", func(b *testing.B) {
+	checkpoint := func(b *testing.B) *soc.System {
+		b.Helper()
 		sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
 		if err != nil {
 			b.Fatal(err)
@@ -234,6 +240,36 @@ func BenchmarkAblation_CheckpointForking(b *testing.B) {
 		if res := sys.Run(50_000_000); res.Status != soc.RunCompleted {
 			b.Fatal(res.Status)
 		}
+		return base
+	}
+
+	b.Run("per-fault-setup/legacy-clone", func(b *testing.B) {
+		base := checkpoint(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := base.Clone()
+			_ = s
+		}
+	})
+	b.Run("per-fault-setup/cow-reset", func(b *testing.B) {
+		base := checkpoint(b)
+		scratch := base.Fork()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Dirty the scratch the way a faulty run would (untimed), then
+			// time only the rollback that prepares the next run.
+			b.StopTimer()
+			scratch.Run(200_000)
+			b.StartTimer()
+			scratch.Reset()
+		}
+		pages, sets := scratch.ForkCounters()
+		b.ReportMetric(float64(pages)/float64(b.N), "pages-copied/op")
+		b.ReportMetric(float64(sets)/float64(b.N), "sets-restored/op")
+	})
+
+	b.Run("end-to-end/legacy-clone", func(b *testing.B) {
+		base := checkpoint(b)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s := base.Clone()
@@ -242,7 +278,22 @@ func BenchmarkAblation_CheckpointForking(b *testing.B) {
 			}
 		}
 	})
-	b.Run("cold-start", func(b *testing.B) {
+	b.Run("end-to-end/cow-fork", func(b *testing.B) {
+		base := checkpoint(b)
+		scratch := base.Fork()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 {
+				scratch.Reset()
+			}
+			if res := scratch.Run(50_000_000); res.Status != soc.RunCompleted {
+				b.Fatal(res.Status)
+			}
+		}
+		pages, _ := scratch.ForkCounters()
+		b.ReportMetric(float64(pages)/float64(b.N), "pages-copied/op")
+	})
+	b.Run("end-to-end/cold-start", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
 			if err != nil {

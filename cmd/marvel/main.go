@@ -85,6 +85,7 @@ func cmdCampaign(args []string) error {
 	validOnly := fs.Bool("validonly", true, "draw faults over live entries only")
 	earlyTerm := fs.Bool("earlyterm", false, "enable early-termination optimizations")
 	physRegs := fs.Int("physregs", 0, "override physical register count (0 = 128)")
+	legacyClone := fs.Bool("legacyclone", false, "deep-clone the checkpoint per run instead of CoW forking (A/B baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +100,7 @@ func cmdCampaign(args []string) error {
 		ValidOnly:        *validOnly,
 		EarlyTermination: *earlyTerm,
 		PhysRegs:         *physRegs,
+		LegacyClone:      *legacyClone,
 	})
 	if err != nil {
 		return err
@@ -111,6 +113,12 @@ func cmdCampaign(args []string) error {
 	if *hvf {
 		fmt.Printf("HVF=%.4f\n", rep.HVF)
 	}
+	strategy := "cow-fork"
+	if rep.LegacyClone {
+		strategy = "legacy-clone"
+	}
+	fmt.Printf("forking: %s, %d forks, %d reuses, %d pages copied, %d cache sets restored\n",
+		strategy, rep.Forks, rep.ForkReuses, rep.PagesCopied, rep.SetsRestored)
 	return nil
 }
 

@@ -8,9 +8,7 @@
 package campaign
 
 import (
-	"bytes"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -80,6 +78,30 @@ type Config struct {
 	// WatchdogFactor bounds faulty runs at factor × golden cycles;
 	// expiry classifies as Crash. Default 3.
 	WatchdogFactor float64
+	// LegacyClone forces the pre-CoW forking strategy: one full deep copy
+	// of the checkpoint per faulty run. The default (false) forks one
+	// copy-on-write scratch system per worker and rolls it back between
+	// masks, which is equivalent bit for bit and an order of magnitude
+	// cheaper per fault. Kept for A/B comparison.
+	LegacyClone bool
+}
+
+// ForkStats counts checkpoint-forking activity over one campaign.
+type ForkStats struct {
+	// Legacy reports that the campaign ran with full per-run deep clones.
+	Legacy bool
+	// Forks is the number of scratch systems created (one per worker in
+	// CoW mode, one per faulty run in legacy mode).
+	Forks uint64
+	// ReuseHits counts faulty runs served by resetting an existing scratch
+	// system instead of building a new one.
+	ReuseHits uint64
+	// PagesCopied is the number of main-memory pages materialized by
+	// copy-on-write across all workers.
+	PagesCopied uint64
+	// CacheSetsRestored is the number of cache sets rolled back to the
+	// golden snapshot by scratch resets across all workers.
+	CacheSetsRestored uint64
 }
 
 // GoldenInfo describes the fault-free reference run.
@@ -109,6 +131,8 @@ type Result struct {
 	// Margin is the statistical error at 95% confidence for this sample
 	// size over the target's bit population.
 	Margin float64
+	// Forking describes how faulty runs were forked from the checkpoint.
+	Forking ForkStats
 }
 
 // AVF returns the campaign's architectural vulnerability factor.
@@ -174,18 +198,47 @@ func Run(cfg Config) (*Result, error) {
 		subTrace = goldenTrace.Slice(commitsAtCkpt)
 	}
 
+	res.Forking.Legacy = cfg.LegacyClone
+	var statsMu sync.Mutex
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker forks one copy-on-write scratch system from the
+			// checkpoint and rolls it back between masks; legacy mode
+			// instead deep-clones the checkpoint for every mask.
+			var scratch *soc.System
+			var forks, reuses uint64
 			for i := range work {
+				var s *soc.System
+				if cfg.LegacyClone {
+					s = base.Clone()
+					forks++
+				} else if scratch == nil {
+					scratch = base.Fork()
+					s = scratch
+					forks++
+				} else {
+					scratch.Reset()
+					s = scratch
+					reuses++
+				}
 				res.Records[i] = Record{
 					Mask:    masks[i],
-					Verdict: runOne(cfg, base, golden, subTrace, masks[i]),
+					Verdict: runOne(cfg, s, golden, subTrace, masks[i]),
 				}
 			}
+			statsMu.Lock()
+			res.Forking.Forks += forks
+			res.Forking.ReuseHits += reuses
+			if scratch != nil {
+				pages, sets := scratch.ForkCounters()
+				res.Forking.PagesCopied += pages
+				res.Forking.CacheSetsRestored += sets
+			}
+			statsMu.Unlock()
 		}()
 	}
 	for i := range masks {
@@ -273,10 +326,11 @@ func multiTargetMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.
 	return masks, total, nil
 }
 
-// runOne forks one faulty simulation from the checkpoint snapshot, applies
-// the mask, runs to completion (or early termination) and classifies.
-func runOne(cfg Config, base *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, mask core.Mask) classify.Verdict {
-	s := base.Clone()
+// runOne drives one faulty simulation on s — a system already positioned
+// at the checkpoint snapshot (a fresh clone, a fresh fork, or a reset
+// scratch fork; all three are state-identical) — applies the mask, runs to
+// completion (or early termination) and classifies.
+func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, mask core.Mask) classify.Verdict {
 	targets := map[string]core.Target{}
 	targetFor := func(name string) core.Target {
 		if t, ok := targets[name]; ok {
@@ -372,32 +426,19 @@ func runOne(cfg Config, base *soc.System, golden *GoldenInfo, goldenTrace *trace
 	return v
 }
 
-// verdictFromRun classifies a completed faulty simulation against the
-// golden output (§IV-A2): completed+equal = Masked, completed+different =
-// SDC, everything else = Crash (hangs included).
+// verdictFromRun adapts a simulator run result into the classification
+// input of classify.FromRun (§IV-A2).
 func verdictFromRun(goldenOutput []byte, goldenCycles uint64, res soc.RunResult) classify.Verdict {
-	v := classify.Verdict{
-		Cycles:        res.Cycles,
-		CycleDelta:    int64(res.Cycles) - int64(goldenCycles),
-		DivergeCommit: -1,
+	r := classify.RunOutcome{
+		Completed: res.Status == soc.RunCompleted,
+		Crashed:   res.Status == soc.RunCrashed,
+		Cycles:    res.Cycles,
+		Output:    res.Output,
 	}
-	switch res.Status {
-	case soc.RunCompleted:
-		if bytes.Equal(res.Output, goldenOutput) {
-			v.Outcome = classify.Masked
-		} else {
-			v.Outcome = classify.SDC
-		}
-	case soc.RunCrashed:
-		v.Outcome = classify.Crash
-		if res.Trap != nil {
-			v.CrashCode = res.Trap.Code.String()
-		}
-	default:
-		v.Outcome = classify.Crash
-		v.CrashCode = "watchdog-timeout"
+	if r.Crashed && res.Trap != nil {
+		r.CrashCode = res.Trap.Code.String()
 	}
-	return v
+	return classify.FromRun(goldenOutput, goldenCycles, r)
 }
 
 func stuckVal(m core.Model) uint8 {
@@ -409,14 +450,32 @@ func stuckVal(m core.Model) uint8 {
 
 // resampleLive redraws the bit coordinate until it lands in a live entry
 // (valid-only injection domain), deterministically per mask.
+//
+// RNG derivation: the stream is seeded purely from campaign-level inputs —
+// the campaign seed, the mask ID and the originally drawn bit — mixed
+// through splitmix64. Nothing about the execution schedule (worker count,
+// which worker picked the mask, run order, clone-vs-fork strategy) enters
+// the derivation, so every mask resolves to the same resampled bit no
+// matter how the campaign is parallelized. The previous xor-of-fields
+// seed let maskID<<20 and large bit coordinates collide; the two mixing
+// rounds make the streams statistically independent across masks.
 func resampleLive(tgt core.Target, f core.Fault, seed int64, maskID int) uint64 {
-	rng := rand.New(rand.NewSource(seed ^ int64(maskID)<<20 ^ int64(f.Bit)))
+	state := splitmix64(uint64(seed) ^ splitmix64(uint64(maskID)<<32|f.Bit))
 	bits := tgt.BitLen()
 	for tries := 0; tries < 512; tries++ {
-		b := uint64(rng.Int63n(int64(bits)))
-		if tgt.Live(b) {
+		state = splitmix64(state)
+		if b := state % bits; tgt.Live(b) {
 			return b
 		}
 	}
 	return f.Bit
+}
+
+// splitmix64 is the finalizer of Vigna's SplitMix64 generator: a cheap,
+// high-quality 64-bit mixing function used to derive per-mask RNG streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
 }

@@ -5,7 +5,10 @@
 // "excessively long execution times".
 package classify
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
 
 // Outcome is the AVF fault-effect class.
 type Outcome uint8
@@ -79,4 +82,48 @@ type Verdict struct {
 // optimization.
 func EarlyMasked(reason MaskReason, cycles uint64) Verdict {
 	return Verdict{Outcome: Masked, Reason: reason, Cycles: cycles, EarlyStop: true, DivergeCommit: -1}
+}
+
+// RunOutcome is the simulator-agnostic description of how one faulty run
+// ended, the input to the §IV-A2 classification.
+type RunOutcome struct {
+	// Completed means the program executed its halt instruction.
+	Completed bool
+	// Crashed means an architectural exception terminated the run; when
+	// neither Completed nor Crashed is set the run timed out (hang).
+	Crashed   bool
+	CrashCode string // trap description for crashes
+	Cycles    uint64
+	Output    []byte // program output region (nil when none was produced)
+}
+
+// WatchdogCrashCode is the CrashCode assigned to runs terminated by the
+// campaign watchdog (hangs, which the paper folds into Crash).
+const WatchdogCrashCode = "watchdog-timeout"
+
+// FromRun classifies a finished faulty simulation against the golden run
+// (§IV-A2): completed with byte-equal output = Masked, completed with
+// different output = SDC, everything else — exceptions, deadlocks, hangs —
+// = Crash. A nil output and an empty output compare equal.
+func FromRun(goldenOutput []byte, goldenCycles uint64, r RunOutcome) Verdict {
+	v := Verdict{
+		Cycles:        r.Cycles,
+		CycleDelta:    int64(r.Cycles) - int64(goldenCycles),
+		DivergeCommit: -1,
+	}
+	switch {
+	case r.Completed:
+		if bytes.Equal(r.Output, goldenOutput) {
+			v.Outcome = Masked
+		} else {
+			v.Outcome = SDC
+		}
+	case r.Crashed:
+		v.Outcome = Crash
+		v.CrashCode = r.CrashCode
+	default:
+		v.Outcome = Crash
+		v.CrashCode = WatchdogCrashCode
+	}
+	return v
 }

@@ -1,0 +1,171 @@
+package classify_test
+
+import (
+	"testing"
+
+	"marvel/internal/classify"
+)
+
+func TestFromRunBoundaries(t *testing.T) {
+	golden := []byte{1, 2, 3, 4}
+	tests := []struct {
+		name         string
+		goldenOutput []byte
+		goldenCycles uint64
+		run          classify.RunOutcome
+		wantOutcome  classify.Outcome
+		wantCrash    string
+		wantDelta    int64
+	}{
+		{
+			name:         "completed identical output is masked",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Completed: true, Cycles: 100, Output: []byte{1, 2, 3, 4}},
+			wantOutcome:  classify.Masked,
+		},
+		{
+			name:         "completed with one flipped byte is SDC",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Completed: true, Cycles: 100, Output: []byte{1, 2, 3, 5}},
+			wantOutcome:  classify.SDC,
+		},
+		{
+			name:         "completed with truncated output is SDC",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Completed: true, Cycles: 100, Output: []byte{1, 2, 3}},
+			wantOutcome:  classify.SDC,
+		},
+		{
+			name:         "completed with extra output bytes is SDC",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Completed: true, Cycles: 100, Output: []byte{1, 2, 3, 4, 0}},
+			wantOutcome:  classify.SDC,
+		},
+		{
+			name:         "completed but output vanished entirely is SDC",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Completed: true, Cycles: 100, Output: nil},
+			wantOutcome:  classify.SDC,
+		},
+		{
+			name:         "no declared output region: nil equals empty, masked",
+			goldenOutput: nil,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Completed: true, Cycles: 100, Output: []byte{}},
+			wantOutcome:  classify.Masked,
+		},
+		{
+			name:         "slower but correct completion is still masked",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Completed: true, Cycles: 180, Output: []byte{1, 2, 3, 4}},
+			wantOutcome:  classify.Masked,
+			wantDelta:    80,
+		},
+		{
+			name:         "architectural exception is crash with trap code",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Crashed: true, CrashCode: "mem-fault", Cycles: 40},
+			wantOutcome:  classify.Crash,
+			wantCrash:    "mem-fault",
+			wantDelta:    -60,
+		},
+		{
+			name:         "crash without trap detail keeps empty code",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Crashed: true, Cycles: 40},
+			wantOutcome:  classify.Crash,
+			wantCrash:    "",
+			wantDelta:    -60,
+		},
+		{
+			name:         "watchdog timeout (hang) folds into crash",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Cycles: 300},
+			wantOutcome:  classify.Crash,
+			wantCrash:    classify.WatchdogCrashCode,
+			wantDelta:    200,
+		},
+		{
+			name:         "timed-out run ignores any partial output",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Cycles: 300, Output: []byte{1, 2, 3, 4}},
+			wantOutcome:  classify.Crash,
+			wantCrash:    classify.WatchdogCrashCode,
+			wantDelta:    200,
+		},
+		{
+			name:         "completed wins over stale crash metadata",
+			goldenOutput: golden,
+			goldenCycles: 100,
+			run:          classify.RunOutcome{Completed: true, Crashed: true, CrashCode: "x", Cycles: 100, Output: golden},
+			wantOutcome:  classify.Masked,
+		},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			v := classify.FromRun(tc.goldenOutput, tc.goldenCycles, tc.run)
+			if v.Outcome != tc.wantOutcome {
+				t.Fatalf("outcome = %v, want %v", v.Outcome, tc.wantOutcome)
+			}
+			if v.CrashCode != tc.wantCrash {
+				t.Fatalf("crash code = %q, want %q", v.CrashCode, tc.wantCrash)
+			}
+			if v.CycleDelta != tc.wantDelta {
+				t.Fatalf("cycle delta = %d, want %d", v.CycleDelta, tc.wantDelta)
+			}
+			if v.Cycles != tc.run.Cycles {
+				t.Fatalf("cycles = %d, want %d", v.Cycles, tc.run.Cycles)
+			}
+			if v.DivergeCommit != -1 {
+				t.Fatalf("full-run verdicts start with no diverge point, got %d", v.DivergeCommit)
+			}
+			if v.Outcome == classify.Masked && v.Reason != classify.MaskedByRun {
+				t.Fatalf("full-run masked verdict has reason %v", v.Reason)
+			}
+			if v.EarlyStop {
+				t.Fatal("full-run verdict marked as early stop")
+			}
+		})
+	}
+}
+
+func TestEarlyMaskedVerdicts(t *testing.T) {
+	for _, reason := range []classify.MaskReason{classify.MaskedInvalidEntry, classify.MaskedDeadFault} {
+		v := classify.EarlyMasked(reason, 42)
+		if v.Outcome != classify.Masked || v.Reason != reason {
+			t.Fatalf("EarlyMasked(%v) = %+v", reason, v)
+		}
+		if !v.EarlyStop || v.Cycles != 42 || v.DivergeCommit != -1 {
+			t.Fatalf("EarlyMasked(%v) bookkeeping wrong: %+v", reason, v)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		classify.Masked.String():             "masked",
+		classify.SDC.String():                "sdc",
+		classify.Crash.String():              "crash",
+		classify.MaskedByRun.String():        "full-run",
+		classify.MaskedInvalidEntry.String(): "invalid-entry",
+		classify.MaskedDeadFault.String():    "overwritten-before-read",
+		classify.Outcome(99).String():        "outcome(99)",
+		classify.MaskReason(99).String():     "reason(99)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("stringer mismatch: got %q want %q", got, want)
+		}
+	}
+}

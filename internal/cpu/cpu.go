@@ -299,6 +299,44 @@ func (c *CPU) LQ() *LSQ { return c.lq }
 // SQ returns the store queue injection target.
 func (c *CPU) SQ() *LSQ { return c.sq }
 
+// ResetTo restores every scalar and storage field of c to g's state while
+// keeping c's hierarchy attachment and reusing c's slice backing arrays —
+// the cheap per-fault reset of checkpoint forking. Hooks are cleared; the
+// new run installs its own. g must be a frozen checkpoint core with the
+// same configuration.
+func (c *CPU) ResetTo(g *CPU) {
+	hier := c.hier
+	fbuf, uq, bimodal := c.fbuf, c.uq, c.bimodal
+	rmap, freeList := c.rmap, c.freeList
+	prf, rob, iq := c.prf, c.rob, c.iq
+	lq, sq, events := c.lq, c.sq, c.events
+
+	// Struct copy picks up every scalar (cycle, seq, fetch state, halt,
+	// trap, stats, ...) so new fields stay covered by construction; the
+	// slice and pointer fields are then re-pointed at c's own storage.
+	*c = *g
+	c.hier = hier
+	c.fbuf = append(fbuf[:0], g.fbuf...)
+	c.uq = append(uq[:0], g.uq...)
+	c.bimodal = bimodal
+	copy(c.bimodal, g.bimodal)
+	c.rmap = rmap
+	copy(c.rmap, g.rmap)
+	c.freeList = append(freeList[:0], g.freeList...)
+	c.prf = prf
+	c.prf.ResetTo(g.prf)
+	c.rob = rob
+	copy(c.rob, g.rob)
+	c.iq = append(iq[:0], g.iq...)
+	c.lq = lq
+	c.lq.ResetTo(g.lq)
+	c.sq = sq
+	c.sq.ResetTo(g.sq)
+	c.events = append(events[:0], g.events...)
+	c.MagicHook = nil
+	c.CommitHook = nil
+}
+
 // Clone deep-copies the core onto an already-cloned hierarchy. Hooks are
 // not copied; the new owner installs its own.
 func (c *CPU) Clone(hier *mem.Hierarchy) *CPU {

@@ -128,6 +128,16 @@ func (q *LSQ) Clone() *LSQ {
 	return &n
 }
 
+// ResetTo restores q to g's state without allocating, reusing q's backing
+// arrays (checkpoint-fork reuse across faulty runs).
+func (q *LSQ) ResetTo(g *LSQ) {
+	entries, stuck := q.entries, q.stuck
+	*q = *g
+	q.entries = entries
+	copy(q.entries, g.entries)
+	q.stuck = append(stuck[:0], g.stuck...)
+}
+
 // --- core.Target implementation ---
 
 // TargetName implements core.Target.

@@ -95,6 +95,18 @@ func (p *PhysRegFile) SetInitial(r PReg, v uint64) {
 	p.free[r] = false
 }
 
+// ResetTo restores p to g's state without allocating, reusing p's backing
+// arrays (checkpoint-fork reuse across faulty runs).
+func (p *PhysRegFile) ResetTo(g *PhysRegFile) {
+	copy(p.vals, g.vals)
+	copy(p.ready, g.ready)
+	copy(p.free, g.free)
+	p.stuck = append(p.stuck[:0], g.stuck...)
+	p.watchArmed = g.watchArmed
+	p.watchReg = g.watchReg
+	p.watchState = g.watchState
+}
+
 // Clone deep-copies the register file.
 func (p *PhysRegFile) Clone() *PhysRegFile {
 	n := &PhysRegFile{

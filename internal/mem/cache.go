@@ -75,6 +75,14 @@ type Cache struct {
 	watchArmed bool
 	watchByte  uint64 // byte index in data array
 	watchState core.WatchState
+
+	// Fork support: golden points at the frozen checkpoint cache this one
+	// was forked from; setDirty/dirtySets journal which sets have diverged
+	// so ResetToGolden restores only those (O(touched sets)).
+	golden       *Cache
+	setDirty     []bool
+	dirtySets    []int
+	setsRestored uint64
 }
 
 // NewCache builds a cache over the given lower level.
@@ -219,6 +227,7 @@ func (c *Cache) Access(addr uint64, buf []byte, write bool) (int, error) {
 		return 0, fmt.Errorf("mem: cache %s access at %#x size %d crosses a line", c.cfg.Name, addr, len(buf))
 	}
 	set, way, hit := c.lookup(addr)
+	c.markSet(set)
 	lat := c.cfg.HitLat
 	if hit {
 		c.Stats.Hits++
@@ -265,6 +274,7 @@ func (c *Cache) FlushTo() error {
 		for w := 0; w < c.cfg.Ways; w++ {
 			i := c.way(set, w)
 			if c.valid[i] && c.dirty[i] {
+				c.markSet(set)
 				if _, err := c.lower.writeLine(c.lineAddr(set, c.tags[i]), c.lineData(set, w)); err != nil {
 					return err
 				}
@@ -287,7 +297,8 @@ func (c *Cache) Peek(addr uint64, buf []byte) bool {
 	return true
 }
 
-// Clone deep-copies the cache; the caller re-links lower.
+// Clone deep-copies the cache; the caller re-links lower. The clone is a
+// standalone cache: fork journaling does not carry over.
 func (c *Cache) Clone(lower level) *Cache {
 	n := *c
 	n.tags = append([]uint64(nil), c.tags...)
@@ -297,8 +308,64 @@ func (c *Cache) Clone(lower level) *Cache {
 	n.plru = append([]uint16(nil), c.plru...)
 	n.stuck = append([]stuckBit(nil), c.stuck...)
 	n.lower = lower
+	n.golden = nil
+	n.setDirty = nil
+	n.dirtySets = nil
+	n.setsRestored = 0
 	return &n
 }
+
+// Fork deep-copies the cache like Clone but remembers c as the golden
+// checkpoint and journals every set the fork touches, so ResetToGolden
+// can roll the fork back in time proportional to the touched sets rather
+// than the cache size. The golden cache must not be mutated afterwards.
+func (c *Cache) Fork(lower level) *Cache {
+	n := c.Clone(lower)
+	n.golden = c
+	n.setDirty = make([]bool, c.sets)
+	n.dirtySets = make([]int, 0, 64)
+	return n
+}
+
+// markSet journals a set mutation on a forked cache.
+func (c *Cache) markSet(set int) {
+	if c.setDirty != nil && !c.setDirty[set] {
+		c.setDirty[set] = true
+		c.dirtySets = append(c.dirtySets, set)
+	}
+}
+
+// ResetToGolden restores a forked cache to its golden checkpoint state:
+// journaled sets get their tags/valid/dirty/data/PLRU copied back, stats
+// and fault state (stuck bits, watchpoint) are reset wholesale.
+func (c *Cache) ResetToGolden() {
+	g := c.golden
+	if g == nil {
+		return
+	}
+	ways, lb := c.cfg.Ways, c.cfg.LineBytes
+	for _, set := range c.dirtySets {
+		lo := set * ways
+		hi := lo + ways
+		copy(c.tags[lo:hi], g.tags[lo:hi])
+		copy(c.valid[lo:hi], g.valid[lo:hi])
+		copy(c.dirty[lo:hi], g.dirty[lo:hi])
+		copy(c.data[lo*lb:hi*lb], g.data[lo*lb:hi*lb])
+		c.plru[set] = g.plru[set]
+		c.setDirty[set] = false
+	}
+	c.setsRestored += uint64(len(c.dirtySets))
+	c.dirtySets = c.dirtySets[:0]
+	c.Stats = g.Stats
+	c.stuck = append(c.stuck[:0], g.stuck...)
+	c.watchArmed = g.watchArmed
+	c.watchByte = g.watchByte
+	c.watchState = g.watchState
+}
+
+// SetsRestored returns the cumulative number of sets ResetToGolden has
+// copied back on this fork.
+func (c *Cache) SetsRestored() uint64 { return c.setsRestored }
 
 // --- core.Target implementation (data array bits) ---
 
@@ -313,8 +380,15 @@ func (c *Cache) Live(bit uint64) bool {
 	return c.valid[bit/8/uint64(c.cfg.LineBytes)]
 }
 
+// setOfByte maps a data-array byte index to its set (layout: line index
+// set*ways+way, each line LineBytes long).
+func (c *Cache) setOfByte(byteIdx uint64) int {
+	return int(byteIdx / uint64(c.cfg.LineBytes) / uint64(c.cfg.Ways))
+}
+
 // Flip implements core.Target.
 func (c *Cache) Flip(bit uint64) {
+	c.markSet(c.setOfByte(bit / 8))
 	c.data[bit/8] ^= 1 << (bit % 8)
 }
 
@@ -342,6 +416,7 @@ func (c *Cache) applyStuck(lineIdx int) {
 }
 
 func (c *Cache) applyStuckByte(sb stuckBit) {
+	c.markSet(c.setOfByte(sb.byteIdx))
 	c.data[sb.byteIdx] = c.data[sb.byteIdx]&^sb.mask | sb.value
 }
 

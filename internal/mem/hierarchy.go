@@ -130,5 +130,34 @@ func (h *Hierarchy) Clone() *Hierarchy {
 	return n
 }
 
+// Fork builds the copy-on-write counterpart of Clone: main memory becomes
+// a CoW view sharing the golden image, and the caches are forked with
+// dirty-set journaling so Reset rolls the whole hierarchy back to the
+// checkpoint in time proportional to what a run actually touched. The
+// receiver is the golden checkpoint and must not be mutated afterwards.
+func (h *Hierarchy) Fork() *Hierarchy {
+	n := &Hierarchy{Mem: h.Mem.Fork(), Bus: h.Bus, MMIOBase: h.MMIOBase}
+	n.L2 = h.L2.Fork(memAdapter{n.Mem})
+	n.L1I = h.L1I.Fork(n.L2)
+	n.L1D = h.L1D.Fork(n.L2)
+	return n
+}
+
+// Reset rolls a forked hierarchy back to its golden checkpoint state.
+func (h *Hierarchy) Reset() {
+	h.Mem.Reset()
+	h.L1I.ResetToGolden()
+	h.L1D.ResetToGolden()
+	h.L2.ResetToGolden()
+}
+
+// ForkCounters reports cumulative CoW work done by a forked hierarchy:
+// memory pages materialized and cache sets restored by resets.
+func (h *Hierarchy) ForkCounters() (pagesCopied, setsRestored uint64) {
+	pagesCopied = h.Mem.CoW().PagesCopied
+	setsRestored = h.L1I.SetsRestored() + h.L1D.SetsRestored() + h.L2.SetsRestored()
+	return
+}
+
 // SetBus replaces the MMIO bus (used after cloning SoC devices).
 func (h *Hierarchy) SetBus(b *Bus) { h.Bus = b }

@@ -491,3 +491,258 @@ func TestSampleSize(t *testing.T) {
 		t.Errorf("MarginFor(1000) = %f, want ≈0.03", m)
 	}
 }
+
+// --- Copy-on-write fork/reset tests ---
+
+func TestMemoryForkSharesGoldenReads(t *testing.T) {
+	m := NewMemory(0x1000, 4*pageSize, 1)
+	pattern := make([]byte, 4*pageSize)
+	for i := range pattern {
+		pattern[i] = byte(i * 7)
+	}
+	if err := m.Write(0x1000, pattern); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+	got := make([]byte, len(pattern))
+	if err := f.Read(0x1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern) {
+		t.Fatal("fork read differs from golden image")
+	}
+	if f.CoW().PagesCopied != 0 {
+		t.Fatalf("pure reads materialized %d pages", f.CoW().PagesCopied)
+	}
+}
+
+func TestMemoryForkWriteMaterializesAndIsolates(t *testing.T) {
+	m := NewMemory(0, 2*pageSize, 1)
+	f := m.Fork()
+	if err := f.Write(10, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.CoW().PagesCopied; got != 1 {
+		t.Fatalf("one-page write materialized %d pages", got)
+	}
+	buf := make([]byte, 2)
+	if err := f.Read(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAA || buf[1] != 0xBB {
+		t.Fatalf("fork read-back %x", buf)
+	}
+	// The golden memory must be untouched.
+	if err := m.Read(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 || buf[1] != 0 {
+		t.Fatalf("write leaked into golden image: %x", buf)
+	}
+}
+
+func TestMemoryForkPageSpanningAccess(t *testing.T) {
+	m := NewMemory(0, 3*pageSize, 1)
+	f := m.Fork()
+	// A write straddling the page-1/page-2 boundary must land in both pages.
+	span := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	addr := uint64(2*pageSize - 4)
+	if err := f.Write(addr, span); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.CoW().PagesCopied; got != 2 {
+		t.Fatalf("boundary write materialized %d pages, want 2", got)
+	}
+	got := make([]byte, len(span))
+	if err := f.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, span) {
+		t.Fatalf("boundary read-back %x, want %x", got, span)
+	}
+}
+
+func TestMemoryForkResetRestoresGoldenView(t *testing.T) {
+	m := NewMemory(0, 2*pageSize, 1)
+	if err := m.Write(100, []byte{0x11}); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+	if err := f.Write(100, []byte{0x99}); err != nil {
+		t.Fatal(err)
+	}
+	f.Reset()
+	buf := make([]byte, 1)
+	if err := f.Read(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x11 {
+		t.Fatalf("post-reset read %#x, want golden 0x11", buf[0])
+	}
+	// Re-dirtying the same page after a reset reuses the retained buffer:
+	// PagesCopied grows (a fresh golden copy is taken) but no new slice is
+	// allocated — verified indirectly by the stale value not leaking.
+	if err := f.Write(101, []byte{0x42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x11 {
+		t.Fatalf("rematerialized page kept stale byte: %#x", buf[0])
+	}
+	st := f.CoW()
+	if st.Resets != 1 || st.PagesCopied != 2 {
+		t.Fatalf("stats %+v, want 1 reset / 2 materializations", st)
+	}
+}
+
+func TestMemoryCloneOfForkFlattens(t *testing.T) {
+	m := NewMemory(0, 2*pageSize, 1)
+	if err := m.Write(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+	if err := f.Write(pageSize, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	c := f.Clone()
+	buf := make([]byte, 3)
+	if err := c.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{1, 2, 3}) {
+		t.Fatalf("clone lost golden bytes: %x", buf)
+	}
+	one := make([]byte, 1)
+	if err := c.Read(pageSize, one); err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != 9 {
+		t.Fatalf("clone lost dirty-page byte: %#x", one[0])
+	}
+	// The clone is flat and independent: writes don't reach fork or golden.
+	if err := c.Write(0, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(0, one); err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != 1 {
+		t.Fatalf("clone write leaked into fork: %#x", one[0])
+	}
+}
+
+func TestCacheForkResetToGolden(t *testing.T) {
+	golden := testHier(t)
+	// Warm the golden hierarchy with a recognizable pattern.
+	for i := 0; i < 64; i++ {
+		if _, err := golden.Store(uint64(i*64), []byte{byte(i), byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := golden.Clone()
+
+	f := golden.Fork()
+	// Mutate broadly through the fork: stores, a bit flip, a stuck-at.
+	for i := 0; i < 64; i++ {
+		if _, err := f.Store(uint64(i*64), []byte{0xFF}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.L1D.Flip(123)
+	f.L1D.Stick(4567, 1)
+	f.L1D.Watch(123)
+	f.Reset()
+
+	// After reset the fork must be indistinguishable from the checkpoint.
+	for i := 0; i < 64; i++ {
+		want := make([]byte, 2)
+		got := make([]byte, 2)
+		if err := ref.ReadBack(uint64(i*64), want); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.ReadBack(uint64(i*64), got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("line %d after reset: %x, want %x", i, got, want)
+		}
+	}
+	if f.L1D.Stats != golden.L1D.Stats {
+		t.Fatalf("stats not restored: %+v vs %+v", f.L1D.Stats, golden.L1D.Stats)
+	}
+	if f.L1D.WatchState() != golden.L1D.WatchState() {
+		t.Fatal("watchpoint survived reset")
+	}
+	if _, sets := f.ForkCounters(); sets == 0 {
+		t.Fatal("reset restored no cache sets despite mutations")
+	}
+}
+
+func TestForkedHierarchyMatchesCloneUnderTraffic(t *testing.T) {
+	// Drive a clone and a fork with an identical random access stream; every
+	// load and every latency must agree, and after Reset the fork must
+	// reproduce the same stream again from the checkpoint.
+	golden := testHier(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		addr := uint64(rng.Intn(1 << 16))
+		if _, err := golden.Store(addr, []byte{byte(rng.Int())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type op struct {
+		addr  uint64
+		write bool
+		val   byte
+	}
+	ops := make([]op, 500)
+	for i := range ops {
+		ops[i] = op{addr: uint64(rng.Intn(1 << 16)), write: rng.Intn(2) == 0, val: byte(rng.Int())}
+	}
+	run := func(h *Hierarchy) ([]byte, []int) {
+		vals := make([]byte, 0, len(ops))
+		lats := make([]int, 0, len(ops))
+		for _, o := range ops {
+			buf := []byte{o.val}
+			var lat int
+			var err error
+			if o.write {
+				lat, err = h.Store(o.addr, buf)
+			} else {
+				lat, err = h.Load(o.addr, buf)
+				vals = append(vals, buf[0])
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			lats = append(lats, lat)
+		}
+		return vals, lats
+	}
+
+	c := golden.Clone()
+	f := golden.Fork()
+	cv, cl := run(c)
+	fv, fl := run(f)
+	if !bytes.Equal(cv, fv) {
+		t.Fatal("fork load values diverge from clone")
+	}
+	for i := range cl {
+		if cl[i] != fl[i] {
+			t.Fatalf("op %d latency: clone %d fork %d", i, cl[i], fl[i])
+		}
+	}
+	f.Reset()
+	fv2, fl2 := run(f)
+	if !bytes.Equal(cv, fv2) {
+		t.Fatal("post-reset fork replay diverges")
+	}
+	for i := range cl {
+		if cl[i] != fl2[i] {
+			t.Fatalf("post-reset op %d latency: clone %d fork %d", i, cl[i], fl2[i])
+		}
+	}
+}

@@ -26,31 +26,62 @@ func (e *AccessError) Error() string {
 	return fmt.Sprintf("mem: %s fault at %#x", op, e.Addr)
 }
 
-// Memory is the flat backing store for a contiguous physical range.
+// CoW page geometry. Pages are the unit of sharing between a golden
+// memory snapshot and the faulty runs forked from it.
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+)
+
+// CoWStats counts copy-on-write activity on a forked memory.
+type CoWStats struct {
+	// PagesCopied is the number of page materializations (first write to a
+	// clean page since the last Reset).
+	PagesCopied uint64
+	// Resets is the number of dirty-page rollbacks to the golden image.
+	Resets uint64
+}
+
+// Memory is the backing store for a contiguous physical range. It runs in
+// one of two modes: a flat mode holding its own bytes (golden systems),
+// and a copy-on-write mode produced by Fork, where reads are served from a
+// shared read-only golden image and writes materialize private pages.
 type Memory struct {
 	base    uint64
-	data    []byte
+	size    int
 	latency int
+
+	// Flat mode.
+	data []byte
+
+	// CoW mode (golden != nil): pages[p] is consulted only while
+	// pageDirty[p] is set; Reset clears the dirty bits without freeing the
+	// page buffers, so reuse across faulty runs allocates nothing.
+	golden    []byte
+	pages     [][]byte
+	pageDirty []bool
+	dirtyList []int
+	cow       CoWStats
 }
 
 // NewMemory creates size bytes of memory starting at base with the given
 // access latency in cycles.
 func NewMemory(base uint64, size int, latency int) *Memory {
-	return &Memory{base: base, data: make([]byte, size), latency: latency}
+	return &Memory{base: base, size: size, data: make([]byte, size), latency: latency}
 }
 
 // Base returns the first mapped address.
 func (m *Memory) Base() uint64 { return m.base }
 
 // Size returns the mapped length in bytes.
-func (m *Memory) Size() int { return len(m.data) }
+func (m *Memory) Size() int { return m.size }
 
 // Latency returns the fixed access latency in cycles.
 func (m *Memory) Latency() int { return m.latency }
 
 // Contains reports whether [addr, addr+n) is fully inside the memory.
 func (m *Memory) Contains(addr uint64, n int) bool {
-	return addr >= m.base && addr-m.base+uint64(n) <= uint64(len(m.data))
+	return addr >= m.base && addr-m.base+uint64(n) <= uint64(m.size)
 }
 
 // Read copies len(buf) bytes from addr.
@@ -58,7 +89,26 @@ func (m *Memory) Read(addr uint64, buf []byte) error {
 	if !m.Contains(addr, len(buf)) {
 		return &AccessError{Addr: addr}
 	}
-	copy(buf, m.data[addr-m.base:])
+	off := addr - m.base
+	if m.golden == nil {
+		copy(buf, m.data[off:])
+		return nil
+	}
+	for len(buf) > 0 {
+		p := int(off >> pageShift)
+		po := int(off & (pageSize - 1))
+		n := pageSize - po
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if m.pageDirty[p] {
+			copy(buf[:n], m.pages[p][po:])
+		} else {
+			copy(buf[:n], m.golden[off:])
+		}
+		off += uint64(n)
+		buf = buf[n:]
+	}
 	return nil
 }
 
@@ -67,15 +117,100 @@ func (m *Memory) Write(addr uint64, data []byte) error {
 	if !m.Contains(addr, len(data)) {
 		return &AccessError{Addr: addr, Write: true}
 	}
-	copy(m.data[addr-m.base:], data)
+	off := addr - m.base
+	if m.golden == nil {
+		copy(m.data[off:], data)
+		return nil
+	}
+	for len(data) > 0 {
+		p := int(off >> pageShift)
+		po := int(off & (pageSize - 1))
+		n := pageSize - po
+		if n > len(data) {
+			n = len(data)
+		}
+		if !m.pageDirty[p] {
+			m.materialize(p)
+		}
+		copy(m.pages[p][po:], data[:n])
+		off += uint64(n)
+		data = data[n:]
+	}
 	return nil
 }
 
-// Clone returns a deep copy for checkpointing.
+// materialize gives page p a private copy of the golden bytes.
+func (m *Memory) materialize(p int) {
+	lo := p << pageShift
+	hi := lo + pageSize
+	if hi > m.size {
+		hi = m.size
+	}
+	if m.pages[p] == nil {
+		m.pages[p] = make([]byte, hi-lo)
+	}
+	copy(m.pages[p], m.golden[lo:hi])
+	m.pageDirty[p] = true
+	m.dirtyList = append(m.dirtyList, p)
+	m.cow.PagesCopied++
+}
+
+// Fork returns a copy-on-write view of the memory: reads come from the
+// (now shared, read-only) current image, writes land in private pages.
+// Several forks may share one golden image; each must be used by a single
+// goroutine. The receiver must not be written to afterwards.
+func (m *Memory) Fork() *Memory {
+	np := (m.size + pageSize - 1) / pageSize
+	return &Memory{
+		base:      m.base,
+		size:      m.size,
+		latency:   m.latency,
+		golden:    m.flat(),
+		pages:     make([][]byte, np),
+		pageDirty: make([]bool, np),
+	}
+}
+
+// Reset rolls a forked memory back to the golden image by dropping every
+// dirty page — O(dirty pages), no allocation, no copying. Flat memories
+// ignore it.
+func (m *Memory) Reset() {
+	if m.golden == nil {
+		return
+	}
+	for _, p := range m.dirtyList {
+		m.pageDirty[p] = false
+	}
+	m.dirtyList = m.dirtyList[:0]
+	m.cow.Resets++
+}
+
+// CoW returns the fork's copy-on-write counters (zero for flat memories).
+func (m *Memory) CoW() CoWStats { return m.cow }
+
+// flat returns the full current image as one contiguous slice; for a flat
+// memory this is its own storage (no copy).
+func (m *Memory) flat() []byte {
+	if m.golden == nil {
+		return m.data
+	}
+	out := append([]byte(nil), m.golden...)
+	for _, p := range m.dirtyList {
+		copy(out[p<<pageShift:], m.pages[p])
+	}
+	return out
+}
+
+// Clone returns an independent flat deep copy for checkpointing (CoW
+// forks are flattened).
 func (m *Memory) Clone() *Memory {
-	c := *m
-	c.data = append([]byte(nil), m.data...)
-	return &c
+	c := &Memory{base: m.base, size: m.size, latency: m.latency}
+	if m.golden == nil {
+		c.data = append([]byte(nil), m.data...)
+	} else {
+		c.data = m.flat() // flat already returns a fresh copy here
+	}
+	return c
 }
 
 // Handler is a device mapped on the MMIO bus.

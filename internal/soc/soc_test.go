@@ -198,3 +198,52 @@ func simpleProgram(t *testing.T) *ir.Program {
 	b.Halt()
 	return b.MustProgram()
 }
+
+func TestSystemForkMatchesCloneAndResetsForReuse(t *testing.T) {
+	wl := simpleProgram(t)
+	img, err := program.Compile(isa.ARM64L{}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := config.Fast()
+	sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receiver of Fork becomes a frozen checkpoint, so take the
+	// reference run on an ordinary deep clone.
+	ref := sys.Clone().Run(1_000_000)
+	if ref.Status != soc.RunCompleted {
+		t.Fatalf("reference run: %v", ref.Status)
+	}
+
+	f := sys.Fork()
+	if !f.Forked() || sys.Forked() {
+		t.Fatal("Forked() flags wrong: fork must report true, checkpoint false")
+	}
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			f.Reset()
+		}
+		r := f.Run(1_000_000)
+		if r.Status != soc.RunCompleted {
+			t.Fatalf("fork run %d: %v", i, r.Status)
+		}
+		if !bytes.Equal(r.Output, ref.Output) {
+			t.Fatalf("fork run %d output differs from clone reference", i)
+		}
+		if r.Cycles != ref.Cycles {
+			t.Fatalf("fork run %d timing %d, clone %d", i, r.Cycles, ref.Cycles)
+		}
+	}
+	if _, sets := f.ForkCounters(); sets == 0 {
+		t.Fatal("resets restored no cache sets despite full program runs")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset on a non-forked system must panic")
+		}
+	}()
+	sys.Clone().Reset()
+}

@@ -82,6 +82,10 @@ type System struct {
 	// CheckpointHook, when set, fires at the checkpoint directive (used by
 	// campaigns to snapshot state).
 	CheckpointHook func(cycle uint64)
+
+	// golden is the frozen checkpoint this system was forked from (nil
+	// for ordinary systems); Reset rolls back to it.
+	golden *System
 }
 
 // New builds a CPU system around a compiled image.
@@ -242,4 +246,66 @@ func (s *System) Clone() *System {
 	}
 	n.hookMagic()
 	return n
+}
+
+// Fork creates a copy-on-write checkpoint fork of the system: main memory
+// pages are shared read-only with s until written, caches journal the
+// sets they touch, and the CPU is deep-copied once. A fork is meant to be
+// reused across faulty runs via Reset, which rolls it back to s in time
+// proportional to the state the previous run dirtied — the §IV-B forking
+// speedup. The receiver becomes the frozen golden snapshot and must not
+// be stepped afterwards; each fork belongs to a single goroutine, but
+// many forks may share one snapshot. Like Clone, Fork does not carry
+// attached devices.
+func (s *System) Fork() *System {
+	h := s.Hier.Fork()
+	n := &System{
+		CPU:             s.CPU.Clone(h),
+		Hier:            h,
+		Mem:             h.Mem,
+		Bus:             s.Bus,
+		Img:             s.Img,
+		CheckpointCycle: s.CheckpointCycle,
+		SwitchCycle:     s.SwitchCycle,
+		hasCheckpoint:   s.hasCheckpoint,
+		hasSwitch:       s.hasSwitch,
+		golden:          s,
+	}
+	if s.IntCtrl != nil {
+		n.IntCtrl = s.IntCtrl.Clone()
+	}
+	n.hookMagic()
+	return n
+}
+
+// Forked reports whether the system was created by Fork (and so supports
+// Reset).
+func (s *System) Forked() bool { return s.golden != nil }
+
+// Reset rolls a forked system back to its golden snapshot, reusing the
+// fork's storage: dirty memory pages are dropped, journaled cache sets
+// restored, CPU state copied back. After Reset the system is
+// indistinguishable from a fresh Clone of the snapshot.
+func (s *System) Reset() {
+	g := s.golden
+	if g == nil {
+		panic("soc: Reset on a system that was not created by Fork")
+	}
+	s.Hier.Reset()
+	s.CPU.ResetTo(g.CPU)
+	s.CheckpointCycle = g.CheckpointCycle
+	s.SwitchCycle = g.SwitchCycle
+	s.hasCheckpoint = g.hasCheckpoint
+	s.hasSwitch = g.hasSwitch
+	s.CheckpointHook = nil
+	if g.IntCtrl != nil {
+		s.IntCtrl = g.IntCtrl.Clone()
+	}
+	s.hookMagic()
+}
+
+// ForkCounters reports the cumulative copy-on-write work of a forked
+// system (zeroes for ordinary systems).
+func (s *System) ForkCounters() (pagesCopied, setsRestored uint64) {
+	return s.Hier.ForkCounters()
 }

@@ -119,6 +119,74 @@ func TestSliceOffsetsComparison(t *testing.T) {
 	}
 }
 
+func TestEmptyGoldenTrace(t *testing.T) {
+	// A checkpoint taken after the last commit yields an empty golden
+	// trace: a faulty run that also commits nothing is benign, one that
+	// commits anything diverges at index 0.
+	g := NewRecorder().Golden()
+	if g.Len() != 0 {
+		t.Fatalf("fresh recorder golden length %d", g.Len())
+	}
+	quiet := NewComparator(g)
+	if quiet.Finalize() {
+		t.Fatal("empty vs empty stream must be benign")
+	}
+	noisy := NewComparator(g)
+	noisy.Hook()(cpu.CommitRec{PC: 0x1000})
+	if !noisy.Finalize() {
+		t.Fatal("commits against an empty golden trace must be a corruption")
+	}
+	if noisy.DivergePoint() != 0 {
+		t.Fatalf("diverge point %d, want 0", noisy.DivergePoint())
+	}
+}
+
+func TestTruncatedStreamDivergePointClamped(t *testing.T) {
+	// A faulty run that crashes before committing anything diverges at the
+	// current position (0); one that overruns the golden trace has its
+	// diverge point clamped to the golden length.
+	r := NewRecorder()
+	hook := r.Hook()
+	for _, rec := range recs(10, 3) {
+		hook(rec)
+	}
+	g := r.Golden()
+
+	empty := NewComparator(g)
+	if !empty.Finalize() {
+		t.Fatal("zero-commit faulty stream must be a corruption")
+	}
+	if empty.DivergePoint() != 0 {
+		t.Fatalf("empty stream diverge point %d, want 0", empty.DivergePoint())
+	}
+
+	over := NewComparator(g)
+	ch := over.Hook()
+	for _, rec := range recs(14, 3) {
+		ch(rec)
+	}
+	if !over.Finalize() {
+		t.Fatal("overlong stream must be a corruption")
+	}
+	if over.DivergePoint() != 10 {
+		t.Fatalf("overlong diverge point %d, want golden length 10", over.DivergePoint())
+	}
+}
+
+func TestSliceBeyondLengthIsEmpty(t *testing.T) {
+	r := NewRecorder()
+	hook := r.Hook()
+	for _, rec := range recs(5, 1) {
+		hook(rec)
+	}
+	if g := r.Golden().Slice(9); g.Len() != 0 {
+		t.Fatalf("out-of-range slice length %d, want 0", g.Len())
+	}
+	if g := r.Golden().Slice(5); g.Len() != 0 {
+		t.Fatalf("end slice length %d, want 0", g.Len())
+	}
+}
+
 func TestDifferentFieldsChangeHash(t *testing.T) {
 	base := cpu.CommitRec{PC: 0x1000, Kind: 2, Dst: 5, Result: 7, MemAddr: 0x2000, MemData: 9}
 	h0 := hashRec(base)

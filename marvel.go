@@ -126,6 +126,9 @@ type CampaignOptions struct {
 	PhysRegs int
 	// Workers bounds campaign parallelism; 0 = GOMAXPROCS.
 	Workers int
+	// LegacyClone forces the pre-CoW per-run deep-clone strategy, for A/B
+	// comparison against copy-on-write checkpoint forking (the default).
+	LegacyClone bool
 }
 
 // Report is the outcome of a CPU campaign.
@@ -150,6 +153,15 @@ type Report struct {
 	GoldenInsts  uint64
 	IPC          float64
 	EarlyStops   int
+
+	// Forking stats: how the faulty runs were set up. With CoW forking
+	// Forks is one per active worker and ForkReuses covers the rest of the
+	// masks; the legacy strategy reports one fork (deep clone) per mask.
+	LegacyClone  bool
+	Forks        uint64
+	ForkReuses   uint64
+	PagesCopied  uint64
+	SetsRestored uint64
 }
 
 // RunCampaign executes one CPU fault-injection campaign.
@@ -189,6 +201,7 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 		Workers:          o.Workers,
 		HVF:              o.HVF,
 		EarlyTermination: o.EarlyTermination,
+		LegacyClone:      o.LegacyClone,
 	})
 	if err != nil {
 		return nil, err
@@ -211,6 +224,11 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 		GoldenInsts:  res.Golden.Insts,
 		IPC:          res.Golden.Stats.IPC(),
 		EarlyStops:   res.Counts.EarlyStops,
+		LegacyClone:  res.Forking.Legacy,
+		Forks:        res.Forking.Forks,
+		ForkReuses:   res.Forking.ReuseHits,
+		PagesCopied:  res.Forking.PagesCopied,
+		SetsRestored: res.Forking.CacheSetsRestored,
 	}, nil
 }
 

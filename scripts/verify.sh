@@ -1,0 +1,19 @@
+#!/bin/sh
+# verify.sh — the repository's full verification gauntlet:
+#   1. tier-1: build + full test suite
+#   2. race job: the campaign's parallel paths under the race detector
+#   3. bench guard: the checkpoint-forking ablation compiles and runs
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + tests =="
+go build ./...
+go test ./...
+
+echo "== race: parallel campaign determinism =="
+go test -race -run 'TestCampaignWorkerCountInvariance|TestForkCloneEquivalence' ./internal/campaign
+
+echo "== bench guard: checkpoint-forking ablation =="
+go test -run '^$' -bench 'BenchmarkAblation_CheckpointForking' -benchtime 1x .
+
+echo "verify: OK"
