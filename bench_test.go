@@ -17,11 +17,13 @@ import (
 	"strings"
 	"testing"
 
+	"marvel/internal/accel"
 	"marvel/internal/campaign"
 	"marvel/internal/config"
 	"marvel/internal/core"
 	"marvel/internal/figures"
 	"marvel/internal/isa"
+	"marvel/internal/machsuite"
 	"marvel/internal/program"
 	"marvel/internal/soc"
 	"marvel/internal/workloads"
@@ -304,6 +306,37 @@ func BenchmarkAblation_CheckpointForking(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAccelCampaign compares the accelerator campaign's faulty-run
+// strategies: the legacy serial rebuild-per-fault baseline vs the
+// fork/reset worker pool. Both draw the identical mask population (the
+// equivalence suite proves bit-identical verdicts), so the comparison is
+// pure setup/schedule cost.
+func BenchmarkAccelCampaign(b *testing.B) {
+	spec, err := machsuite.ByName("gemm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, workers int, legacy bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := accel.RunCampaign(accel.CampaignConfig{
+				Design: spec.Design, Task: spec.Task, Target: "MATRIX1",
+				Model: core.Transient, Faults: 64, Seed: 13,
+				Workers: workers, LegacyRebuild: legacy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Counts.Total() != 64 {
+				b.Fatalf("classified %d of 64", res.Counts.Total())
+			}
+		}
+	}
+	b.Run("serial-rebuild", func(b *testing.B) { run(b, 1, true) })
+	b.Run("serial-reuse", func(b *testing.B) { run(b, 1, false) })
+	b.Run("parallel-reuse", func(b *testing.B) { run(b, 0, false) })
 }
 
 // BenchmarkAblation_InjectionDomain compares whole-array and valid-only

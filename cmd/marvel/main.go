@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"marvel"
 )
@@ -77,7 +78,7 @@ func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	isaName := fs.String("isa", "riscv", "ISA: arm, x86, riscv")
 	wl := fs.String("workload", "sha", "workload name")
-	target := fs.String("target", "prf", "injection target: prf, l1i, l1d, l2, lq, sq")
+	target := fs.String("target", "prf", "injection target: "+strings.Join(marvel.CPUTargets(), ", "))
 	model := fs.String("model", "transient", "fault model: transient, stuck-at-0, stuck-at-1")
 	faults := fs.Int("faults", 1000, "statistical sample size")
 	seed := fs.Int64("seed", 1, "mask generation seed")
@@ -130,6 +131,8 @@ func cmdAccel(args []string) error {
 	faults := fs.Int("faults", 1000, "statistical sample size")
 	seed := fs.Int64("seed", 1, "seed")
 	mults := fs.Int("gemm-multipliers", 0, "gemm datapath multipliers (DSE)")
+	workers := fs.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS); results are worker-count invariant")
+	legacyRebuild := fs.Bool("legacyrebuild", false, "rebuild the harness per fault instead of fork/reset reuse (A/B baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,6 +143,8 @@ func cmdAccel(args []string) error {
 		Faults:          *faults,
 		Seed:            *seed,
 		GemmMultipliers: *mults,
+		Workers:         *workers,
+		LegacyRebuild:   *legacyRebuild,
 	})
 	if err != nil {
 		return err
@@ -149,6 +154,12 @@ func cmdAccel(args []string) error {
 	fmt.Printf("faults: %d (margin ±%.2f%%)\n", rep.Faults, 100*rep.Margin)
 	fmt.Printf("masked=%d sdc=%d crash=%d\n", rep.Masked, rep.SDC, rep.Crash)
 	fmt.Printf("AVF=%.4f (SDC %.4f + Crash %.4f)\n", rep.AVF, rep.SDCAVF, rep.CrashAVF)
+	strategy := "fork-reset"
+	if rep.LegacyRebuild {
+		strategy = "legacy-rebuild"
+	}
+	fmt.Printf("forking: %s, %d forks, %d reuses, %d pages copied\n",
+		strategy, rep.Forks, rep.ForkReuses, rep.PagesCopied)
 	return nil
 }
 

@@ -124,6 +124,19 @@ func (b *Bank) Clone() *Bank {
 	return &n
 }
 
+// ResetTo rolls the bank back to the state of its golden counterpart g
+// (the bank it was cloned from), reusing the existing storage: contents
+// are copied back in place and the run's stuck-at faults and watchpoints
+// are dropped. Banks must share a spec.
+func (b *Bank) ResetTo(g *Bank) {
+	copy(b.data, g.data)
+	b.usedBytes = g.usedBytes
+	b.stuck = append(b.stuck[:0], g.stuck...)
+	b.watchArmed = g.watchArmed
+	b.watchByte = g.watchByte
+	b.watchState = g.watchState
+}
+
 // --- core.Target ---
 
 // TargetName implements core.Target.

@@ -1,0 +1,251 @@
+package accel
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"marvel/internal/classify"
+	"marvel/internal/core"
+	"marvel/internal/metrics"
+)
+
+// CampaignConfig drives a statistical fault-injection campaign against one
+// accelerator memory component (the Figure 14/17 experiments).
+type CampaignConfig struct {
+	Design *Design
+	Task   Task
+	Target string // bank name
+	Model  core.Model
+	Faults int
+	Seed   int64
+	// WatchdogFactor bounds faulty tasks at factor × golden cycles.
+	WatchdogFactor float64
+	// WindowOverride, when non-zero, draws injection cycles from
+	// [1, WindowOverride] instead of the task's own duration. Design-space
+	// sweeps use the slowest configuration's window so every design sees
+	// the same fault population (the paper's same-masks comparability
+	// requirement); faults landing after a faster design completes are
+	// architecturally masked.
+	WindowOverride uint64
+	// Workers bounds campaign parallelism; 0 = GOMAXPROCS. Results are
+	// bit-identical for every worker count: each mask's coordinates derive
+	// purely from (Seed, mask index), never from the execution schedule.
+	Workers int
+	// LegacyRebuild forces the pre-fork strategy: a full harness rebuild
+	// (NewStandalone) per fault. The default (false) forks one
+	// copy-on-write harness per worker and rolls it back between masks,
+	// which is equivalent bit for bit and much cheaper per fault. Kept for
+	// A/B comparison.
+	LegacyRebuild bool
+}
+
+// Record is the outcome of one accelerator fault injection.
+type Record struct {
+	Fault   core.Fault
+	Verdict classify.Verdict
+}
+
+// ForkStats counts harness-forking activity over one accelerator campaign.
+type ForkStats struct {
+	// Legacy reports that the campaign rebuilt a full harness per fault.
+	Legacy bool
+	// Forks is the number of harnesses created (one per worker in fork
+	// mode, one per faulty run in legacy mode).
+	Forks uint64
+	// ReuseHits counts faulty runs served by resetting an existing forked
+	// harness instead of building a new one.
+	ReuseHits uint64
+	// PagesCopied is the number of host-memory pages materialized by
+	// copy-on-write across all workers.
+	PagesCopied uint64
+}
+
+// CampaignResult aggregates one accelerator campaign.
+type CampaignResult struct {
+	Target       string
+	GoldenCycles uint64
+	GoldenOutput []byte
+	TargetBits   uint64
+	// Records holds the per-fault verdicts in mask order, independent of
+	// the execution schedule.
+	Records []Record
+	Counts  metrics.Counts
+	Margin  float64
+	// Forking describes how faulty runs were set up.
+	Forking ForkStats
+}
+
+// AVF returns the component's architectural vulnerability factor.
+func (r *CampaignResult) AVF() float64 { return r.Counts.AVF() }
+
+// RunCampaign executes the campaign. Accelerator tasks are short, so each
+// faulty run re-executes the whole task with a flip scheduled at a random
+// cycle of the task window — injections land during DMA-in, compute, or
+// DMA-out, exactly the full-task window the paper's DSE insight relies on.
+//
+// The campaign parallelizes like the CPU side (internal/campaign): mask
+// coordinates are derived per index via the shared splitmix64 scheme in
+// internal/core, masks fan out over a worker pool, and each worker forks
+// the pristine golden harness once, rolling it back between masks. Every
+// schedule — serial, one worker, N workers, rebuild-per-fault — produces
+// the same Records, Counts and AVF.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Faults <= 0 {
+		return nil, fmt.Errorf("accel: fault count must be positive, got %d", cfg.Faults)
+	}
+	if cfg.WatchdogFactor <= 1 {
+		cfg.WatchdogFactor = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Faults {
+		cfg.Workers = cfg.Faults
+	}
+
+	golden, err := NewStandalone(cfg.Design, cfg.Task)
+	if err != nil {
+		return nil, err
+	}
+	if err := golden.Run(50_000_000); err != nil {
+		return nil, fmt.Errorf("accel: golden run: %w", err)
+	}
+	goldenOut, err := golden.Output()
+	if err != nil {
+		return nil, err
+	}
+	gb, err := golden.Cluster.Bank(cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	bankIdx := -1
+	for i, b := range golden.Cluster.Banks() {
+		if b == gb {
+			bankIdx = i
+		}
+	}
+	goldenCycles := golden.Cluster.TaskCycles()
+
+	// base is the pristine harness faulty runs fork from: arguments bound,
+	// DMA buffers staged in host memory, task not yet started. It plays
+	// the role of the CPU campaign's checkpoint snapshot.
+	base, err := NewStandalone(cfg.Design, cfg.Task)
+	if err != nil {
+		return nil, fmt.Errorf("accel: campaign base: %w", err)
+	}
+
+	window := goldenCycles
+	if cfg.WindowOverride > 0 {
+		window = cfg.WindowOverride
+	}
+	budget := uint64(float64(goldenCycles)*cfg.WatchdogFactor) + 5000
+
+	res := &CampaignResult{
+		Target:       cfg.Target,
+		GoldenCycles: goldenCycles,
+		GoldenOutput: goldenOut,
+		TargetBits:   gb.BitLen(),
+		Records:      make([]Record, cfg.Faults),
+		Margin:       core.MarginFor(gb.BitLen(), cfg.Faults, 1.96),
+	}
+	res.Forking.Legacy = cfg.LegacyRebuild
+
+	var statsMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch *Standalone
+			var forks, reuses uint64
+			var wErr error
+			for i := range work {
+				if wErr != nil {
+					continue // drain the queue after a setup failure
+				}
+				var s *Standalone
+				if cfg.LegacyRebuild {
+					s, wErr = NewStandalone(cfg.Design, cfg.Task)
+					if wErr != nil {
+						continue
+					}
+					forks++
+				} else if scratch == nil {
+					scratch = base.Fork()
+					s = scratch
+					forks++
+				} else {
+					scratch.Reset()
+					s = scratch
+					reuses++
+				}
+				f := core.DeriveFault(cfg.Seed, i, cfg.Target, cfg.Model, gb.BitLen(), window)
+				res.Records[i] = Record{Fault: f, Verdict: runFaulty(s, bankIdx, f, budget, goldenOut)}
+			}
+			statsMu.Lock()
+			res.Forking.Forks += forks
+			res.Forking.ReuseHits += reuses
+			if scratch != nil {
+				res.Forking.PagesCopied += scratch.ForkPagesCopied()
+			}
+			if wErr != nil && firstErr == nil {
+				firstErr = wErr
+			}
+			statsMu.Unlock()
+		}()
+	}
+	for i := 0; i < cfg.Faults; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	// Infrastructure failures abort the campaign instead of polluting the
+	// AVF as fake crashes.
+	if firstErr != nil {
+		return nil, fmt.Errorf("accel: faulty-run setup: %w", firstErr)
+	}
+
+	for _, r := range res.Records {
+		res.Counts.Add(r.Verdict)
+	}
+	return res, nil
+}
+
+// runFaulty drives one faulty task on s — a pristine harness (a fresh
+// rebuild, a fresh fork, or a reset fork; all three are state-identical) —
+// applies the fault, runs under the watchdog budget and classifies.
+func runFaulty(s *Standalone, bankIdx int, f core.Fault, budget uint64, goldenOut []byte) classify.Verdict {
+	if f.Model.Permanent() {
+		// Stuck-at faults hold for the whole run: applied before Start so
+		// they corrupt DMA-in writes too.
+		s.Cluster.Banks()[bankIdx].Stick(f.Bit, stuckVal(f.Model))
+	} else {
+		s.Cluster.ScheduleFlip(bankIdx, f.Bit, f.Cycle)
+	}
+	s.Cluster.Start()
+	for !s.Cluster.Done() && s.Cluster.Cycle() < budget {
+		s.Cluster.Tick()
+	}
+	switch {
+	case !s.Cluster.Done():
+		return classify.Verdict{Outcome: classify.Crash, CrashCode: "watchdog-timeout", Cycles: s.Cluster.Cycle()}
+	case s.Cluster.Faulted() != nil:
+		return classify.Verdict{Outcome: classify.Crash, CrashCode: "accel-fault", Cycles: s.Cluster.Cycle()}
+	}
+	out, err := s.Output()
+	if err != nil || !bytes.Equal(out, goldenOut) {
+		return classify.Verdict{Outcome: classify.SDC, Cycles: s.Cluster.Cycle()}
+	}
+	return classify.Verdict{Outcome: classify.Masked, Cycles: s.Cluster.Cycle()}
+}
+
+func stuckVal(m core.Model) uint8 {
+	if m == core.StuckAt1 {
+		return 1
+	}
+	return 0
+}

@@ -354,6 +354,27 @@ func (c *Cluster) MMIOWrite(addr uint64, data []byte) error {
 	return nil
 }
 
+// ResetTo rolls the cluster back to the state of its golden counterpart g
+// (the cluster it was cloned from), dropping any scheduled transient flips
+// and stuck-at faults the previous run applied. Bank contents and engine
+// state are restored in place, so a reset on the steady path allocates
+// nothing — the accelerator mirror of soc.System.Reset.
+func (c *Cluster) ResetTo(g *Cluster) {
+	c.mmr = g.mmr
+	c.ph = g.ph
+	c.dmaQueue = append(c.dmaQueue[:0], g.dmaQueue...)
+	c.dmaPos = g.dmaPos
+	c.cycle = g.cycle
+	c.startCyc = g.startCyc
+	c.doneCyc = g.doneCyc
+	c.fault = g.fault
+	c.pending = append(c.pending[:0], g.pending...)
+	for i, b := range c.banks {
+		b.ResetTo(g.banks[i])
+	}
+	c.eng.resetTo(g.eng)
+}
+
 // Clone deep-copies the cluster onto a new host port.
 func (c *Cluster) Clone(host HostPort) *Cluster {
 	n := *c

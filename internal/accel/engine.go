@@ -379,3 +379,18 @@ func (e *engine) clone(banks []*Bank) *engine {
 	n.events = append([]engEvent(nil), e.events...)
 	return &n
 }
+
+// resetTo rolls engine state back to the golden engine g it was cloned
+// from (same immutable prog/deps), reusing the existing slices.
+func (e *engine) resetTo(g *engine) {
+	copy(e.vals, g.vals)
+	e.cur = g.cur
+	e.issued = append(e.issued[:0], g.issued...)
+	e.done = append(e.done[:0], g.done...)
+	e.doneCnt = g.doneCnt
+	e.events = append(e.events[:0], g.events...)
+	e.running = g.running
+	e.finished = g.finished
+	e.fault = g.fault
+	e.cycle = g.cycle
+}

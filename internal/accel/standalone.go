@@ -1,14 +1,9 @@
 package accel
 
 import (
-	"bytes"
 	"fmt"
-	"math/rand"
 
-	"marvel/internal/classify"
-	"marvel/internal/core"
 	"marvel/internal/mem"
-	"marvel/internal/metrics"
 )
 
 // HostBuf is one host-memory buffer bound to an accelerator argument.
@@ -32,6 +27,10 @@ type Standalone struct {
 	Host    *mem.Memory
 	Cluster *Cluster
 	task    Task
+
+	// golden is the frozen pristine harness this one was forked from (nil
+	// for ordinary instances); Reset rolls back to it.
+	golden *Standalone
 }
 
 // NewStandalone instantiates a design with the given task.
@@ -53,6 +52,45 @@ func NewStandalone(d *Design, task Task) (*Standalone, error) {
 	return s, nil
 }
 
+// Fork creates a copy-on-write fork of a pristine (not yet started)
+// harness, mirroring soc.System.Fork: host-memory pages are shared
+// read-only with s until written, and the cluster (banks, engine, MMRs) is
+// deep-copied once. A fork is meant to be reused across faulty runs via
+// Reset, which rolls it back to s in time proportional to the state the
+// previous run dirtied. The receiver becomes the frozen golden snapshot
+// and must not be run afterwards; each fork belongs to a single goroutine,
+// but many forks may share one snapshot.
+func (s *Standalone) Fork() *Standalone {
+	h := s.Host.Fork()
+	return &Standalone{
+		Host:    h,
+		Cluster: s.Cluster.Clone(MemHostPort{h}),
+		task:    s.task,
+		golden:  s,
+	}
+}
+
+// Forked reports whether the harness was created by Fork (and so supports
+// Reset).
+func (s *Standalone) Forked() bool { return s.golden != nil }
+
+// Reset rolls a forked harness back to its golden snapshot, reusing the
+// fork's storage: dirty host-memory pages are dropped and the cluster is
+// restored in place, shedding the previous run's scheduled flips and
+// stuck-at faults. After Reset the harness is indistinguishable from a
+// fresh Fork of the snapshot.
+func (s *Standalone) Reset() {
+	if s.golden == nil {
+		panic("accel: Reset on a standalone that was not created by Fork")
+	}
+	s.Host.Reset()
+	s.Cluster.ResetTo(s.golden.Cluster)
+}
+
+// ForkPagesCopied reports how many host-memory pages copy-on-write
+// materialized on this fork (zero for ordinary instances).
+func (s *Standalone) ForkPagesCopied() uint64 { return s.Host.CoW().PagesCopied }
+
 // Run starts the task and ticks until completion or the budget expires.
 func (s *Standalone) Run(budget uint64) error {
 	s.Cluster.Start()
@@ -73,125 +111,6 @@ func (s *Standalone) Output() ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
-}
-
-// CampaignConfig drives a statistical fault-injection campaign against one
-// accelerator memory component (the Figure 14/17 experiments).
-type CampaignConfig struct {
-	Design *Design
-	Task   Task
-	Target string // bank name
-	Model  core.Model
-	Faults int
-	Seed   int64
-	// WatchdogFactor bounds faulty tasks at factor × golden cycles.
-	WatchdogFactor float64
-	// WindowOverride, when non-zero, draws injection cycles from
-	// [0, WindowOverride) instead of the task's own duration. Design-space
-	// sweeps use the slowest configuration's window so every design sees
-	// the same fault population (the paper's same-masks comparability
-	// requirement); faults landing after a faster design completes are
-	// architecturally masked.
-	WindowOverride uint64
-}
-
-// CampaignResult aggregates one accelerator campaign.
-type CampaignResult struct {
-	Target       string
-	GoldenCycles uint64
-	GoldenOutput []byte
-	TargetBits   uint64
-	Counts       metrics.Counts
-	Margin       float64
-}
-
-// AVF returns the component's architectural vulnerability factor.
-func (r *CampaignResult) AVF() float64 { return r.Counts.AVF() }
-
-// RunCampaign executes the campaign. Accelerator tasks are short, so each
-// faulty run re-executes the whole task with a flip scheduled at a random
-// cycle of the task window — injections land during DMA-in, compute, or
-// DMA-out, exactly the full-task window the paper's DSE insight relies on.
-func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
-	if cfg.WatchdogFactor <= 1 {
-		cfg.WatchdogFactor = 4
-	}
-	golden, err := NewStandalone(cfg.Design, cfg.Task)
-	if err != nil {
-		return nil, err
-	}
-	if err := golden.Run(50_000_000); err != nil {
-		return nil, fmt.Errorf("accel: golden run: %w", err)
-	}
-	goldenOut, err := golden.Output()
-	if err != nil {
-		return nil, err
-	}
-	gb, err := golden.Cluster.Bank(cfg.Target)
-	if err != nil {
-		return nil, err
-	}
-	bankIdx := -1
-	for i, b := range golden.Cluster.Banks() {
-		if b == gb {
-			bankIdx = i
-		}
-	}
-	goldenCycles := golden.Cluster.TaskCycles()
-
-	res := &CampaignResult{
-		Target:       cfg.Target,
-		GoldenCycles: goldenCycles,
-		GoldenOutput: goldenOut,
-		TargetBits:   gb.BitLen(),
-		Margin:       core.MarginFor(gb.BitLen(), cfg.Faults, 1.96),
-	}
-
-	window := goldenCycles
-	if cfg.WindowOverride > 0 {
-		window = cfg.WindowOverride
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	budget := uint64(float64(goldenCycles)*cfg.WatchdogFactor) + 5000
-	for i := 0; i < cfg.Faults; i++ {
-		bit := uint64(rng.Int63n(int64(gb.BitLen())))
-		cyc := uint64(rng.Int63n(int64(window))) + 1
-		v := runFaulty(cfg, bankIdx, bit, cyc, budget, goldenOut)
-		res.Counts.Add(v)
-	}
-	return res, nil
-}
-
-func runFaulty(cfg CampaignConfig, bankIdx int, bit, cyc, budget uint64, goldenOut []byte) classify.Verdict {
-	s, err := NewStandalone(cfg.Design, cfg.Task)
-	if err != nil {
-		return classify.Verdict{Outcome: classify.Crash, CrashCode: "setup"}
-	}
-	switch cfg.Model {
-	case core.Transient:
-		s.Cluster.ScheduleFlip(bankIdx, bit, cyc)
-	default:
-		v := uint8(0)
-		if cfg.Model == core.StuckAt1 {
-			v = 1
-		}
-		s.Cluster.Banks()[bankIdx].Stick(bit, v)
-	}
-	s.Cluster.Start()
-	for !s.Cluster.Done() && s.Cluster.Cycle() < budget {
-		s.Cluster.Tick()
-	}
-	switch {
-	case !s.Cluster.Done():
-		return classify.Verdict{Outcome: classify.Crash, CrashCode: "watchdog-timeout", Cycles: s.Cluster.Cycle()}
-	case s.Cluster.Faulted() != nil:
-		return classify.Verdict{Outcome: classify.Crash, CrashCode: "accel-fault", Cycles: s.Cluster.Cycle()}
-	}
-	out, err := s.Output()
-	if err != nil || !bytes.Equal(out, goldenOut) {
-		return classify.Verdict{Outcome: classify.SDC, Cycles: s.Cluster.Cycle()}
-	}
-	return classify.Verdict{Outcome: classify.Masked, Cycles: s.Cluster.Cycle()}
 }
 
 // --- Area model (Figure 17b) ---

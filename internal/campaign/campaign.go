@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"marvel/internal/classify"
@@ -184,8 +185,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	target := cfg.Target
+	if len(cfg.MultiTargets) > 0 {
+		target = strings.Join(cfg.MultiTargets, "+")
+	}
 	res := &Result{
-		Target:     cfg.Target,
+		Target:     target,
 		Model:      cfg.Model,
 		Golden:     *golden,
 		TargetBits: bits,
@@ -200,6 +205,7 @@ func Run(cfg Config) (*Result, error) {
 
 	res.Forking.Legacy = cfg.LegacyClone
 	var statsMu sync.Mutex
+	var firstErr error
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
@@ -211,7 +217,11 @@ func Run(cfg Config) (*Result, error) {
 			// instead deep-clones the checkpoint for every mask.
 			var scratch *soc.System
 			var forks, reuses uint64
+			var wErr error
 			for i := range work {
+				if wErr != nil {
+					continue // drain the queue after an infrastructure failure
+				}
 				var s *soc.System
 				if cfg.LegacyClone {
 					s = base.Clone()
@@ -225,10 +235,12 @@ func Run(cfg Config) (*Result, error) {
 					s = scratch
 					reuses++
 				}
-				res.Records[i] = Record{
-					Mask:    masks[i],
-					Verdict: runOne(cfg, s, golden, subTrace, masks[i]),
+				var v classify.Verdict
+				v, wErr = runOne(cfg, s, golden, subTrace, masks[i])
+				if wErr != nil {
+					continue
 				}
+				res.Records[i] = Record{Mask: masks[i], Verdict: v}
 			}
 			statsMu.Lock()
 			res.Forking.Forks += forks
@@ -238,6 +250,9 @@ func Run(cfg Config) (*Result, error) {
 				res.Forking.PagesCopied += pages
 				res.Forking.CacheSetsRestored += sets
 			}
+			if wErr != nil && firstErr == nil {
+				firstErr = wErr
+			}
 			statsMu.Unlock()
 		}()
 	}
@@ -246,6 +261,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	close(work)
 	wg.Wait()
+	// A run that cannot even resolve its injection target is an
+	// infrastructure failure, not a hardware fault effect: abort instead of
+	// inflating the AVF with fake crashes.
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
 	for _, r := range res.Records {
 		res.Counts.Add(r.Verdict)
@@ -309,6 +330,7 @@ func multiTargetMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.
 			Count:    cfg.Faults,
 			WindowLo: golden.WindowLo,
 			WindowHi: golden.WindowHi,
+			BitsPer:  cfg.BitsPerFault,
 			Seed:     cfg.Seed + int64(ti)*7919,
 		})
 		if err != nil {
@@ -330,25 +352,26 @@ func multiTargetMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.
 // at the checkpoint snapshot (a fresh clone, a fresh fork, or a reset
 // scratch fork; all three are state-identical) — applies the mask, runs to
 // completion (or early termination) and classifies.
-func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, mask core.Mask) classify.Verdict {
+func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, mask core.Mask) (classify.Verdict, error) {
 	targets := map[string]core.Target{}
-	targetFor := func(name string) core.Target {
+	targetFor := func(name string) (core.Target, error) {
 		if t, ok := targets[name]; ok {
-			return t
+			return t, nil
 		}
 		t, err := TargetOf(s, name)
 		if err != nil {
-			return nil
+			return nil, err
 		}
 		targets[name] = t
-		return t
+		return t, nil
 	}
-	tgt := targetFor(cfg.Target)
+	primary := cfg.Target
 	if len(cfg.MultiTargets) > 0 {
-		tgt = targetFor(cfg.MultiTargets[0])
+		primary = cfg.MultiTargets[0]
 	}
-	if tgt == nil {
-		return classify.Verdict{Outcome: classify.Crash, CrashCode: "bad-target"}
+	tgt, err := targetFor(primary)
+	if err != nil {
+		return classify.Verdict{}, err
 	}
 
 	var comp *trace.Comparator
@@ -364,9 +387,11 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 	transients := make([]core.Fault, 0, len(mask.Faults))
 	for _, f := range mask.Faults {
 		if f.Model.Permanent() {
-			if ft := targetFor(f.Target); ft != nil {
-				ft.Stick(f.Bit, stuckVal(f.Model))
+			ft, err := targetFor(f.Target)
+			if err != nil {
+				return classify.Verdict{}, err
 			}
+			ft.Stick(f.Bit, stuckVal(f.Model))
 		} else {
 			transients = append(transients, f)
 		}
@@ -379,9 +404,9 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 		if s.CPU.Done() {
 			break
 		}
-		ft := targetFor(f.Target)
-		if ft == nil {
-			continue
+		ft, err := targetFor(f.Target)
+		if err != nil {
+			return classify.Verdict{}, err
 		}
 		bit := f.Bit
 		if cfg.Domain == core.DomainValidOnly && !ft.Live(bit) {
@@ -395,7 +420,7 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 	if earlyOK && len(transients) == 1 {
 		if !tgt.Live(appliedBit) {
 			// Invalid or unused entry: provably masked (§IV-B).
-			return classify.EarlyMasked(classify.MaskedInvalidEntry, s.CPU.Cycle())
+			return classify.EarlyMasked(classify.MaskedInvalidEntry, s.CPU.Cycle()), nil
 		}
 		tgt.Watch(appliedBit)
 	}
@@ -406,7 +431,7 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 	}
 	res, stopped := s.RunChecked(budget, 128, stop)
 	if stopped {
-		return classify.EarlyMasked(classify.MaskedDeadFault, res.Cycles)
+		return classify.EarlyMasked(classify.MaskedDeadFault, res.Cycles), nil
 	}
 
 	v := verdictFromRun(golden.Output, golden.Cycles, res)
@@ -423,7 +448,7 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 			v.HVFCorrupt = true
 		}
 	}
-	return v
+	return v, nil
 }
 
 // verdictFromRun adapts a simulator run result into the classification
@@ -452,30 +477,20 @@ func stuckVal(m core.Model) uint8 {
 // (valid-only injection domain), deterministically per mask.
 //
 // RNG derivation: the stream is seeded purely from campaign-level inputs —
-// the campaign seed, the mask ID and the originally drawn bit — mixed
-// through splitmix64. Nothing about the execution schedule (worker count,
-// which worker picked the mask, run order, clone-vs-fork strategy) enters
-// the derivation, so every mask resolves to the same resampled bit no
-// matter how the campaign is parallelized. The previous xor-of-fields
-// seed let maskID<<20 and large bit coordinates collide; the two mixing
-// rounds make the streams statistically independent across masks.
+// the campaign seed, the mask ID and the originally drawn bit — via the
+// shared splitmix64 scheme in internal/core (the same derivation the
+// accelerator campaigns draw their mask coordinates from). Nothing about
+// the execution schedule (worker count, which worker picked the mask, run
+// order, clone-vs-fork strategy) enters the derivation, so every mask
+// resolves to the same resampled bit no matter how the campaign is
+// parallelized.
 func resampleLive(tgt core.Target, f core.Fault, seed int64, maskID int) uint64 {
-	state := splitmix64(uint64(seed) ^ splitmix64(uint64(maskID)<<32|f.Bit))
+	st := core.SaltedStream(seed, maskID, f.Bit)
 	bits := tgt.BitLen()
 	for tries := 0; tries < 512; tries++ {
-		state = splitmix64(state)
-		if b := state % bits; tgt.Live(b) {
+		if b := st.Uintn(bits); tgt.Live(b) {
 			return b
 		}
 	}
 	return f.Bit
-}
-
-// splitmix64 is the finalizer of Vigna's SplitMix64 generator: a cheap,
-// high-quality 64-bit mixing function used to derive per-mask RNG streams.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
-	x = (x ^ x>>27) * 0x94D049BB133111EB
-	return x ^ x>>31
 }

@@ -289,3 +289,44 @@ func TestMultiStructureMasks(t *testing.T) {
 		t.Errorf("expected some corruptions: %v", res.Counts)
 	}
 }
+
+func TestMultiTargetMultiBitMasks(t *testing.T) {
+	// Regression: multi-structure campaigns used to drop BitsPerFault when
+	// building per-structure masks, silently degrading multi-structure +
+	// multi-bit campaigns to one bit per structure.
+	img := compileWorkload(t, "riscv", "bitcount")
+	targets := []string{"prf", "l1d"}
+	res, err := campaign.Run(campaign.Config{
+		Image:        img,
+		Preset:       config.Fast(),
+		MultiTargets: targets,
+		Model:        core.Transient,
+		Faults:       12,
+		BitsPerFault: 3,
+		Seed:         23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Total() != 12 {
+		t.Fatalf("classified %d of 12", res.Counts.Total())
+	}
+	if res.Target != "prf+l1d" {
+		t.Fatalf("multi-target result Target = %q, want %q", res.Target, "prf+l1d")
+	}
+	for _, r := range res.Records {
+		if got, want := len(r.Mask.Faults), len(targets)*3; got != want {
+			t.Fatalf("mask %d carries %d faults, want %d (%d structures x 3 bits)",
+				r.Mask.ID, got, want, len(targets))
+		}
+		perTarget := map[string]int{}
+		for _, f := range r.Mask.Faults {
+			perTarget[f.Target]++
+		}
+		for _, name := range targets {
+			if perTarget[name] != 3 {
+				t.Fatalf("mask %d has %d faults in %s, want 3", r.Mask.ID, perTarget[name], name)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+// This file holds the campaign-level fault-coordinate derivation shared by
+// the CPU campaign controller (internal/campaign) and the accelerator
+// campaign loop (internal/accel). Both sides need the same property: every
+// per-mask random quantity must be a pure function of campaign-level
+// inputs (the campaign seed and the mask index), never of the execution
+// schedule. Nothing about worker count, which worker picked a mask, run
+// order, or the clone-vs-fork strategy may enter the derivation — that is
+// what makes campaigns bit-reproducible under arbitrary parallelism.
+
+// SplitMix64 is the finalizer of Vigna's SplitMix64 generator: a cheap,
+// high-quality 64-bit mixing function used to derive per-mask random
+// streams from campaign-level inputs.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// Stream is a deterministic per-mask random stream. Two streams built from
+// the same (seed, maskID, salt) triple produce identical sequences; the
+// two SplitMix64 rounds in the constructor make streams of different masks
+// statistically independent (a plain xor of the fields would let
+// maskID<<32 collide with large salt values).
+type Stream struct {
+	state uint64
+}
+
+// MaskStream derives the stream for mask maskID of a campaign seeded with
+// seed.
+func MaskStream(seed int64, maskID int) Stream {
+	return SaltedStream(seed, maskID, 0)
+}
+
+// SaltedStream derives a per-mask stream with an extra salt, for
+// derivations that must differ per drawn coordinate (e.g. live-entry
+// resampling keyed by the originally drawn bit).
+func SaltedStream(seed int64, maskID int, salt uint64) Stream {
+	return Stream{state: SplitMix64(uint64(seed) ^ SplitMix64(uint64(maskID)<<32|salt))}
+}
+
+// Next advances the stream and returns the next 64-bit value.
+func (s *Stream) Next() uint64 {
+	s.state = SplitMix64(s.state)
+	return s.state
+}
+
+// Uintn returns a value in [0, n). n must be positive. The modulo bias is
+// negligible for the structure sizes and injection windows campaigns draw
+// from (n << 2^64) and is in any case applied identically on every
+// schedule, which is the property campaigns rely on.
+func (s *Stream) Uintn(n uint64) uint64 {
+	return s.Next() % n
+}
+
+// DeriveFault computes the single-bit fault of mask maskID purely from
+// campaign-level inputs: the target's bit population, the injection window
+// [1, window] and the fault model. Transient faults get a cycle; permanent
+// faults hold for the whole run and carry none. This is the derivation the
+// accelerator campaigns of §V-G draw their (bit, cycle) coordinates from;
+// because it is schedule-independent, serial and parallel campaigns see an
+// identical mask population.
+func DeriveFault(seed int64, maskID int, target string, model Model, bits, window uint64) Fault {
+	st := MaskStream(seed, maskID)
+	f := Fault{Target: target, Bit: st.Uintn(bits), Model: model}
+	if model == Transient {
+		f.Cycle = st.Uintn(window) + 1
+	}
+	return f
+}

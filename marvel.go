@@ -242,6 +242,12 @@ type AccelOptions struct {
 	// GemmMultipliers overrides the gemm datapath's multiplier count
 	// (the Figure 17 design-space exploration); 0 keeps the default.
 	GemmMultipliers int
+	// Workers bounds campaign parallelism; 0 = GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
+	// LegacyRebuild forces the pre-fork strategy (a full harness rebuild
+	// per fault) for A/B comparison against fork/reset reuse (the default).
+	LegacyRebuild bool
 }
 
 // AccelReport is the outcome of an accelerator campaign.
@@ -259,6 +265,14 @@ type AccelReport struct {
 
 	TaskCycles uint64
 	AreaUnits  float64
+
+	// Forking stats: how the faulty harnesses were set up. With fork/reset
+	// reuse Forks is one per active worker and ForkReuses covers the rest
+	// of the masks; the legacy strategy rebuilds one harness per mask.
+	LegacyRebuild bool
+	Forks         uint64
+	ForkReuses    uint64
+	PagesCopied   uint64
 }
 
 // RunAccelCampaign executes one accelerator fault-injection campaign.
@@ -277,29 +291,35 @@ func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
 		return nil, err
 	}
 	res, err := accel.RunCampaign(accel.CampaignConfig{
-		Design: design,
-		Task:   task,
-		Target: o.Component,
-		Model:  model,
-		Faults: o.Faults,
-		Seed:   o.Seed,
+		Design:        design,
+		Task:          task,
+		Target:        o.Component,
+		Model:         model,
+		Faults:        o.Faults,
+		Seed:          o.Seed,
+		Workers:       o.Workers,
+		LegacyRebuild: o.LegacyRebuild,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &AccelReport{
-		Design:     o.Design,
-		Component:  o.Component,
-		Faults:     res.Counts.Total(),
-		Masked:     res.Counts.Masked,
-		SDC:        res.Counts.SDC,
-		Crash:      res.Counts.Crash,
-		AVF:        res.Counts.AVF(),
-		SDCAVF:     res.Counts.SDCAVF(),
-		CrashAVF:   res.Counts.CrashAVF(),
-		Margin:     res.Margin,
-		TaskCycles: res.GoldenCycles,
-		AreaUnits:  accel.AreaUnits(design),
+		Design:        o.Design,
+		Component:     o.Component,
+		Faults:        res.Counts.Total(),
+		Masked:        res.Counts.Masked,
+		SDC:           res.Counts.SDC,
+		Crash:         res.Counts.Crash,
+		AVF:           res.Counts.AVF(),
+		SDCAVF:        res.Counts.SDCAVF(),
+		CrashAVF:      res.Counts.CrashAVF(),
+		Margin:        res.Margin,
+		TaskCycles:    res.GoldenCycles,
+		AreaUnits:     accel.AreaUnits(design),
+		LegacyRebuild: res.Forking.Legacy,
+		Forks:         res.Forking.Forks,
+		ForkReuses:    res.Forking.ReuseHits,
+		PagesCopied:   res.Forking.PagesCopied,
 	}, nil
 }
 

@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the repository's full verification gauntlet:
 #   1. tier-1: build + full test suite
-#   2. race job: the campaign's parallel paths under the race detector
-#   3. bench guard: the checkpoint-forking ablation compiles and runs
+#   2. race jobs: the CPU and accelerator campaigns' parallel paths under
+#      the race detector
+#   3. bench guard: the forking ablations compile and run
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,7 +14,11 @@ go test ./...
 echo "== race: parallel campaign determinism =="
 go test -race -run 'TestCampaignWorkerCountInvariance|TestForkCloneEquivalence' ./internal/campaign
 
-echo "== bench guard: checkpoint-forking ablation =="
-go test -run '^$' -bench 'BenchmarkAblation_CheckpointForking' -benchtime 1x .
+echo "== race: parallel accel campaign determinism =="
+go test -race -run 'TestAccelCampaignWorkerInvariance|TestStandaloneForkResetEquivalence' ./internal/accel
+go test -race -run 'TestAccelCampaignEquivalenceStuckAt0|TestAccelMaskPopulationWindowIndependentOfSchedule' ./internal/accel
+
+echo "== bench guard: forking ablations =="
+go test -run '^$' -bench 'BenchmarkAblation_CheckpointForking|BenchmarkAccelCampaign' -benchtime 1x .
 
 echo "verify: OK"
