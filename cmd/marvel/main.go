@@ -4,6 +4,8 @@
 //
 //	marvel list
 //	marvel campaign -isa riscv -workload sha -target prf -faults 1000 -hvf
+//	marvel campaign -isa arm -workload crc32 -target prf+rob+iq -bits 2
+//	marvel sweep -isas arm,riscv -workloads crc32,sha -targets prf,l1d -out /tmp/sweep -csv fig.csv
 //	marvel accel -design gemm -component MATRIX1 -faults 1000
 //	marvel golden -isa arm -workload dijkstra
 //	marvel soc -isa riscv -design gemm
@@ -14,8 +16,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"marvel"
+	"marvel/internal/figures"
+	"marvel/internal/sweep"
 )
 
 func main() {
@@ -29,6 +34,8 @@ func main() {
 		err = cmdList()
 	case "campaign":
 		err = cmdCampaign(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "accel":
 		err = cmdAccel(os.Args[2:])
 	case "golden":
@@ -54,6 +61,7 @@ func usage() {
 commands:
   list                      show workloads, CPU targets, designs and components
   campaign [flags]          run a CPU fault-injection campaign
+  sweep    [flags]          run a grid of campaigns with a shared golden cache
   accel    [flags]          run an accelerator fault-injection campaign
   golden   [flags]          run a workload without faults (performance)
   soc      [flags]          run a CPU+accelerator full-system demo
@@ -78,14 +86,17 @@ func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	isaName := fs.String("isa", "riscv", "ISA: arm, x86, riscv")
 	wl := fs.String("workload", "sha", "workload name")
-	target := fs.String("target", "prf", "injection target: "+strings.Join(marvel.CPUTargets(), ", "))
+	target := fs.String("target", "prf", "injection target: "+strings.Join(marvel.CPUTargets(), ", ")+`; a "+"-joined combo (prf+rob+iq) selects multi-structure mode`)
 	model := fs.String("model", "transient", "fault model: transient, stuck-at-0, stuck-at-1")
 	faults := fs.Int("faults", 1000, "statistical sample size")
 	seed := fs.Int64("seed", 1, "mask generation seed")
+	bits := fs.Int("bits", 1, "bits per fault (> 1 selects multi-bit masks)")
 	hvf := fs.Bool("hvf", false, "also run HVF analysis")
 	validOnly := fs.Bool("validonly", true, "draw faults over live entries only")
 	earlyTerm := fs.Bool("earlyterm", false, "enable early-termination optimizations")
+	watchdog := fs.Float64("watchdog", 0, "watchdog factor × golden cycles bounding faulty runs (0 = default 3)")
 	physRegs := fs.Int("physregs", 0, "override physical register count (0 = 128)")
+	workers := fs.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS); results are worker-count invariant")
 	legacyClone := fs.Bool("legacyclone", false, "deep-clone the checkpoint per run instead of CoW forking (A/B baseline)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,10 +108,13 @@ func cmdCampaign(args []string) error {
 		Model:            marvel.FaultModel(*model),
 		Faults:           *faults,
 		Seed:             *seed,
+		BitsPerFault:     *bits,
 		HVF:              *hvf,
 		ValidOnly:        *validOnly,
 		EarlyTermination: *earlyTerm,
+		WatchdogFactor:   *watchdog,
 		PhysRegs:         *physRegs,
+		Workers:          *workers,
 		LegacyClone:      *legacyClone,
 	})
 	if err != nil {
@@ -111,7 +125,7 @@ func cmdCampaign(args []string) error {
 	fmt.Printf("faults: %d (margin ±%.2f%% at 95%%)\n", rep.Faults, 100*rep.Margin)
 	fmt.Printf("masked=%d sdc=%d crash=%d early-stops=%d\n", rep.Masked, rep.SDC, rep.Crash, rep.EarlyStops)
 	fmt.Printf("AVF=%.4f (SDC %.4f + Crash %.4f)\n", rep.AVF, rep.SDCAVF, rep.CrashAVF)
-	if *hvf {
+	if rep.HVFMeasured {
 		fmt.Printf("HVF=%.4f\n", rep.HVF)
 	}
 	strategy := "cow-fork"
@@ -120,6 +134,144 @@ func cmdCampaign(args []string) error {
 	}
 	fmt.Printf("forking: %s, %d forks, %d reuses, %d pages copied, %d cache sets restored\n",
 		strategy, rep.Forks, rep.ForkReuses, rep.PagesCopied, rep.SetsRestored)
+	return nil
+}
+
+// csvList splits a comma-separated flag value; empty means nil.
+func csvList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	isas := fs.String("isas", "", "comma-separated ISAs (CPU grid), e.g. arm,x86,riscv")
+	wls := fs.String("workloads", "", "comma-separated workloads (empty = all fifteen)")
+	targets := fs.String("targets", "", `comma-separated CPU targets; each may be a "+"-joined combo (prf+rob+iq)`)
+	designs := fs.String("designs", "", "comma-separated accelerator designs")
+	comps := fs.String("components", "", "comma-separated components (empty = every Table IV component)")
+	models := fs.String("models", "", "comma-separated fault models (empty = transient)")
+	faults := fs.Int("faults", 1000, "statistical sample size per cell")
+	seed := fs.Int64("seed", 1, "mask generation seed")
+	bits := fs.Int("bits", 1, "bits per fault (> 1 selects multi-bit masks)")
+	hvf := fs.Bool("hvf", false, "also run HVF analysis (CPU cells)")
+	validOnly := fs.Bool("validonly", true, "draw CPU faults over live entries only")
+	earlyTerm := fs.Bool("earlyterm", false, "enable early-termination optimizations")
+	watchdog := fs.Float64("watchdog", 0, "watchdog factor × golden cycles (0 = engine default)")
+	physRegs := fs.Int("physregs", 0, "override physical register count (0 = 128)")
+	preset := fs.String("preset", "table2", "CPU hardware preset: table2, fast")
+	workers := fs.Int("workers", 0, "global worker budget across cells (0 = GOMAXPROCS); results are worker-count invariant")
+	cellPar := fs.Int("cellpar", 0, "concurrent cells (0 = up to 3)")
+	out := fs.String("out", "", "persist + resume directory (manifest.json, cells.jsonl)")
+	csvPath := fs.String("csv", "", "write the Figure 9-11 CSV of all cells to this file (- = stdout)")
+	quiet := fs.Bool("quiet", false, "suppress the live progress line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := sweep.Spec{
+		ISAs:             csvList(*isas),
+		Workloads:        csvList(*wls),
+		Targets:          csvList(*targets),
+		Designs:          csvList(*designs),
+		Components:       csvList(*comps),
+		Models:           csvList(*models),
+		Faults:           *faults,
+		Seed:             *seed,
+		BitsPerFault:     *bits,
+		ValidOnly:        *validOnly,
+		HVF:              *hvf,
+		EarlyTermination: *earlyTerm,
+		WatchdogFactor:   *watchdog,
+		PhysRegs:         *physRegs,
+		Preset:           *preset,
+		Workers:          *workers,
+		CellParallel:     *cellPar,
+		OutDir:           *out,
+	}
+	if !*quiet {
+		var lastDraw time.Time
+		spec.OnProgress = func(s sweep.Snapshot) {
+			// Redraw at most ~10×/s; always draw cell transitions so the
+			// final state (and short sweeps) never go stale.
+			cellEdge := s.CellsFinished+s.CellsSkipped == s.TotalCells
+			if !cellEdge && time.Since(lastDraw) < 100*time.Millisecond {
+				return
+			}
+			lastDraw = time.Now()
+			line := fmt.Sprintf("\r\x1b[Kcells %d/%d (%d resumed) | faults %d/%d | early-stops %d",
+				s.CellsFinished+s.CellsSkipped, s.TotalCells, s.CellsSkipped,
+				s.FaultsDone, s.TotalFaults, s.EarlyStops)
+			if s.CellsPerSec > 0 {
+				line += fmt.Sprintf(" | %.2f cells/s", s.CellsPerSec)
+			}
+			if s.ETA > 0 {
+				line += fmt.Sprintf(" | ETA %s", s.ETA.Round(time.Second))
+			}
+			if s.LastCell != "" {
+				line += " | " + s.LastCell
+			}
+			fmt.Fprint(os.Stderr, line)
+		}
+	}
+
+	res, err := sweep.Run(spec)
+	if !*quiet {
+		fmt.Fprint(os.Stderr, "\r\x1b[K") // clear the progress line
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sweep: %d cells (%d executed, %d resumed) in %s\n",
+		res.Counters.CellsPlanned, res.Counters.CellsExecuted,
+		res.Counters.CellsSkipped, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("golden cache: %d runs, %d hits | faults %d, early-stops %d | forks %d (+%d reuses)\n",
+		res.Counters.GoldenRuns, res.Counters.GoldenHits,
+		res.Counters.FaultsDone, res.Counters.EarlyStops,
+		res.Counters.Forks, res.Counters.ForkReuses)
+	fmt.Printf("%-42s %7s %8s %8s %8s %8s\n", "cell", "faults", "AVF", "SDC", "Crash", "HVF")
+	for _, c := range res.Cells {
+		hvf := "-"
+		if c.HVFMeasured && c.HVF != nil {
+			hvf = fmt.Sprintf("%7.1f%%", 100**c.HVF)
+		}
+		fmt.Printf("%-42s %7d %7.1f%% %7.1f%% %7.1f%% %8s\n",
+			c.Key, c.Faults, 100*c.AVF, 100*c.SDCAVF, 100*c.CrashAVF, hvf)
+	}
+	for k, w := range figures.SweepWAVF(res.Cells) {
+		fmt.Printf("wAVF %-37s %7.1f%%\n", k, 100*w)
+	}
+	if *out != "" {
+		fmt.Printf("persisted to %s (re-run with the same flags to resume)\n", *out)
+	}
+
+	if *csvPath != "" {
+		w := os.Stdout
+		if *csvPath != "-" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := figures.SweepCSV(w, res.Cells); err != nil {
+			return err
+		}
+		if *csvPath != "-" {
+			fmt.Printf("wrote %s\n", *csvPath)
+		}
+	}
 	return nil
 }
 

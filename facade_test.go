@@ -1,0 +1,140 @@
+package marvel_test
+
+// End-to-end facade coverage for the multi-structure ("prf+rob+iq"),
+// multi-bit and watchdog campaign modes, the HVF "measured vs zero"
+// distinction, and the RunSweep orchestrator — everything a CLI user can
+// reach through the root package.
+
+import (
+	"sync"
+	"testing"
+
+	"marvel"
+)
+
+func TestFacadeMultiTargetMultiBit(t *testing.T) {
+	rep, err := marvel.RunCampaign(marvel.CampaignOptions{
+		ISA:            "arm",
+		Workload:       "crc32",
+		Target:         "prf+rob+iq",
+		Faults:         12,
+		Seed:           7,
+		BitsPerFault:   2,
+		ValidOnly:      true,
+		WatchdogFactor: 2.5,
+		Workers:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Target != "prf+rob+iq" {
+		t.Fatalf("Target = %q, want prf+rob+iq", rep.Target)
+	}
+	if rep.Faults != 12 {
+		t.Fatalf("Faults = %d, want 12", rep.Faults)
+	}
+	if rep.Masked+rep.SDC+rep.Crash != rep.Faults {
+		t.Fatalf("verdicts %d+%d+%d don't sum to %d",
+			rep.Masked, rep.SDC, rep.Crash, rep.Faults)
+	}
+	if rep.HVFMeasured {
+		t.Fatal("HVFMeasured true without HVF analysis")
+	}
+}
+
+func TestFacadeMultiTargetWorkerInvariance(t *testing.T) {
+	run := func(workers int) *marvel.Report {
+		t.Helper()
+		rep, err := marvel.RunCampaign(marvel.CampaignOptions{
+			ISA:       "riscv",
+			Workload:  "crc32",
+			Target:    "prf+rob",
+			Faults:    10,
+			Seed:      3,
+			ValidOnly: true,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(4)
+	if a.Masked != b.Masked || a.SDC != b.SDC || a.Crash != b.Crash {
+		t.Fatalf("worker-count changed results: 1 worker %d/%d/%d, 4 workers %d/%d/%d",
+			a.Masked, a.SDC, a.Crash, b.Masked, b.SDC, b.Crash)
+	}
+}
+
+func TestFacadeTargetValidation(t *testing.T) {
+	for _, tgt := range []string{"", "bogus", "prf+bogus", "prf+prf", "prf++rob"} {
+		_, err := marvel.RunCampaign(marvel.CampaignOptions{
+			ISA: "arm", Workload: "crc32", Target: tgt, Faults: 1,
+		})
+		if err == nil {
+			t.Errorf("target %q: accepted, want error", tgt)
+		}
+	}
+}
+
+func TestFacadeHVFMeasured(t *testing.T) {
+	rep, err := marvel.RunCampaign(marvel.CampaignOptions{
+		ISA: "riscv", Workload: "crc32", Target: "prf",
+		Faults: 8, Seed: 5, ValidOnly: true, HVF: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HVFMeasured {
+		t.Fatal("HVFMeasured false on a campaign run with HVF analysis")
+	}
+}
+
+func TestFacadeRunSweep(t *testing.T) {
+	var mu sync.Mutex
+	var last marvel.SweepProgress
+	calls := 0
+	rep, err := marvel.RunSweep(marvel.SweepOptions{
+		ISAs:      []string{"arm", "riscv"},
+		Workloads: []string{"crc32"},
+		Targets:   []string{"prf", "prf+rob"},
+		Faults:    6,
+		Seed:      11,
+		ValidOnly: true,
+		Preset:    "fast",
+		OnProgress: func(s marvel.SweepProgress) {
+			mu.Lock()
+			last = s
+			calls++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(rep.Cells))
+	}
+	// Two goldens (arm/crc32, riscv/crc32) back four cells.
+	if rep.GoldenRuns != 2 || rep.GoldenHits != 2 {
+		t.Fatalf("golden cache: %d runs, %d hits; want 2, 2", rep.GoldenRuns, rep.GoldenHits)
+	}
+	if rep.FaultsDone != 24 {
+		t.Fatalf("FaultsDone = %d, want 24", rep.FaultsDone)
+	}
+	for _, c := range rep.Cells {
+		if c.Faults != 6 {
+			t.Fatalf("cell %s: faults = %d, want 6", c.Key, c.Faults)
+		}
+		if c.HVFMeasured {
+			t.Fatalf("cell %s: HVFMeasured without HVF analysis", c.Key)
+		}
+	}
+	if calls == 0 {
+		t.Fatal("OnProgress never called")
+	}
+	if last.CellsFinished != 4 || last.FaultsDone != 24 {
+		t.Fatalf("final progress %d cells / %d faults, want 4 / 24",
+			last.CellsFinished, last.FaultsDone)
+	}
+}

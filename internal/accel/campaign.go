@@ -39,6 +39,48 @@ type CampaignConfig struct {
 	// which is equivalent bit for bit and much cheaper per fault. Kept for
 	// A/B comparison.
 	LegacyRebuild bool
+	// OnVerdict, when non-nil, observes every classified fault as it
+	// completes (sweep progress reporting). It may be called concurrently
+	// from several workers; the index is the fault index. It must not
+	// block.
+	OnVerdict func(index int, v classify.Verdict)
+}
+
+// CampaignGolden bundles the fault-free phase of an accelerator campaign:
+// the golden task execution results and the pristine harness faulty runs
+// fork from. It depends only on (Design, Task) — never on the target
+// component, model or seed — so one CampaignGolden backs every component
+// campaign of a sweep over the same design. Immutable after
+// PrepareGolden; safe for concurrent RunCampaignWithGolden calls.
+type CampaignGolden struct {
+	Cycles uint64
+	Output []byte
+
+	base *Standalone
+}
+
+// PrepareGolden executes the fault-free accelerator task once and builds
+// the pristine fork base.
+func PrepareGolden(d *Design, task Task) (*CampaignGolden, error) {
+	golden, err := NewStandalone(d, task)
+	if err != nil {
+		return nil, err
+	}
+	if err := golden.Run(50_000_000); err != nil {
+		return nil, fmt.Errorf("accel: golden run: %w", err)
+	}
+	out, err := golden.Output()
+	if err != nil {
+		return nil, err
+	}
+	// base is the pristine harness faulty runs fork from: arguments bound,
+	// DMA buffers staged in host memory, task not yet started. It plays
+	// the role of the CPU campaign's checkpoint snapshot.
+	base, err := NewStandalone(d, task)
+	if err != nil {
+		return nil, fmt.Errorf("accel: campaign base: %w", err)
+	}
+	return &CampaignGolden{Cycles: golden.Cluster.TaskCycles(), Output: out, base: base}, nil
 }
 
 // Record is the outcome of one accelerator fault injection.
@@ -92,6 +134,19 @@ func (r *CampaignResult) AVF() float64 { return r.Counts.AVF() }
 // schedule — serial, one worker, N workers, rebuild-per-fault — produces
 // the same Records, Counts and AVF.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	g, err := PrepareGolden(cfg.Design, cfg.Task)
+	if err != nil {
+		return nil, err
+	}
+	return RunCampaignWithGolden(cfg, g)
+}
+
+// RunCampaignWithGolden executes the injection phase of an accelerator
+// campaign against an already-prepared golden reference (the sweep
+// orchestrator's golden cache). cfg.Design and cfg.Task must match the
+// ones g was prepared with; results are bit-identical to RunCampaign with
+// the same CampaignConfig.
+func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResult, error) {
 	if cfg.Faults <= 0 {
 		return nil, fmt.Errorf("accel: fault count must be positive, got %d", cfg.Faults)
 	}
@@ -105,35 +160,16 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 		cfg.Workers = cfg.Faults
 	}
 
-	golden, err := NewStandalone(cfg.Design, cfg.Task)
-	if err != nil {
-		return nil, err
-	}
-	if err := golden.Run(50_000_000); err != nil {
-		return nil, fmt.Errorf("accel: golden run: %w", err)
-	}
-	goldenOut, err := golden.Output()
-	if err != nil {
-		return nil, err
-	}
-	gb, err := golden.Cluster.Bank(cfg.Target)
+	base, goldenOut, goldenCycles := g.base, g.Output, g.Cycles
+	gb, err := base.Cluster.Bank(cfg.Target)
 	if err != nil {
 		return nil, err
 	}
 	bankIdx := -1
-	for i, b := range golden.Cluster.Banks() {
+	for i, b := range base.Cluster.Banks() {
 		if b == gb {
 			bankIdx = i
 		}
-	}
-	goldenCycles := golden.Cluster.TaskCycles()
-
-	// base is the pristine harness faulty runs fork from: arguments bound,
-	// DMA buffers staged in host memory, task not yet started. It plays
-	// the role of the CPU campaign's checkpoint snapshot.
-	base, err := NewStandalone(cfg.Design, cfg.Task)
-	if err != nil {
-		return nil, fmt.Errorf("accel: campaign base: %w", err)
 	}
 
 	window := goldenCycles
@@ -185,6 +221,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 				}
 				f := core.DeriveFault(cfg.Seed, i, cfg.Target, cfg.Model, gb.BitLen(), window)
 				res.Records[i] = Record{Fault: f, Verdict: runFaulty(s, bankIdx, f, budget, goldenOut)}
+				if cfg.OnVerdict != nil {
+					cfg.OnVerdict(i, res.Records[i].Verdict)
+				}
 			}
 			statsMu.Lock()
 			res.Forking.Forks += forks

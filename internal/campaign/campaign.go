@@ -85,6 +85,12 @@ type Config struct {
 	// masks, which is equivalent bit for bit and an order of magnitude
 	// cheaper per fault. Kept for A/B comparison.
 	LegacyClone bool
+	// OnVerdict, when non-nil, observes every classified fault as it
+	// completes (sweep progress reporting). It may be called concurrently
+	// from several workers and must be safe for that; the index is the
+	// mask index. It must not block: the campaign's workers stall while it
+	// runs.
+	OnVerdict func(index int, v classify.Verdict)
 }
 
 // ForkStats counts checkpoint-forking activity over one campaign.
@@ -139,8 +145,53 @@ type Result struct {
 // AVF returns the campaign's architectural vulnerability factor.
 func (r *Result) AVF() float64 { return r.Counts.AVF() }
 
-// Run executes a campaign.
+// Golden bundles everything the fault-free phase of a campaign produces:
+// the reference info, the frozen checkpoint snapshot faulty runs fork
+// from, and the golden commit trace for HVF analysis. A Golden depends
+// only on (Image, Preset) — never on the target, model, seed or fault
+// count — so one Golden can back every campaign of a sweep that shares
+// the workload and hardware configuration. It is immutable after
+// PrepareGolden returns and safe for concurrent use by any number of
+// RunWithGolden calls: forks read the frozen snapshot, they never write
+// it.
+type Golden struct {
+	Info GoldenInfo
+
+	base          *soc.System
+	trace         *trace.Golden
+	commitsAtCkpt int
+}
+
+// PrepareGolden executes the fault-free phase of a campaign: compile-time
+// inputs only (Image, Preset) are read from cfg. The result can be fed to
+// RunWithGolden any number of times, concurrently, with different
+// targets, models, seeds and fault counts.
+func PrepareGolden(cfg Config) (*Golden, error) {
+	if cfg.Image == nil {
+		return nil, fmt.Errorf("campaign: no workload image")
+	}
+	info, base, goldenTrace, commitsAtCkpt, err := runGolden(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Golden{Info: *info, base: base, trace: goldenTrace, commitsAtCkpt: commitsAtCkpt}, nil
+}
+
+// Run executes a campaign: the golden phase followed by the injection
+// phase.
 func Run(cfg Config) (*Result, error) {
+	g, err := PrepareGolden(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunWithGolden(cfg, g)
+}
+
+// RunWithGolden executes the injection phase of a campaign against an
+// already-prepared golden reference (the sweep orchestrator's golden
+// cache). cfg.Image and cfg.Preset must match the ones g was prepared
+// with; results are bit-identical to Run with the same Config.
+func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 	if cfg.Image == nil {
 		return nil, fmt.Errorf("campaign: no workload image")
 	}
@@ -154,13 +205,12 @@ func Run(cfg Config) (*Result, error) {
 		cfg.WatchdogFactor = 3
 	}
 
-	golden, base, goldenTrace, commitsAtCkpt, err := runGolden(cfg)
-	if err != nil {
-		return nil, err
-	}
+	golden, base := &g.Info, g.base
+	goldenTrace, commitsAtCkpt := g.trace, g.commitsAtCkpt
 
 	var masks []core.Mask
 	var bits uint64
+	var err error
 	if len(cfg.MultiTargets) > 0 {
 		masks, bits, err = multiTargetMasks(cfg, base, golden)
 	} else {
@@ -241,6 +291,9 @@ func Run(cfg Config) (*Result, error) {
 					continue
 				}
 				res.Records[i] = Record{Mask: masks[i], Verdict: v}
+				if cfg.OnVerdict != nil {
+					cfg.OnVerdict(i, v)
+				}
 			}
 			statsMu.Lock()
 			res.Forking.Forks += forks
@@ -270,6 +323,11 @@ func Run(cfg Config) (*Result, error) {
 
 	for _, r := range res.Records {
 		res.Counts.Add(r.Verdict)
+		// The HVF view only exists when the commit-trace analysis ran;
+		// folding it unconditionally would report HVF = 0.0 as if measured.
+		if cfg.HVF {
+			res.Counts.AddHVF(r.Verdict)
+		}
 	}
 	return res, nil
 }

@@ -46,6 +46,20 @@ func (m Model) String() string {
 // Permanent reports whether the model is a stuck-at fault.
 func (m Model) Permanent() bool { return m == StuckAt0 || m == StuckAt1 }
 
+// ModelByName resolves a fault model from its String form; the empty
+// string selects Transient (the campaign default).
+func ModelByName(name string) (Model, error) {
+	switch name {
+	case "", "transient":
+		return Transient, nil
+	case "stuck-at-0":
+		return StuckAt0, nil
+	case "stuck-at-1":
+		return StuckAt1, nil
+	}
+	return 0, fmt.Errorf("core: unknown fault model %q", name)
+}
+
 // Fault describes a single bit fault within one target structure.
 type Fault struct {
 	Target string // target structure name, e.g. "l1d", "prf"

@@ -22,7 +22,10 @@ type Counts struct {
 	MaskedInvalid int
 	MaskedDead    int
 
-	// HVF classes.
+	// HVF classes. Only runs whose campaign actually performed the
+	// commit-trace analysis are counted; HVFValid is the number of such
+	// runs (HVFBenign + HVFCorrupt == HVFValid by construction).
+	HVFValid   int
 	HVFBenign  int
 	HVFCorrupt int
 
@@ -30,7 +33,11 @@ type Counts struct {
 	EarlyStops int
 }
 
-// Add folds one verdict in.
+// Add folds one verdict's AVF view in. The HVF view is folded separately
+// by AddHVF, and only by campaigns that enabled the commit-trace analysis:
+// a verdict from an HVF-less run carries HVFCorrupt == false not because
+// the fault was measured benign but because nothing measured it, and
+// counting it would report HVF = 0.0 as if it were a result.
 func (c *Counts) Add(v classify.Verdict) {
 	switch v.Outcome {
 	case classify.Masked:
@@ -46,15 +53,25 @@ func (c *Counts) Add(v classify.Verdict) {
 	case classify.Crash:
 		c.Crash++
 	}
+	if v.EarlyStop {
+		c.EarlyStops++
+	}
+}
+
+// AddHVF folds one verdict's HVF view in. Callers invoke it only for runs
+// that performed commit-trace comparison.
+func (c *Counts) AddHVF(v classify.Verdict) {
+	c.HVFValid++
 	if v.HVFCorrupt {
 		c.HVFCorrupt++
 	} else {
 		c.HVFBenign++
 	}
-	if v.EarlyStop {
-		c.EarlyStops++
-	}
 }
+
+// HVFMeasured reports whether any run in this campaign carried out the
+// commit-trace HVF analysis; when false, HVF() is not a measurement.
+func (c Counts) HVFMeasured() bool { return c.HVFValid > 0 }
 
 // Total returns the number of classified runs.
 func (c Counts) Total() int { return c.Masked + c.SDC + c.Crash }
@@ -89,13 +106,14 @@ func (c Counts) CrashAVF() float64 {
 
 // HVF returns the hardware vulnerability factor: the probability that the
 // fault became architecturally visible at the commit stage. By definition
-// HVF >= AVF for the same fault population (§V-I).
+// HVF >= AVF for the same fault population (§V-I). When the campaign did
+// not run the HVF analysis (HVFMeasured() == false) it returns 0, which
+// is "not measured", not "measured 0.0" — check HVFMeasured.
 func (c Counts) HVF() float64 {
-	t := c.HVFBenign + c.HVFCorrupt
-	if t == 0 {
+	if c.HVFValid == 0 {
 		return 0
 	}
-	return float64(c.HVFCorrupt) / float64(t)
+	return float64(c.HVFCorrupt) / float64(c.HVFValid)
 }
 
 func (c Counts) String() string {
@@ -143,20 +161,30 @@ func OPF(ops float64, cycles uint64, clockHz float64, avf float64) float64 {
 	return ops64 / avf
 }
 
-// Interval is a symmetric confidence interval for an estimated proportion.
+// Interval is a confidence interval for an estimated proportion. The
+// interval is generally asymmetric around P (Wilson score); Lo and Hi are
+// always inside [0, 1].
 type Interval struct {
 	P, Lo, Hi float64
 }
 
-// Confidence returns the normal-approximation interval for proportion p
-// over n samples at quantile z (1.96 for 95%).
+// Confidence returns the Wilson score interval for proportion p over n
+// samples at quantile z (1.96 for 95%). Unlike the textbook normal
+// approximation (p ± z·sqrt(p(1-p)/n)), Wilson does not collapse to a
+// zero-width interval at p=0 or p=1: a campaign that observed 0 SDCs out
+// of n runs still reports the genuine upper bound z²/(n+z²) instead of a
+// misleading "±0.00%" certainty.
 func Confidence(p float64, n int, z float64) Interval {
 	if n == 0 {
 		return Interval{P: p, Lo: 0, Hi: 1}
 	}
-	se := z * math.Sqrt(p*(1-p)/float64(n))
-	lo := p - se
-	hi := p + se
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo := center - half
+	hi := center + half
 	if lo < 0 {
 		lo = 0
 	}

@@ -10,11 +10,17 @@ import (
 
 func TestCountsAccumulation(t *testing.T) {
 	var c Counts
-	c.Add(classify.Verdict{Outcome: classify.Masked})
-	c.Add(classify.Verdict{Outcome: classify.Masked, Reason: classify.MaskedInvalidEntry, EarlyStop: true})
-	c.Add(classify.Verdict{Outcome: classify.Masked, Reason: classify.MaskedDeadFault, EarlyStop: true})
-	c.Add(classify.Verdict{Outcome: classify.SDC, HVFCorrupt: true})
-	c.Add(classify.Verdict{Outcome: classify.Crash, HVFCorrupt: true})
+	verdicts := []classify.Verdict{
+		{Outcome: classify.Masked},
+		{Outcome: classify.Masked, Reason: classify.MaskedInvalidEntry, EarlyStop: true},
+		{Outcome: classify.Masked, Reason: classify.MaskedDeadFault, EarlyStop: true},
+		{Outcome: classify.SDC, HVFCorrupt: true},
+		{Outcome: classify.Crash, HVFCorrupt: true},
+	}
+	for _, v := range verdicts {
+		c.Add(v)
+		c.AddHVF(v)
+	}
 
 	if c.Total() != 5 {
 		t.Fatalf("total %d", c.Total())
@@ -37,8 +43,26 @@ func TestCountsAccumulation(t *testing.T) {
 	if got := c.HVF(); math.Abs(got-0.4) > 1e-9 {
 		t.Fatalf("HVF %f", got)
 	}
+	if c.HVFValid != 5 || !c.HVFMeasured() {
+		t.Fatalf("HVF accounting %+v", c)
+	}
 	if c.String() == "" {
 		t.Fatal("empty String")
+	}
+}
+
+func TestHVFNotMeasuredWithoutAddHVF(t *testing.T) {
+	// A campaign that never ran the commit-trace analysis must not report
+	// HVF = 0.0 as if it were measured: plain Add leaves the HVF counters
+	// untouched and HVFMeasured false.
+	var c Counts
+	c.Add(classify.Verdict{Outcome: classify.SDC})
+	c.Add(classify.Verdict{Outcome: classify.Masked})
+	if c.HVFMeasured() {
+		t.Fatal("HVFMeasured must be false without AddHVF")
+	}
+	if c.HVFValid != 0 || c.HVFBenign != 0 || c.HVFCorrupt != 0 {
+		t.Fatalf("HVF counters polluted by Add: %+v", c)
 	}
 }
 
@@ -117,7 +141,6 @@ func TestConfidence(t *testing.T) {
 	if iv.Hi-iv.Lo > 0.07 {
 		t.Fatalf("interval too wide for n=1000: %+v", iv)
 	}
-	// Clamping.
 	iv = Confidence(0.001, 10, 1.96)
 	if iv.Lo < 0 {
 		t.Fatal("Lo must clamp at 0")
@@ -129,6 +152,41 @@ func TestConfidence(t *testing.T) {
 	iv = Confidence(0.5, 0, 1.96)
 	if iv.Lo != 0 || iv.Hi != 1 {
 		t.Fatal("n=0 should be the trivial interval")
+	}
+}
+
+func TestConfidenceWilsonBoundaries(t *testing.T) {
+	// Cross-checked against the closed-form Wilson score values at
+	// z = 1.96 (z² = 3.8416): at p=0 the upper bound is z²/(n+z²), at
+	// p=1 the lower bound mirrors it. The normal approximation this
+	// replaced collapses to width 0 at both extremes — a 0-SDC campaign
+	// must not print "±0.00%" certainty.
+	const z = 1.96
+	cases := []struct {
+		name   string
+		p      float64
+		n      int
+		lo, hi float64
+	}{
+		{"p0_n1", 0, 1, 0, 0.793457},           // z²/(1+z²)
+		{"p1_n1", 1, 1, 0.206543, 1},           // 1/(1+z²)
+		{"p0_n1000", 0, 1000, 0, 0.0038269},    // z²/(n+z²)
+		{"p1_n1000", 1, 1000, 0.9961731, 1},    //
+		{"p05_n1000", 0.5, 1000, 0.46907, 0.53093}, // symmetric at p=0.5
+	}
+	const tol = 1e-4
+	for _, tc := range cases {
+		iv := Confidence(tc.p, tc.n, z)
+		if math.Abs(iv.Lo-tc.lo) > tol || math.Abs(iv.Hi-tc.hi) > tol {
+			t.Errorf("%s: got [%.6f, %.6f], want [%.6f, %.6f]",
+				tc.name, iv.Lo, iv.Hi, tc.lo, tc.hi)
+		}
+		if iv.Hi-iv.Lo <= 0 {
+			t.Errorf("%s: interval has zero width", tc.name)
+		}
+		if iv.Lo < 0 || iv.Hi > 1 {
+			t.Errorf("%s: interval escapes [0,1]: %+v", tc.name, iv)
+		}
 	}
 }
 

@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"marvel/internal/accel"
+	"marvel/internal/campaign"
+	"marvel/internal/classify"
+	"marvel/internal/core"
+)
+
+// The digest fingerprints a campaign's complete verdict stream in mask
+// order: every fault coordinate and every classification detail enters
+// the hash, so two campaigns digest equal iff they injected the same
+// faults and classified every one identically. The differential suite
+// uses it to prove that golden-cache reuse is bit-invisible.
+
+func hashFault(h interface{ Write([]byte) (int, error) }, f core.Fault) {
+	var buf [8]byte
+	h.Write([]byte(f.Target))
+	binary.LittleEndian.PutUint64(buf[:], f.Bit)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], f.Cycle)
+	h.Write(buf[:])
+	h.Write([]byte{byte(f.Model)})
+}
+
+func hashVerdict(h interface{ Write([]byte) (int, error) }, v classify.Verdict) {
+	var buf [8]byte
+	flags := byte(0)
+	if v.HVFCorrupt {
+		flags |= 1
+	}
+	if v.EarlyStop {
+		flags |= 2
+	}
+	h.Write([]byte{byte(v.Outcome), byte(v.Reason), flags})
+	binary.LittleEndian.PutUint64(buf[:], v.Cycles)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(v.CycleDelta))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v.DivergeCommit)))
+	h.Write(buf[:])
+	h.Write([]byte(v.CrashCode))
+}
+
+// DigestCPURecords fingerprints a CPU campaign's records.
+func DigestCPURecords(recs []campaign.Record) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(r.Mask.ID)))
+		h.Write(buf[:])
+		for _, f := range r.Mask.Faults {
+			hashFault(h, f)
+		}
+		hashVerdict(h, r.Verdict)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DigestAccelRecords fingerprints an accelerator campaign's records.
+func DigestAccelRecords(recs []accel.Record) string {
+	h := fnv.New64a()
+	for _, r := range recs {
+		hashFault(h, r.Fault)
+		hashVerdict(h, r.Verdict)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

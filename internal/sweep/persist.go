@@ -1,0 +1,220 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Persistence layout under Spec.OutDir:
+//
+//	manifest.json — the grid identity (seed, faults, axes, knobs), the
+//	                source revision, and — once the sweep completes —
+//	                the wall time and counters.
+//	cells.jsonl   — one CellReport per line, appended as each cell
+//	                finishes. The file is the resume journal: a rerun
+//	                with the same Spec loads it and skips every cell
+//	                whose key appears with a complete line.
+//
+// A line is only trusted if it parses and its key belongs to the plan;
+// a torn final line from a killed process is ignored, so that cell
+// simply re-executes.
+
+const (
+	manifestName = "manifest.json"
+	cellsName    = "cells.jsonl"
+)
+
+// manifestGrid is the identity part of the manifest: two sweeps resume
+// into each other iff these match.
+type manifestGrid struct {
+	ISAs             []string `json:"isas,omitempty"`
+	Workloads        []string `json:"workloads,omitempty"`
+	Targets          []string `json:"targets,omitempty"`
+	Designs          []string `json:"designs,omitempty"`
+	Components       []string `json:"components,omitempty"`
+	Models           []string `json:"models,omitempty"`
+	Faults           int      `json:"faults"`
+	Seed             int64    `json:"seed"`
+	BitsPerFault     int      `json:"bitsPerFault,omitempty"`
+	ValidOnly        bool     `json:"validOnly,omitempty"`
+	HVF              bool     `json:"hvf,omitempty"`
+	EarlyTermination bool     `json:"earlyTermination,omitempty"`
+	WatchdogFactor   float64  `json:"watchdogFactor,omitempty"`
+	PhysRegs         int      `json:"physRegs,omitempty"`
+	Preset           string   `json:"preset,omitempty"`
+}
+
+type manifest struct {
+	Grid      manifestGrid `json:"grid"`
+	Cells     int          `json:"cells"`
+	Revision  string       `json:"revision,omitempty"`
+	CreatedAt time.Time    `json:"createdAt"`
+
+	// Completion fields, written when the sweep finishes.
+	CompletedAt   *time.Time `json:"completedAt,omitempty"`
+	WallMS        int64      `json:"wallMs,omitempty"`
+	CellsExecuted int        `json:"cellsExecuted,omitempty"`
+	CellsSkipped  int        `json:"cellsSkipped,omitempty"`
+	GoldenRuns    int        `json:"goldenRuns,omitempty"`
+	GoldenHits    int        `json:"goldenHits,omitempty"`
+}
+
+func gridOf(spec Spec) manifestGrid {
+	return manifestGrid{
+		ISAs:             spec.ISAs,
+		Workloads:        spec.Workloads,
+		Targets:          spec.Targets,
+		Designs:          spec.Designs,
+		Components:       spec.Components,
+		Models:           spec.Models,
+		Faults:           spec.Faults,
+		Seed:             spec.Seed,
+		BitsPerFault:     spec.BitsPerFault,
+		ValidOnly:        spec.ValidOnly,
+		HVF:              spec.HVF,
+		EarlyTermination: spec.EarlyTermination,
+		WatchdogFactor:   spec.WatchdogFactor,
+		PhysRegs:         spec.PhysRegs,
+		Preset:           spec.Preset,
+	}
+}
+
+// revision best-effort identifies the source tree; sweeps must compare
+// like with like across code changes.
+func revision() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// journalWriter appends finished cells to cells.jsonl, one line per
+// cell, flushed per line so a kill loses at most the line being written.
+type journalWriter struct {
+	f   *os.File
+	buf *bufio.Writer
+	dir string
+}
+
+// openJournal prepares OutDir for this sweep: it creates or validates
+// the manifest and loads every completed cell from the journal. The
+// returned map holds reports for cells this run can skip.
+func openJournal(dir string, spec Spec, cells []Cell) (*journalWriter, map[string]CellReport, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("sweep: out dir: %w", err)
+	}
+	grid := gridOf(spec)
+	mPath := filepath.Join(dir, manifestName)
+	if raw, err := os.ReadFile(mPath); err == nil {
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, nil, fmt.Errorf("sweep: corrupt %s: %w", manifestName, err)
+		}
+		want, _ := json.Marshal(grid)
+		got, _ := json.Marshal(m.Grid)
+		if string(want) != string(got) {
+			return nil, nil, fmt.Errorf("sweep: %s holds a different sweep (grid mismatch); use a fresh out dir", dir)
+		}
+	} else {
+		m := manifest{Grid: grid, Cells: len(cells), Revision: revision(), CreatedAt: time.Now().UTC()}
+		if err := writeManifest(mPath, m); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	planned := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		planned[c.Key()] = true
+	}
+	done := map[string]CellReport{}
+	if raw, err := os.ReadFile(filepath.Join(dir, cellsName)); err == nil {
+		sc := bufio.NewScanner(strings.NewReader(string(raw)))
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var rep CellReport
+			// A torn trailing line (killed mid-append) is not an error:
+			// that cell just re-executes.
+			if err := json.Unmarshal([]byte(line), &rep); err != nil {
+				continue
+			}
+			if planned[rep.Key] {
+				done[rep.Key] = rep
+			}
+		}
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, cellsName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	return &journalWriter{f: f, buf: bufio.NewWriter(f), dir: dir}, done, nil
+}
+
+// Append persists one finished cell. Serialized by the orchestrator.
+func (j *journalWriter) Append(rep CellReport) error {
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Errorf("sweep: journal: %w", err)
+	}
+	if _, err := j.buf.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("sweep: journal: %w", err)
+	}
+	if err := j.buf.Flush(); err != nil {
+		return fmt.Errorf("sweep: journal: %w", err)
+	}
+	return j.f.Sync()
+}
+
+// WriteManifestDone stamps completion metadata into the manifest.
+func (j *journalWriter) WriteManifestDone(res *Result) error {
+	mPath := filepath.Join(j.dir, manifestName)
+	raw, err := os.ReadFile(mPath)
+	if err != nil {
+		return fmt.Errorf("sweep: manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("sweep: manifest: %w", err)
+	}
+	now := time.Now().UTC()
+	m.CompletedAt = &now
+	m.WallMS = res.Elapsed.Milliseconds()
+	m.CellsExecuted = res.Counters.CellsExecuted
+	m.CellsSkipped = res.Counters.CellsSkipped
+	m.GoldenRuns = res.Counters.GoldenRuns
+	m.GoldenHits = res.Counters.GoldenHits
+	return writeManifest(mPath, m)
+}
+
+func (j *journalWriter) Close() error {
+	if err := j.buf.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// writeManifest writes atomically (tmp + rename) so a kill never leaves
+// a half-written manifest behind.
+func writeManifest(path string, m manifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: manifest: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sweep: manifest: %w", err)
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"sync"
+	"time"
+
+	"marvel/internal/classify"
+)
+
+// Snapshot is one observation of a running sweep, delivered to
+// Spec.OnProgress. All counters are cumulative since the sweep started.
+type Snapshot struct {
+	TotalCells    int
+	CellsStarted  int
+	CellsFinished int // executed this run
+	CellsSkipped  int // restored from the resume journal
+
+	TotalFaults int64 // planned faults across all cells (incl. skipped)
+	FaultsDone  int64 // classified faults (skipped cells count in full)
+	EarlyStops  int64
+
+	Elapsed time.Duration
+	// CellsPerSec is the finished-cell throughput of this run; zero
+	// until the first cell finishes.
+	CellsPerSec float64
+	// ETA estimates the remaining wall time from the fault-level
+	// throughput; zero until enough work has been observed.
+	ETA time.Duration
+
+	// LastCell is the key of the cell most recently started or finished.
+	LastCell string
+}
+
+// tracker serializes progress accounting and callback delivery.
+type tracker struct {
+	mu    sync.Mutex
+	cb    func(Snapshot)
+	start time.Time
+	snap  Snapshot
+	// skippedFaults is the share of snap.FaultsDone credited by the
+	// resume journal rather than simulated, kept out of the ETA's
+	// throughput estimate.
+	skippedFaults int64
+}
+
+func newTracker(cb func(Snapshot), totalCells int, totalFaults int64, start time.Time) *tracker {
+	return &tracker{
+		cb:    cb,
+		start: start,
+		snap:  Snapshot{TotalCells: totalCells, TotalFaults: totalFaults},
+	}
+}
+
+// emit must be called with mu held.
+func (t *tracker) emit() {
+	if t.cb == nil {
+		return
+	}
+	s := t.snap
+	s.Elapsed = time.Since(t.start)
+	if s.CellsFinished > 0 && s.Elapsed > 0 {
+		s.CellsPerSec = float64(s.CellsFinished) / s.Elapsed.Seconds()
+	}
+	// ETA from fault throughput: faults are the uniform unit of work
+	// (cells can differ wildly in golden cost, faults don't).
+	executedFaults := s.FaultsDone - t.skippedFaults
+	if executedFaults > 0 && s.Elapsed > 0 {
+		perFault := s.Elapsed.Seconds() / float64(executedFaults)
+		remaining := float64(s.TotalFaults - s.FaultsDone)
+		s.ETA = time.Duration(perFault * remaining * float64(time.Second))
+	}
+	t.cb(s)
+}
+
+func (t *tracker) cellStarted(key string) {
+	t.mu.Lock()
+	t.snap.CellsStarted++
+	t.snap.LastCell = key
+	t.emit()
+	t.mu.Unlock()
+}
+
+func (t *tracker) cellFinished(key string) {
+	t.mu.Lock()
+	t.snap.CellsFinished++
+	t.snap.LastCell = key
+	t.emit()
+	t.mu.Unlock()
+}
+
+func (t *tracker) cellSkipped(key string, faults int64) {
+	t.mu.Lock()
+	t.snap.CellsSkipped++
+	t.snap.FaultsDone += faults
+	t.skippedFaults += faults
+	t.snap.LastCell = key
+	t.emit()
+	t.mu.Unlock()
+}
+
+// faultsDone reports the cumulative classified-fault count.
+func (t *tracker) faultsDone() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snap.FaultsDone
+}
+
+// onVerdict is handed to every campaign as its OnVerdict hook.
+func (t *tracker) onVerdict(_ int, v classify.Verdict) {
+	t.mu.Lock()
+	t.snap.FaultsDone++
+	if v.EarlyStop {
+		t.snap.EarlyStops++
+	}
+	t.emit()
+	t.mu.Unlock()
+}

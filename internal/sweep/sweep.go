@@ -1,0 +1,651 @@
+// Package sweep is the figure-scale campaign orchestrator: it takes a
+// grid specification (ISAs × workloads × targets × models on the CPU
+// side, designs × components on the accelerator side), plans the
+// cross-product of cells, and executes it with two-level parallelism
+// under one global worker budget. The expensive shared prefix of every
+// cell — the compiled program image and the golden (fault-free) run with
+// its checkpoint snapshot and commit trace — is memoized per
+// (ISA, workload, preset) and reused by all campaigns that share it,
+// which is what dominates short campaigns run one process at a time.
+//
+// Results stream to a JSONL file with a manifest so an interrupted sweep
+// resumes by skipping completed cells, and a Progress callback surfaces
+// live counters (cells and faults done, golden-cache hits, fork reuse,
+// throughput and ETA) for the CLI to render. Every cell's verdicts are
+// bit-identical to a standalone campaign.Run / accel.RunCampaign with
+// the same seed: golden reuse changes where the reference comes from,
+// never what the injection phase computes.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"marvel/internal/accel"
+	"marvel/internal/campaign"
+	"marvel/internal/config"
+	"marvel/internal/core"
+	"marvel/internal/isa"
+	"marvel/internal/machsuite"
+	"marvel/internal/program"
+	"marvel/internal/workloads"
+)
+
+// Spec describes a sweep grid. The CPU grid is the cross-product
+// ISAs × Workloads × Targets × Models; the accelerator grid is
+// Designs × Components × Models. Either side may be empty.
+type Spec struct {
+	// CPU grid.
+	ISAs      []string // e.g. ["arm", "x86", "riscv"]
+	Workloads []string // nil = all fifteen
+	Targets   []string // each "prf" or a multi-structure combo "prf+rob+iq"
+	// Accelerator grid.
+	Designs    []string // MachSuite design names
+	Components []string // nil = every Table IV component of each design
+
+	Models []string // fault model names; nil = ["transient"]
+
+	Faults int // statistical sample size per cell
+	Seed   int64
+	// BitsPerFault > 1 selects multi-bit masks (CPU cells).
+	BitsPerFault int
+	// ValidOnly draws CPU faults over live entries only.
+	ValidOnly bool
+	// HVF additionally classifies every CPU run at the commit stage.
+	HVF bool
+	// EarlyTermination enables the §IV-B campaign optimizations.
+	EarlyTermination bool
+	// WatchdogFactor bounds faulty runs at factor × golden cycles; 0
+	// keeps each engine's default.
+	WatchdogFactor float64
+	// PhysRegs overrides the physical register file size; 0 keeps 128.
+	PhysRegs int
+	// Preset selects the hardware configuration for CPU cells: "" or
+	// "table2" is the paper's Table II; "fast" is the scaled-down test
+	// preset (small caches).
+	Preset string
+
+	// Workers is the global worker budget shared by all concurrently
+	// executing cells; 0 = GOMAXPROCS.
+	Workers int
+	// CellParallel bounds how many cells run concurrently; 0 picks
+	// min(3, number of cells). Each running cell gets
+	// max(1, Workers/CellParallel) campaign workers.
+	CellParallel int
+
+	// OutDir, when non-empty, persists the sweep: a manifest.json
+	// recording the grid and a cells.jsonl appended one line per
+	// finished cell. Re-running the same Spec against the same OutDir
+	// resumes: completed cells are loaded, not re-executed.
+	OutDir string
+
+	// OnProgress, when non-nil, observes live counters. It is called
+	// from worker goroutines (serialized by the orchestrator) on cell
+	// start/finish and on every classified fault; it must be fast and
+	// must not block.
+	OnProgress func(Snapshot)
+}
+
+// Cell kinds.
+const (
+	KindCPU   = "cpu"
+	KindAccel = "accel"
+)
+
+// Cell is one planned campaign of the sweep.
+type Cell struct {
+	Kind string `json:"kind"`
+
+	// CPU cells.
+	ISA      string `json:"isa,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Target   string `json:"target,omitempty"` // may be "prf+rob+iq"
+
+	// Accelerator cells.
+	Design    string `json:"design,omitempty"`
+	Component string `json:"component,omitempty"`
+
+	Model string `json:"model"`
+}
+
+// Key is the cell's stable identity inside one sweep: the resume journal
+// matches completed cells by it.
+func (c Cell) Key() string {
+	if c.Kind == KindAccel {
+		return fmt.Sprintf("accel/%s/%s/%s", c.Design, c.Component, c.Model)
+	}
+	return fmt.Sprintf("cpu/%s/%s/%s/%s", c.ISA, c.Workload, c.Target, c.Model)
+}
+
+// CellReport is the persisted outcome of one cell — the JSONL line.
+type CellReport struct {
+	Key  string `json:"key"`
+	Cell Cell   `json:"cell"`
+
+	Faults     int `json:"faults"`
+	Masked     int `json:"masked"`
+	SDC        int `json:"sdc"`
+	Crash      int `json:"crash"`
+	EarlyStops int `json:"earlyStops,omitempty"`
+
+	AVF      float64 `json:"avf"`
+	SDCAVF   float64 `json:"sdcAvf"`
+	CrashAVF float64 `json:"crashAvf"`
+	// HVF is present only when the campaign measured it; an absent HVF
+	// means "not measured", never "measured 0.0".
+	HVFMeasured bool     `json:"hvfMeasured"`
+	HVF         *float64 `json:"hvf,omitempty"`
+	Margin      float64  `json:"margin"`
+
+	GoldenCycles uint64 `json:"goldenCycles"`
+	TargetBits   uint64 `json:"targetBits"`
+
+	// Digest is an FNV-1a fingerprint of the full verdict stream in mask
+	// order; the differential suite compares it against standalone runs.
+	Digest string `json:"digest"`
+
+	WallMS int64 `json:"wallMs"`
+}
+
+// Counters aggregates orchestration-level observability for one sweep.
+type Counters struct {
+	CellsPlanned  int
+	CellsExecuted int
+	// CellsSkipped were loaded complete from the resume journal.
+	CellsSkipped int
+
+	// GoldenRuns counts golden-phase executions (cache misses);
+	// GoldenHits counts cells served by an already-prepared golden.
+	GoldenRuns int
+	GoldenHits int
+
+	FaultsDone int64
+	EarlyStops int64
+	Forks      uint64
+	ForkReuses uint64
+}
+
+// Result is a completed sweep.
+type Result struct {
+	// Cells holds one report per planned cell, in plan order, including
+	// cells restored from the resume journal.
+	Cells    []CellReport
+	Counters Counters
+	Elapsed  time.Duration
+}
+
+// Plan expands and validates the grid. Every name is resolved before any
+// simulation starts so a typo fails the whole sweep in milliseconds, and
+// the cell order is deterministic (CPU cells first, workload-major).
+func Plan(spec Spec) ([]Cell, error) {
+	models := spec.Models
+	if len(models) == 0 {
+		models = []string{core.Transient.String()}
+	}
+	for _, m := range models {
+		if _, err := core.ModelByName(m); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+
+	var cells []Cell
+	if len(spec.ISAs) > 0 || len(spec.Workloads) > 0 || len(spec.Targets) > 0 {
+		if len(spec.ISAs) == 0 || len(spec.Targets) == 0 {
+			return nil, fmt.Errorf("sweep: a CPU grid needs at least one ISA and one target")
+		}
+		wls := spec.Workloads
+		if len(wls) == 0 {
+			wls = workloads.Names()
+		}
+		for _, a := range spec.ISAs {
+			if _, err := isa.ByName(a); err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+		}
+		for _, w := range wls {
+			if _, err := workloads.ByName(w); err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+		}
+		for _, tgt := range spec.Targets {
+			if err := ValidateTarget(tgt); err != nil {
+				return nil, err
+			}
+		}
+		for _, w := range wls {
+			for _, a := range spec.ISAs {
+				for _, tgt := range spec.Targets {
+					for _, m := range models {
+						cells = append(cells, Cell{Kind: KindCPU, ISA: a, Workload: w, Target: tgt, Model: m})
+					}
+				}
+			}
+		}
+	}
+
+	if len(spec.Designs) > 0 {
+		for _, d := range spec.Designs {
+			ms, err := machsuite.ByName(d)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			comps := spec.Components
+			if len(comps) == 0 {
+				for _, c := range ms.Targets {
+					comps = append(comps, c.Name)
+				}
+			} else {
+				for _, want := range comps {
+					found := false
+					for _, c := range ms.Targets {
+						if c.Name == want {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return nil, fmt.Errorf("sweep: design %q has no component %q", d, want)
+					}
+				}
+			}
+			for _, comp := range comps {
+				for _, m := range models {
+					cells = append(cells, Cell{Kind: KindAccel, Design: d, Component: comp, Model: m})
+				}
+			}
+		}
+	} else if len(spec.Components) > 0 {
+		return nil, fmt.Errorf("sweep: components given without designs")
+	}
+
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	seen := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if seen[c.Key()] {
+			return nil, fmt.Errorf("sweep: duplicate cell %s", c.Key())
+		}
+		seen[c.Key()] = true
+	}
+	return cells, nil
+}
+
+// ValidateTarget checks a CPU target spec, which may be a single
+// structure ("prf") or a multi-structure combination ("prf+rob+iq").
+func ValidateTarget(tgt string) error {
+	parts, err := SplitTarget(tgt)
+	if err != nil {
+		return err
+	}
+	_ = parts
+	return nil
+}
+
+// SplitTarget parses a CPU target spec into its structure list,
+// validating every name against campaign.CPUTargets and rejecting
+// duplicates. A single-structure spec returns a one-element list.
+func SplitTarget(tgt string) ([]string, error) {
+	parts := strings.Split(tgt, "+")
+	seen := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("sweep: empty structure in target %q", tgt)
+		}
+		known := false
+		for _, k := range campaign.CPUTargets {
+			if p == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("sweep: unknown CPU target %q (of %q); known: %s",
+				p, tgt, strings.Join(campaign.CPUTargets, ", "))
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("sweep: duplicate structure %q in target %q", p, tgt)
+		}
+		seen[p] = true
+	}
+	return parts, nil
+}
+
+// goldenKey identifies one shareable golden phase.
+func cpuGoldenKey(isaName, workload string, pre config.Preset) string {
+	return fmt.Sprintf("cpu/%s/%s/%s/%d", isaName, workload, pre.Name, pre.CPU.NumPhysRegs)
+}
+
+// presetByName resolves Spec.Preset.
+func presetByName(name string) (config.Preset, error) {
+	switch name {
+	case "", "table2":
+		return config.TableII(), nil
+	case "fast":
+		return config.Fast(), nil
+	}
+	return config.Preset{}, fmt.Errorf("sweep: unknown preset %q (known: table2, fast)", name)
+}
+
+// cpuGoldenEntry is one golden-cache slot: the compiled image plus the
+// prepared campaign golden, built at most once. uses counts the cells
+// that drew on the slot; every use past the first is a cache hit.
+type cpuGoldenEntry struct {
+	once   sync.Once
+	uses   atomic.Uint32
+	img    *program.Image
+	golden *campaign.Golden
+	err    error
+}
+
+type accelGoldenEntry struct {
+	once   sync.Once
+	uses   atomic.Uint32
+	spec   machsuite.Spec
+	golden *accel.CampaignGolden
+	err    error
+}
+
+// Run plans and executes the sweep.
+func Run(spec Spec) (*Result, error) {
+	cells, err := Plan(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Faults <= 0 {
+		return nil, fmt.Errorf("sweep: fault count must be positive")
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = runtime.GOMAXPROCS(0)
+	}
+	if spec.CellParallel <= 0 {
+		spec.CellParallel = 3
+	}
+	if spec.CellParallel > len(cells) {
+		spec.CellParallel = len(cells)
+	}
+	perCell := spec.Workers / spec.CellParallel
+	if perCell < 1 {
+		perCell = 1
+	}
+
+	// Resume: load completed cells from the journal before executing.
+	var journal *journalWriter
+	done := map[string]CellReport{}
+	if spec.OutDir != "" {
+		journal, done, err = openJournal(spec.OutDir, spec, cells)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	start := time.Now()
+	tr := newTracker(spec.OnProgress, len(cells), int64(spec.Faults)*int64(len(cells)), start)
+	res := &Result{Cells: make([]CellReport, len(cells))}
+	res.Counters.CellsPlanned = len(cells)
+
+	cpuCache := map[string]*cpuGoldenEntry{}
+	accelCache := map[string]*accelGoldenEntry{}
+	pre, err := presetByName(spec.Preset)
+	if err != nil {
+		return nil, err
+	}
+	if spec.PhysRegs > 0 {
+		pre = pre.WithPhysRegs(spec.PhysRegs)
+	}
+	// Pre-create every cache slot so workers only synchronize on each
+	// entry's once, never on the maps.
+	for _, c := range cells {
+		switch c.Kind {
+		case KindCPU:
+			k := cpuGoldenKey(c.ISA, c.Workload, pre)
+			if cpuCache[k] == nil {
+				cpuCache[k] = &cpuGoldenEntry{}
+			}
+		case KindAccel:
+			if accelCache[c.Design] == nil {
+				accelCache[c.Design] = &accelGoldenEntry{}
+			}
+		}
+	}
+
+	var mu sync.Mutex // guards res.Counters and the journal
+	var firstErr error
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < spec.CellParallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				cell := cells[i]
+				key := cell.Key()
+				if rep, ok := done[key]; ok {
+					res.Cells[i] = rep
+					mu.Lock()
+					res.Counters.CellsSkipped++
+					mu.Unlock()
+					tr.cellSkipped(key, int64(rep.Faults))
+					continue
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue // drain the queue after a failure
+				}
+				tr.cellStarted(key)
+				rep, hit, forks, reuses, err := runCell(spec, pre, cell, perCell, cpuCache, accelCache, tr)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sweep: cell %s: %w", key, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				res.Cells[i] = *rep
+				res.Counters.CellsExecuted++
+				if hit {
+					res.Counters.GoldenHits++
+				} else {
+					res.Counters.GoldenRuns++
+				}
+				res.Counters.EarlyStops += int64(rep.EarlyStops)
+				res.Counters.Forks += forks
+				res.Counters.ForkReuses += reuses
+				var jerr error
+				if journal != nil {
+					jerr = journal.Append(*rep)
+				}
+				if jerr != nil && firstErr == nil {
+					firstErr = jerr
+				}
+				mu.Unlock()
+				tr.cellFinished(key)
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Counters.FaultsDone = tr.faultsDone()
+	res.Elapsed = time.Since(start)
+	if journal != nil {
+		if err := journal.WriteManifestDone(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runCell executes one cell, preparing (or reusing) its golden phase.
+// hit reports whether the golden came from the cache.
+func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
+	cpuCache map[string]*cpuGoldenEntry, accelCache map[string]*accelGoldenEntry,
+	tr *tracker) (rep *CellReport, hit bool, forks, reuses uint64, err error) {
+
+	t0 := time.Now()
+	switch cell.Kind {
+	case KindCPU:
+		entry := cpuCache[cpuGoldenKey(cell.ISA, cell.Workload, pre)]
+		// Every use past the first is a cache hit: once.Do builds the
+		// golden exactly once, later callers (even concurrent ones that
+		// block inside Do while it builds) reuse it.
+		hit = entry.uses.Add(1) > 1
+		entry.once.Do(func() {
+			var a isa.Arch
+			a, entry.err = isa.ByName(cell.ISA)
+			if entry.err != nil {
+				return
+			}
+			var ws workloads.Spec
+			ws, entry.err = workloads.ByName(cell.Workload)
+			if entry.err != nil {
+				return
+			}
+			entry.img, entry.err = program.Compile(a, ws.Build())
+			if entry.err != nil {
+				return
+			}
+			entry.golden, entry.err = campaign.PrepareGolden(campaign.Config{Image: entry.img, Preset: pre})
+		})
+		if entry.err != nil {
+			return nil, false, 0, 0, entry.err
+		}
+		model, _ := core.ModelByName(cell.Model)
+		targets, err := SplitTarget(cell.Target)
+		if err != nil {
+			return nil, false, 0, 0, err
+		}
+		cfg := campaign.Config{
+			Image:            entry.img,
+			Preset:           pre,
+			Model:            model,
+			Faults:           spec.Faults,
+			BitsPerFault:     spec.BitsPerFault,
+			Seed:             spec.Seed,
+			Workers:          workers,
+			HVF:              spec.HVF,
+			EarlyTermination: spec.EarlyTermination,
+			WatchdogFactor:   spec.WatchdogFactor,
+			OnVerdict:        tr.onVerdict,
+		}
+		if spec.ValidOnly {
+			cfg.Domain = core.DomainValidOnly
+		}
+		if len(targets) > 1 {
+			cfg.MultiTargets = targets
+		} else {
+			cfg.Target = targets[0]
+		}
+		cres, err := campaign.RunWithGolden(cfg, entry.golden)
+		if err != nil {
+			return nil, false, 0, 0, err
+		}
+		r := cpuCellReport(cell, cres)
+		r.WallMS = time.Since(t0).Milliseconds()
+		return &r, hit, cres.Forking.Forks, cres.Forking.ReuseHits, nil
+
+	case KindAccel:
+		entry := accelCache[cell.Design]
+		hit = entry.uses.Add(1) > 1
+		entry.once.Do(func() {
+			entry.spec, entry.err = machsuite.ByName(cell.Design)
+			if entry.err != nil {
+				return
+			}
+			entry.golden, entry.err = accel.PrepareGolden(entry.spec.Design, entry.spec.Task)
+		})
+		if entry.err != nil {
+			return nil, false, 0, 0, entry.err
+		}
+		model, _ := core.ModelByName(cell.Model)
+		ares, err := accel.RunCampaignWithGolden(accel.CampaignConfig{
+			Design:         entry.spec.Design,
+			Task:           entry.spec.Task,
+			Target:         cell.Component,
+			Model:          model,
+			Faults:         spec.Faults,
+			Seed:           spec.Seed,
+			WatchdogFactor: spec.WatchdogFactor,
+			Workers:        workers,
+			OnVerdict:      tr.onVerdict,
+		}, entry.golden)
+		if err != nil {
+			return nil, false, 0, 0, err
+		}
+		r := accelCellReport(cell, ares)
+		r.WallMS = time.Since(t0).Milliseconds()
+		return &r, hit, ares.Forking.Forks, ares.Forking.ReuseHits, nil
+	}
+	return nil, false, 0, 0, fmt.Errorf("sweep: unknown cell kind %q", cell.Kind)
+}
+
+// cpuCellReport converts a campaign result into the persisted form.
+func cpuCellReport(cell Cell, res *campaign.Result) CellReport {
+	r := CellReport{
+		Key:          cell.Key(),
+		Cell:         cell,
+		Faults:       res.Counts.Total(),
+		Masked:       res.Counts.Masked,
+		SDC:          res.Counts.SDC,
+		Crash:        res.Counts.Crash,
+		EarlyStops:   res.Counts.EarlyStops,
+		AVF:          res.Counts.AVF(),
+		SDCAVF:       res.Counts.SDCAVF(),
+		CrashAVF:     res.Counts.CrashAVF(),
+		Margin:       res.Margin,
+		GoldenCycles: res.Golden.Cycles,
+		TargetBits:   res.TargetBits,
+		Digest:       DigestCPURecords(res.Records),
+	}
+	if res.Counts.HVFMeasured() {
+		r.HVFMeasured = true
+		h := res.Counts.HVF()
+		r.HVF = &h
+	}
+	return r
+}
+
+// accelCellReport converts an accelerator campaign result.
+func accelCellReport(cell Cell, res *accel.CampaignResult) CellReport {
+	return CellReport{
+		Key:          cell.Key(),
+		Cell:         cell,
+		Faults:       res.Counts.Total(),
+		Masked:       res.Counts.Masked,
+		SDC:          res.Counts.SDC,
+		Crash:        res.Counts.Crash,
+		EarlyStops:   res.Counts.EarlyStops,
+		AVF:          res.Counts.AVF(),
+		SDCAVF:       res.Counts.SDCAVF(),
+		CrashAVF:     res.Counts.CrashAVF(),
+		Margin:       res.Margin,
+		GoldenCycles: res.GoldenCycles,
+		TargetBits:   res.TargetBits,
+		Digest:       DigestAccelRecords(res.Records),
+	}
+}
+
+// SortedKeys returns the plan keys in deterministic order (debugging and
+// manifest readability).
+func SortedKeys(cells []Cell) []string {
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -21,6 +21,7 @@ package marvel
 
 import (
 	"fmt"
+	"time"
 
 	"marvel/internal/accel"
 	"marvel/internal/campaign"
@@ -31,6 +32,7 @@ import (
 	"marvel/internal/metrics"
 	"marvel/internal/program"
 	"marvel/internal/soc"
+	"marvel/internal/sweep"
 	"marvel/internal/workloads"
 )
 
@@ -110,21 +112,31 @@ func TableIV() []Component {
 type CampaignOptions struct {
 	ISA      string // "arm", "x86", "riscv"
 	Workload string // one of WorkloadNames()
-	Target   string // one of CPUTargets()
-	Model    FaultModel
-	Faults   int // statistical sample size (paper default: 1000)
-	Seed     int64
+	// Target is one of CPUTargets(), or a "+"-joined combination of them
+	// ("prf+rob+iq") selecting the paper's multi-structure mode: every
+	// mask then carries one fault in each listed structure.
+	Target string
+	Model  FaultModel
+	Faults int // statistical sample size (paper default: 1000)
+	Seed   int64
 
+	// BitsPerFault > 1 selects multi-bit masks (spatial multi-fault
+	// mode); 0 or 1 is the single-bit default.
+	BitsPerFault int
 	// ValidOnly draws faults over live entries only.
 	ValidOnly bool
 	// HVF additionally classifies every run at the commit stage.
 	HVF bool
 	// EarlyTermination enables the §IV-B campaign optimizations.
 	EarlyTermination bool
+	// WatchdogFactor bounds faulty runs at factor × golden cycles
+	// (expiry classifies as Crash); values <= 1 keep the default of 3.
+	WatchdogFactor float64
 	// PhysRegs overrides the physical register file size (Figure 15);
 	// 0 keeps the Table II value of 128.
 	PhysRegs int
-	// Workers bounds campaign parallelism; 0 = GOMAXPROCS.
+	// Workers bounds campaign parallelism; 0 = GOMAXPROCS. Results are
+	// identical for every worker count.
 	Workers int
 	// LegacyClone forces the pre-CoW per-run deep-clone strategy, for A/B
 	// comparison against copy-on-write checkpoint forking (the default).
@@ -146,8 +158,12 @@ type Report struct {
 	AVF      float64
 	SDCAVF   float64
 	CrashAVF float64
-	HVF      float64
-	Margin   float64 // statistical error at 95% confidence
+	// HVF is meaningful only when HVFMeasured is true; a campaign run
+	// without the commit-stage analysis reports HVFMeasured == false and
+	// HVF == 0, which is "not measured", not "measured 0.0".
+	HVF         float64
+	HVFMeasured bool
+	Margin      float64 // statistical error at 95% confidence
 
 	GoldenCycles uint64
 	GoldenInsts  uint64
@@ -190,26 +206,37 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 	if o.ValidOnly {
 		dom = core.DomainValidOnly
 	}
-	res, err := campaign.Run(campaign.Config{
+	targets, err := sweep.SplitTarget(o.Target)
+	if err != nil {
+		return nil, err
+	}
+	cfg := campaign.Config{
 		Image:            img,
 		Preset:           pre,
-		Target:           o.Target,
 		Model:            model,
 		Faults:           o.Faults,
+		BitsPerFault:     o.BitsPerFault,
 		Seed:             o.Seed,
 		Domain:           dom,
 		Workers:          o.Workers,
 		HVF:              o.HVF,
 		EarlyTermination: o.EarlyTermination,
+		WatchdogFactor:   o.WatchdogFactor,
 		LegacyClone:      o.LegacyClone,
-	})
+	}
+	if len(targets) > 1 {
+		cfg.MultiTargets = targets
+	} else {
+		cfg.Target = targets[0]
+	}
+	res, err := campaign.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Report{
 		Workload:     o.Workload,
 		ISA:          o.ISA,
-		Target:       o.Target,
+		Target:       res.Target,
 		Model:        o.Model,
 		Faults:       res.Counts.Total(),
 		Masked:       res.Counts.Masked,
@@ -219,6 +246,7 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 		SDCAVF:       res.Counts.SDCAVF(),
 		CrashAVF:     res.Counts.CrashAVF(),
 		HVF:          res.Counts.HVF(),
+		HVFMeasured:  res.Counts.HVFMeasured(),
 		Margin:       res.Margin,
 		GoldenCycles: res.Golden.Cycles,
 		GoldenInsts:  res.Golden.Insts,
@@ -321,6 +349,224 @@ func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
 		ForkReuses:    res.Forking.ReuseHits,
 		PagesCopied:   res.Forking.PagesCopied,
 	}, nil
+}
+
+// SweepOptions configures a figure-scale campaign sweep: the cross-product
+// of a CPU grid (ISAs × Workloads × Targets × Models) and/or an
+// accelerator grid (Designs × Components × Models), executed with
+// two-level parallelism and a shared golden cache. See RunSweep.
+type SweepOptions struct {
+	// CPU grid. A CPU grid needs at least one ISA and one Target;
+	// empty Workloads means all fifteen. Each Target may be a single
+	// structure or a "+"-joined combination ("prf+rob+iq").
+	ISAs      []string
+	Workloads []string
+	Targets   []string
+
+	// Accelerator grid. Empty Components means every Table IV component
+	// of each design.
+	Designs    []string
+	Components []string
+
+	// Models applies to both grids; empty means transient only.
+	Models []FaultModel
+
+	Faults int // statistical sample size per cell
+	Seed   int64
+
+	// Campaign knobs, applied to every cell (see CampaignOptions).
+	BitsPerFault     int
+	ValidOnly        bool
+	HVF              bool
+	EarlyTermination bool
+	WatchdogFactor   float64
+	PhysRegs         int
+	// Preset selects the CPU hardware configuration: "" or "table2" is
+	// the paper's Table II; "fast" is the scaled-down test preset.
+	Preset string
+
+	// Workers is the global worker budget shared by every concurrently
+	// running cell; 0 = GOMAXPROCS. CellParallel bounds how many cells
+	// run at once (0 = up to 3); each gets max(1, Workers/CellParallel)
+	// campaign workers. Results are identical for every choice.
+	Workers      int
+	CellParallel int
+
+	// OutDir, when non-empty, persists the sweep (manifest.json plus a
+	// cells.jsonl appended per finished cell) and makes it resumable:
+	// re-running the same options against the same directory skips
+	// completed cells.
+	OutDir string
+
+	// OnProgress, when non-nil, observes live counters; it is called
+	// serialized on cell start/finish and every classified fault, and
+	// must not block.
+	OnProgress func(SweepProgress)
+}
+
+// SweepProgress is a point-in-time view of a running sweep.
+type SweepProgress struct {
+	TotalCells    int
+	CellsStarted  int
+	CellsFinished int
+	CellsSkipped  int // restored from the resume journal
+
+	TotalFaults int64
+	FaultsDone  int64
+	EarlyStops  int64
+
+	Elapsed     time.Duration
+	CellsPerSec float64
+	ETA         time.Duration // zero until enough throughput is observed
+	LastCell    string        // key of the most recently started cell
+}
+
+// SweepCell is one completed cell of a sweep.
+type SweepCell struct {
+	Key       string // e.g. "cpu/arm/crc32/prf+rob/transient"
+	Kind      string // "cpu" or "accel"
+	ISA       string
+	Workload  string
+	Target    string
+	Design    string
+	Component string
+	Model     FaultModel
+
+	Faults     int
+	Masked     int
+	SDC        int
+	Crash      int
+	EarlyStops int
+
+	AVF      float64
+	SDCAVF   float64
+	CrashAVF float64
+	// HVF is meaningful only when HVFMeasured is true.
+	HVF         float64
+	HVFMeasured bool
+	Margin      float64
+
+	GoldenCycles uint64
+	TargetBits   uint64
+	WallMS       int64
+}
+
+// SweepReport is the outcome of a sweep.
+type SweepReport struct {
+	Cells []SweepCell // one per planned cell, in plan order
+
+	CellsExecuted int
+	// CellsSkipped were restored complete from the resume journal.
+	CellsSkipped int
+	// GoldenRuns counts golden-phase executions; GoldenHits counts cells
+	// served by an already-prepared golden from the cache.
+	GoldenRuns int
+	GoldenHits int
+
+	FaultsDone int64
+	EarlyStops int64
+	Forks      uint64
+	ForkReuses uint64
+
+	Elapsed time.Duration
+}
+
+// RunSweep plans and executes a campaign sweep. The expensive shared
+// prefix of every cell — compiled image plus golden run — is memoized per
+// (ISA, workload, preset) and reused across campaigns; every cell's
+// verdicts are nevertheless bit-identical to a standalone RunCampaign /
+// RunAccelCampaign with the same seed.
+func RunSweep(o SweepOptions) (*SweepReport, error) {
+	models := make([]string, len(o.Models))
+	for i, m := range o.Models {
+		if m == "" {
+			m = Transient
+		}
+		models[i] = string(m)
+	}
+	spec := sweep.Spec{
+		ISAs:             o.ISAs,
+		Workloads:        o.Workloads,
+		Targets:          o.Targets,
+		Designs:          o.Designs,
+		Components:       o.Components,
+		Models:           models,
+		Faults:           o.Faults,
+		Seed:             o.Seed,
+		BitsPerFault:     o.BitsPerFault,
+		ValidOnly:        o.ValidOnly,
+		HVF:              o.HVF,
+		EarlyTermination: o.EarlyTermination,
+		WatchdogFactor:   o.WatchdogFactor,
+		PhysRegs:         o.PhysRegs,
+		Preset:           o.Preset,
+		Workers:          o.Workers,
+		CellParallel:     o.CellParallel,
+		OutDir:           o.OutDir,
+	}
+	if o.OnProgress != nil {
+		spec.OnProgress = func(s sweep.Snapshot) {
+			o.OnProgress(SweepProgress{
+				TotalCells:    s.TotalCells,
+				CellsStarted:  s.CellsStarted,
+				CellsFinished: s.CellsFinished,
+				CellsSkipped:  s.CellsSkipped,
+				TotalFaults:   s.TotalFaults,
+				FaultsDone:    s.FaultsDone,
+				EarlyStops:    s.EarlyStops,
+				Elapsed:       s.Elapsed,
+				CellsPerSec:   s.CellsPerSec,
+				ETA:           s.ETA,
+				LastCell:      s.LastCell,
+			})
+		}
+	}
+	res, err := sweep.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SweepReport{
+		Cells:         make([]SweepCell, len(res.Cells)),
+		CellsExecuted: res.Counters.CellsExecuted,
+		CellsSkipped:  res.Counters.CellsSkipped,
+		GoldenRuns:    res.Counters.GoldenRuns,
+		GoldenHits:    res.Counters.GoldenHits,
+		FaultsDone:    res.Counters.FaultsDone,
+		EarlyStops:    res.Counters.EarlyStops,
+		Forks:         res.Counters.Forks,
+		ForkReuses:    res.Counters.ForkReuses,
+		Elapsed:       res.Elapsed,
+	}
+	for i, c := range res.Cells {
+		sc := SweepCell{
+			Key:          c.Key,
+			Kind:         c.Cell.Kind,
+			ISA:          c.Cell.ISA,
+			Workload:     c.Cell.Workload,
+			Target:       c.Cell.Target,
+			Design:       c.Cell.Design,
+			Component:    c.Cell.Component,
+			Model:        FaultModel(c.Cell.Model),
+			Faults:       c.Faults,
+			Masked:       c.Masked,
+			SDC:          c.SDC,
+			Crash:        c.Crash,
+			EarlyStops:   c.EarlyStops,
+			AVF:          c.AVF,
+			SDCAVF:       c.SDCAVF,
+			CrashAVF:     c.CrashAVF,
+			HVFMeasured:  c.HVFMeasured,
+			Margin:       c.Margin,
+			GoldenCycles: c.GoldenCycles,
+			TargetBits:   c.TargetBits,
+			WallMS:       c.WallMS,
+		}
+		if c.HVF != nil {
+			sc.HVF = *c.HVF
+		}
+		rep.Cells[i] = sc
+	}
+	return rep, nil
 }
 
 // GoldenReport summarizes a fault-free workload run.

@@ -3,7 +3,10 @@
 #   1. tier-1: build + full test suite
 #   2. race jobs: the CPU and accelerator campaigns' parallel paths under
 #      the race detector
-#   3. bench guard: the forking ablations compile and run
+#   3. sweep race job + differential guard: the orchestrator's two-level
+#      parallelism, golden-cache reuse and resume must be race-free and
+#      bit-identical to standalone campaigns
+#   4. bench guard: the forking ablations compile and run
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,6 +20,20 @@ go test -race -run 'TestCampaignWorkerCountInvariance|TestForkCloneEquivalence' 
 echo "== race: parallel accel campaign determinism =="
 go test -race -run 'TestAccelCampaignWorkerInvariance|TestStandaloneForkResetEquivalence' ./internal/accel
 go test -race -run 'TestAccelCampaignEquivalenceStuckAt0|TestAccelMaskPopulationWindowIndependentOfSchedule' ./internal/accel
+
+echo "== race: sweep orchestrator (golden cache, resume, worker budget) =="
+go test -race ./internal/sweep
+
+# Guard: the differential suite (sweep cell ≡ standalone campaign, proven
+# by verdict-stream digests) must exist and actually run — a refactor that
+# renames or drops it would otherwise silently void the bit-identity
+# guarantee.
+for t in TestSweepDifferential TestSweepAccelDifferential TestSweepResume; do
+	go test -run "^${t}\$" -v ./internal/sweep | grep -q -- "--- PASS: ${t}" || {
+		echo "verify: differential guard: ${t} did not run/pass" >&2
+		exit 1
+	}
+done
 
 echo "== bench guard: forking ablations =="
 go test -run '^$' -bench 'BenchmarkAblation_CheckpointForking|BenchmarkAccelCampaign' -benchtime 1x .
