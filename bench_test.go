@@ -24,6 +24,7 @@ import (
 	"marvel/internal/figures"
 	"marvel/internal/isa"
 	"marvel/internal/machsuite"
+	"marvel/internal/obs"
 	"marvel/internal/program"
 	"marvel/internal/soc"
 	"marvel/internal/workloads"
@@ -377,6 +378,43 @@ func BenchmarkAblation_InjectionDomain(b *testing.B) {
 // BenchmarkSimulatorThroughput reports raw simulation speed (cycles/sec of
 // the golden RISC-V sha run), the "typical use of microarchitectural
 // simulators" the abstract mentions.
+// BenchmarkTracingOverhead quantifies the observability layer's cost on
+// the simulator hot path. "off" is the golden path — a nil Tracer, so
+// every emission site reduces to one nil check — and must stay within
+// noise (< 2%) of the pre-observability throughput; "on" attaches a
+// RingSink to bound the worst case.
+func BenchmarkTracingOverhead(b *testing.B) {
+	spec, err := workloads.ByName("sha")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := program.Compile(isa.RV64L{}, spec.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre := config.TableII()
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				sys, err := soc.New(img, pre.CPU, pre.Hier, pre.MemLatency)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "on" {
+					sys.CPU.Trace = obs.NewRingSink(512)
+				}
+				res := sys.Run(50_000_000)
+				if res.Status != soc.RunCompleted {
+					b.Fatal(res.Status)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	spec, err := workloads.ByName("sha")
 	if err != nil {

@@ -6,12 +6,14 @@
 //	marvel campaign -isa riscv -workload sha -target prf -faults 1000 -hvf
 //	marvel campaign -isa arm -workload crc32 -target prf+rob+iq -bits 2
 //	marvel sweep -isas arm,riscv -workloads crc32,sha -targets prf,l1d -out /tmp/sweep -csv fig.csv
+//	marvel explain -isa riscv -workload sha -target prf -seed 1 -index 42
 //	marvel accel -design gemm -component MATRIX1 -faults 1000
 //	marvel golden -isa arm -workload dijkstra
 //	marvel soc -isa riscv -design gemm
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 
 	"marvel"
 	"marvel/internal/figures"
+	"marvel/internal/obs"
 	"marvel/internal/sweep"
 )
 
@@ -36,6 +39,8 @@ func main() {
 		err = cmdCampaign(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "accel":
 		err = cmdAccel(os.Args[2:])
 	case "golden":
@@ -62,6 +67,7 @@ commands:
   list                      show workloads, CPU targets, designs and components
   campaign [flags]          run a CPU fault-injection campaign
   sweep    [flags]          run a grid of campaigns with a shared golden cache
+  explain  [flags]          re-run one campaign fault with tracing and narrate it
   accel    [flags]          run an accelerator fault-injection campaign
   golden   [flags]          run a workload without faults (performance)
   soc      [flags]          run a CPU+accelerator full-system demo
@@ -98,10 +104,12 @@ func cmdCampaign(args []string) error {
 	physRegs := fs.Int("physregs", 0, "override physical register count (0 = 128)")
 	workers := fs.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS); results are worker-count invariant")
 	legacyClone := fs.Bool("legacyclone", false, "deep-clone the checkpoint per run instead of CoW forking (A/B baseline)")
+	preset := fs.String("preset", "table2", "CPU hardware preset: table2, fast")
+	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the campaign runs (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rep, err := marvel.RunCampaign(marvel.CampaignOptions{
+	opts := marvel.CampaignOptions{
 		ISA:              *isaName,
 		Workload:         *wl,
 		Target:           *target,
@@ -114,9 +122,21 @@ func cmdCampaign(args []string) error {
 		EarlyTermination: *earlyTerm,
 		WatchdogFactor:   *watchdog,
 		PhysRegs:         *physRegs,
+		Preset:           *preset,
 		Workers:          *workers,
 		LegacyClone:      *legacyClone,
-	})
+	}
+	if *debugAddr != "" {
+		reg := marvel.NewMetricsRegistry()
+		srv, err := marvel.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+		opts.Metrics = reg
+	}
+	rep, err := marvel.RunCampaign(opts)
 	if err != nil {
 		return err
 	}
@@ -135,6 +155,15 @@ func cmdCampaign(args []string) error {
 	fmt.Printf("forking: %s, %d forks, %d reuses, %d pages copied, %d cache sets restored\n",
 		strategy, rep.Forks, rep.ForkReuses, rep.PagesCopied, rep.SetsRestored)
 	return nil
+}
+
+// progressLine is one JSONL record of -progress-jsonl: the sweep progress
+// snapshot plus the live metrics-registry snapshot at the same instant.
+type progressLine struct {
+	sweep.Snapshot
+	ElapsedSec float64              `json:"elapsed_sec"`
+	ETASec     float64              `json:"eta_sec"`
+	Metrics    obs.RegistrySnapshot `json:"metrics"`
 }
 
 // csvList splits a comma-separated flag value; empty means nil.
@@ -174,6 +203,8 @@ func cmdSweep(args []string) error {
 	out := fs.String("out", "", "persist + resume directory (manifest.json, cells.jsonl)")
 	csvPath := fs.String("csv", "", "write the Figure 9-11 CSV of all cells to this file (- = stdout)")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
+	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the sweep runs (e.g. localhost:6060)")
+	progressJSONL := fs.String("progress-jsonl", "", "append machine-readable progress snapshots (with registry metrics) to this JSONL file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -198,6 +229,17 @@ func cmdSweep(args []string) error {
 		CellParallel:     *cellPar,
 		OutDir:           *out,
 	}
+	if *debugAddr != "" || *progressJSONL != "" {
+		spec.Metrics = marvel.NewMetricsRegistry()
+	}
+	if *debugAddr != "" {
+		srv, err := marvel.ServeDebug(*debugAddr, spec.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+	}
 	if !*quiet {
 		var lastDraw time.Time
 		spec.OnProgress = func(s sweep.Snapshot) {
@@ -221,6 +263,30 @@ func cmdSweep(args []string) error {
 				line += " | " + s.LastCell
 			}
 			fmt.Fprint(os.Stderr, line)
+		}
+	}
+	if *progressJSONL != "" {
+		f, err := os.Create(*progressJSONL)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		prev := spec.OnProgress
+		reg := spec.Metrics
+		var lastWrite time.Time
+		// OnProgress deliveries are serialized by the sweep tracker, so
+		// the closure state needs no extra locking.
+		spec.OnProgress = func(s sweep.Snapshot) {
+			if prev != nil {
+				prev(s)
+			}
+			done := s.CellsFinished+s.CellsSkipped == s.TotalCells
+			if !done && time.Since(lastWrite) < 100*time.Millisecond {
+				return
+			}
+			lastWrite = time.Now()
+			enc.Encode(progressLine{Snapshot: s, ElapsedSec: s.Elapsed.Seconds(), ETASec: s.ETA.Seconds(), Metrics: reg.Snapshot()})
 		}
 	}
 
@@ -275,6 +341,83 @@ func cmdSweep(args []string) error {
 	return nil
 }
 
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	isaName := fs.String("isa", "", "ISA of the campaign being explained (CPU fault)")
+	wl := fs.String("workload", "", "workload of the campaign being explained (CPU fault)")
+	target := fs.String("target", "", `CPU injection target; may be a "+"-joined combo (prf+rob+iq)`)
+	design := fs.String("design", "", "accelerator design (accelerator fault)")
+	comp := fs.String("component", "", "Table IV component (accelerator fault)")
+	model := fs.String("model", "transient", "fault model: transient, stuck-at-0, stuck-at-1")
+	seed := fs.Int64("seed", 1, "seed of the campaign being explained")
+	index := fs.Int("index", 0, "mask index inside that campaign (0-based)")
+	bits := fs.Int("bits", 1, "bits per fault of the campaign being explained")
+	validOnly := fs.Bool("validonly", true, "the campaign drew faults over live entries only")
+	earlyTerm := fs.Bool("earlyterm", false, "the campaign ran early-termination optimizations")
+	watchdog := fs.Float64("watchdog", 0, "watchdog factor × golden cycles (0 = engine default)")
+	physRegs := fs.Int("physregs", 0, "override physical register count (0 = 128)")
+	preset := fs.String("preset", "table2", "CPU hardware preset: table2, fast")
+	jsonOut := fs.Bool("json", false, "emit the explanation as JSON instead of a narrated timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ex, err := marvel.Explain(marvel.ExplainOptions{
+		ISA:              *isaName,
+		Workload:         *wl,
+		Target:           *target,
+		Design:           *design,
+		Component:        *comp,
+		Model:            marvel.FaultModel(*model),
+		Seed:             *seed,
+		Index:            *index,
+		BitsPerFault:     *bits,
+		ValidOnly:        *validOnly,
+		EarlyTermination: *earlyTerm,
+		WatchdogFactor:   *watchdog,
+		PhysRegs:         *physRegs,
+		Preset:           *preset,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ex)
+	}
+	fmt.Printf("fault #%d of seed %d (%s campaign), golden run %d cycles\n",
+		ex.Index, ex.Seed, ex.Kind, ex.GoldenCycles)
+	for _, f := range ex.Faults {
+		when := "held for the whole run"
+		if f.Model == marvel.Transient {
+			when = fmt.Sprintf("injected at cycle %d", f.Cycle)
+		}
+		fmt.Printf("  %s fault in %s, bit %d, %s\n", f.Model, f.Target, f.Bit, when)
+	}
+	fmt.Println("timeline:")
+	for _, line := range ex.Narrative {
+		fmt.Println("  " + line)
+	}
+	if ex.EventsDropped > 0 {
+		fmt.Printf("  (%d mid-stream events evicted by the bounded trace buffer)\n", ex.EventsDropped)
+	}
+	verdict := "verdict: " + ex.Verdict
+	if ex.Reason != "" {
+		verdict += " (" + ex.Reason + ")"
+	}
+	if ex.CrashCode != "" {
+		verdict += " (" + ex.CrashCode + ")"
+	}
+	if ex.EarlyStop {
+		verdict += ", early-stopped"
+	}
+	if ex.HVFCorrupt {
+		verdict += fmt.Sprintf(", HVF-corrupt (first divergence at commit #%d)", ex.DivergeCommit)
+	}
+	fmt.Printf("%s, %d cycles (golden %d)\n", verdict, ex.Cycles, ex.GoldenCycles)
+	return nil
+}
+
 func cmdAccel(args []string) error {
 	fs := flag.NewFlagSet("accel", flag.ExitOnError)
 	design := fs.String("design", "gemm", "accelerator design")
@@ -285,10 +428,11 @@ func cmdAccel(args []string) error {
 	mults := fs.Int("gemm-multipliers", 0, "gemm datapath multipliers (DSE)")
 	workers := fs.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS); results are worker-count invariant")
 	legacyRebuild := fs.Bool("legacyrebuild", false, "rebuild the harness per fault instead of fork/reset reuse (A/B baseline)")
+	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the campaign runs (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rep, err := marvel.RunAccelCampaign(marvel.AccelOptions{
+	opts := marvel.AccelOptions{
 		Design:          *design,
 		Component:       *comp,
 		Model:           marvel.FaultModel(*model),
@@ -297,7 +441,18 @@ func cmdAccel(args []string) error {
 		GemmMultipliers: *mults,
 		Workers:         *workers,
 		LegacyRebuild:   *legacyRebuild,
-	})
+	}
+	if *debugAddr != "" {
+		reg := marvel.NewMetricsRegistry()
+		srv, err := marvel.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+		opts.Metrics = reg
+	}
+	rep, err := marvel.RunAccelCampaign(opts)
 	if err != nil {
 		return err
 	}

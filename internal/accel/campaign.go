@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"marvel/internal/classify"
 	"marvel/internal/core"
 	"marvel/internal/metrics"
+	"marvel/internal/obs"
 )
 
 // CampaignConfig drives a statistical fault-injection campaign against one
@@ -44,6 +46,12 @@ type CampaignConfig struct {
 	// from several workers; the index is the fault index. It must not
 	// block.
 	OnVerdict func(index int, v classify.Verdict)
+	// Trace, when non-nil, receives fault-lifecycle events from every
+	// faulty run. With Workers > 1 the sink must be safe for concurrent
+	// Emit calls and events from different runs interleave; single-run
+	// narration (Explain) uses Workers = 1. Tracing does not change
+	// verdicts — emission sites only observe.
+	Trace obs.Tracer
 }
 
 // CampaignGolden bundles the fault-free phase of an accelerator campaign:
@@ -90,6 +98,8 @@ type Record struct {
 }
 
 // ForkStats counts harness-forking activity over one accelerator campaign.
+// Workers fold their per-run counters in with atomic adds, so the struct
+// is race-free under any worker count; read it after the campaign returns.
 type ForkStats struct {
 	// Legacy reports that the campaign rebuilt a full harness per fault.
 	Legacy bool
@@ -220,21 +230,23 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 					reuses++
 				}
 				f := core.DeriveFault(cfg.Seed, i, cfg.Target, cfg.Model, gb.BitLen(), window)
-				res.Records[i] = Record{Fault: f, Verdict: runFaulty(s, bankIdx, f, budget, goldenOut)}
+				res.Records[i] = Record{Fault: f, Verdict: runFaulty(s, bankIdx, f, budget, goldenOut, cfg.Trace)}
 				if cfg.OnVerdict != nil {
 					cfg.OnVerdict(i, res.Records[i].Verdict)
 				}
 			}
-			statsMu.Lock()
-			res.Forking.Forks += forks
-			res.Forking.ReuseHits += reuses
+			atomic.AddUint64(&res.Forking.Forks, forks)
+			atomic.AddUint64(&res.Forking.ReuseHits, reuses)
 			if scratch != nil {
-				res.Forking.PagesCopied += scratch.ForkPagesCopied()
+				atomic.AddUint64(&res.Forking.PagesCopied, scratch.ForkPagesCopied())
 			}
-			if wErr != nil && firstErr == nil {
-				firstErr = wErr
+			if wErr != nil {
+				statsMu.Lock()
+				if firstErr == nil {
+					firstErr = wErr
+				}
+				statsMu.Unlock()
 			}
-			statsMu.Unlock()
 		}()
 	}
 	for i := 0; i < cfg.Faults; i++ {
@@ -256,22 +268,46 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 
 // runFaulty drives one faulty task on s — a pristine harness (a fresh
 // rebuild, a fresh fork, or a reset fork; all three are state-identical) —
-// applies the fault, runs under the watchdog budget and classifies.
-func runFaulty(s *Standalone, bankIdx int, f core.Fault, budget uint64, goldenOut []byte) classify.Verdict {
+// applies the fault, runs under the watchdog budget and classifies. When a
+// tracer is armed the cluster reports flips and phase transitions and this
+// driver brackets the run with arming and verdict events; a nil tracer
+// costs one pointer store plus the cluster's per-site nil checks.
+func runFaulty(s *Standalone, bankIdx int, f core.Fault, budget uint64, goldenOut []byte, tr obs.Tracer) classify.Verdict {
+	s.Cluster.Trace = tr
+	target := s.Cluster.Banks()[bankIdx].spec.Name
 	if f.Model.Permanent() {
 		// Stuck-at faults hold for the whole run: applied before Start so
 		// they corrupt DMA-in writes too.
 		s.Cluster.Banks()[bankIdx].Stick(f.Bit, stuckVal(f.Model))
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindFaultArmed, Target: target, Bit: f.Bit, Detail: f.Model.String()})
+			tr.Emit(obs.Event{Kind: obs.KindStuckApplied, Target: target, Bit: f.Bit, Detail: "held for the whole task"})
+		}
 	} else {
 		s.Cluster.ScheduleFlip(bankIdx, f.Bit, f.Cycle)
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindFaultArmed, Target: target, Bit: f.Bit, Detail: fmt.Sprintf("%s at cycle %d", f.Model, f.Cycle)})
+		}
 	}
 	s.Cluster.Start()
 	for !s.Cluster.Done() && s.Cluster.Cycle() < budget {
 		s.Cluster.Tick()
 	}
+	v := classifyFaulty(s, budget, goldenOut)
+	if tr != nil {
+		if v.CrashCode == classify.WatchdogCrashCode {
+			tr.Emit(obs.Event{Cycle: s.Cluster.Cycle(), Kind: obs.KindWatchdog, Target: target, Detail: fmt.Sprintf("budget %d cycles exhausted", budget)})
+		}
+		tr.Emit(obs.Event{Cycle: v.Cycles, Kind: obs.KindVerdict, Target: target, Detail: v.Outcome.String()})
+	}
+	return v
+}
+
+// classifyFaulty maps the post-run cluster state to a verdict.
+func classifyFaulty(s *Standalone, budget uint64, goldenOut []byte) classify.Verdict {
 	switch {
 	case !s.Cluster.Done():
-		return classify.Verdict{Outcome: classify.Crash, CrashCode: "watchdog-timeout", Cycles: s.Cluster.Cycle()}
+		return classify.Verdict{Outcome: classify.Crash, CrashCode: classify.WatchdogCrashCode, Cycles: s.Cluster.Cycle()}
 	case s.Cluster.Faulted() != nil:
 		return classify.Verdict{Outcome: classify.Crash, CrashCode: "accel-fault", Cycles: s.Cluster.Cycle()}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"marvel/internal/mem"
+	"marvel/internal/obs"
 	"marvel/internal/program/ir"
 )
 
@@ -94,6 +95,22 @@ const (
 	phDone
 )
 
+func (p phase) String() string {
+	switch p {
+	case phIdle:
+		return "idle"
+	case phDMAIn:
+		return "dma-in"
+	case phCompute:
+		return "compute"
+	case phDMAOut:
+		return "dma-out"
+	case phDone:
+		return "done"
+	}
+	return "phase?"
+}
+
 // Cluster is one instantiated accelerator: compute unit, banks, MMR block
 // and DMA engine. It implements mem.Handler (MMIO) and the soc.Device
 // Tick/IRQ contract.
@@ -115,6 +132,11 @@ type Cluster struct {
 
 	// Pending transient faults applied at given cluster cycles.
 	pending []pendingFault
+
+	// Trace receives fault-lifecycle events (flip application, phase
+	// transitions) when non-nil. Not copied by Clone; ResetTo leaves it
+	// alone so a campaign can arm it once per scratch.
+	Trace obs.Tracer
 }
 
 type pendingFault struct {
@@ -180,6 +202,14 @@ func (c *Cluster) begin() {
 		c.ph = phCompute
 		c.eng.start()
 	}
+	c.tracePhase()
+}
+
+// tracePhase reports the current phase to the tracer, if one is armed.
+func (c *Cluster) tracePhase() {
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Cycle: c.cycle, Kind: obs.KindPhase, Target: c.design.Name, Detail: c.ph.String()})
+	}
 }
 
 // Done reports task completion.
@@ -213,6 +243,9 @@ func (c *Cluster) Tick() {
 		if c.pending[i].cycle <= c.cycle {
 			pf := c.pending[i]
 			c.banks[pf.bank].Flip(pf.bit)
+			if c.Trace != nil {
+				c.Trace.Emit(obs.Event{Cycle: c.cycle, Kind: obs.KindBitFlipped, Target: c.banks[pf.bank].spec.Name, Bit: pf.bit})
+			}
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			continue
 		}
@@ -225,9 +258,7 @@ func (c *Cluster) Tick() {
 		if !c.eng.tick() {
 			if c.eng.fault != nil {
 				c.fault = c.eng.fault
-				c.ph = phDone
-				c.doneCyc = c.cycle
-				c.mmr[0] |= CtrlDone
+				c.finish()
 				return
 			}
 			c.ph = phDMAOut
@@ -235,6 +266,8 @@ func (c *Cluster) Tick() {
 			c.dmaPos = 0
 			if len(c.dmaQueue) == 0 {
 				c.finish()
+			} else {
+				c.tracePhase()
 			}
 		}
 	case phDMAOut:
@@ -246,6 +279,7 @@ func (c *Cluster) finish() {
 	c.ph = phDone
 	c.doneCyc = c.cycle
 	c.mmr[0] |= CtrlDone
+	c.tracePhase()
 }
 
 // stepDMA moves up to DMABytesPerCycle bytes of the current transfer.
@@ -254,6 +288,7 @@ func (c *Cluster) stepDMA(in bool) {
 		if in {
 			c.ph = phCompute
 			c.eng.start()
+			c.tracePhase()
 		} else {
 			c.finish()
 		}
@@ -290,6 +325,7 @@ func (c *Cluster) stepDMA(in bool) {
 			if in {
 				c.ph = phCompute
 				c.eng.start()
+				c.tracePhase()
 			} else {
 				c.finish()
 			}
@@ -386,6 +422,7 @@ func (c *Cluster) Clone(host HostPort) *Cluster {
 	n.eng = c.eng.clone(n.banks)
 	n.dmaQueue = append([]Xfer(nil), c.dmaQueue...)
 	n.pending = append([]pendingFault(nil), c.pending...)
+	n.Trace = nil
 	return &n
 }
 

@@ -1,0 +1,76 @@
+package accel
+
+import (
+	"fmt"
+
+	"marvel/internal/classify"
+	"marvel/internal/core"
+	"marvel/internal/obs"
+)
+
+// Explanation is the result of re-running one accelerator campaign fault
+// with full tracing armed: the derived fault, its verdict (bit-identical
+// to the campaign's record for the same index), and the retained
+// fault-lifecycle events.
+type Explanation struct {
+	Index        int
+	Fault        core.Fault
+	Verdict      classify.Verdict
+	GoldenCycles uint64
+	TargetBits   uint64
+	Window       uint64
+	Events       []obs.Event
+}
+
+// Explain deterministically re-runs campaign fault (cfg.Seed, index) with
+// tracing on. Accelerator masks derive purely from (seed, index) via
+// core.DeriveFault, so the re-run reproduces the campaign verdict exactly;
+// tracing only observes. cfg.Trace, Workers, Faults and OnVerdict are
+// ignored.
+func Explain(cfg CampaignConfig, index int) (*Explanation, error) {
+	if index < 0 {
+		return nil, fmt.Errorf("accel: explain: index must be non-negative, got %d", index)
+	}
+	g, err := PrepareGolden(cfg.Design, cfg.Task)
+	if err != nil {
+		return nil, err
+	}
+	return ExplainWithGolden(cfg, g, index)
+}
+
+// ExplainWithGolden is Explain against an already-prepared golden
+// reference.
+func ExplainWithGolden(cfg CampaignConfig, g *CampaignGolden, index int) (*Explanation, error) {
+	if cfg.WatchdogFactor <= 1 {
+		cfg.WatchdogFactor = 4
+	}
+	gb, err := g.base.Cluster.Bank(cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+	bankIdx := -1
+	for i, b := range g.base.Cluster.Banks() {
+		if b == gb {
+			bankIdx = i
+		}
+	}
+	window := g.Cycles
+	if cfg.WindowOverride > 0 {
+		window = cfg.WindowOverride
+	}
+	budget := uint64(float64(g.Cycles)*cfg.WatchdogFactor) + 5000
+
+	f := core.DeriveFault(cfg.Seed, index, cfg.Target, cfg.Model, gb.BitLen(), window)
+	sink := obs.NewRingSink(512)
+	s := g.base.Fork()
+	v := runFaulty(s, bankIdx, f, budget, g.Output, sink)
+	return &Explanation{
+		Index:        index,
+		Fault:        f,
+		Verdict:      v,
+		GoldenCycles: g.Cycles,
+		TargetBits:   gb.BitLen(),
+		Window:       window,
+		Events:       sink.Events(),
+	}, nil
+}

@@ -13,12 +13,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"marvel/internal/classify"
 	"marvel/internal/config"
 	"marvel/internal/core"
 	"marvel/internal/cpu"
 	"marvel/internal/metrics"
+	"marvel/internal/obs"
 	"marvel/internal/program"
 	"marvel/internal/soc"
 	"marvel/internal/trace"
@@ -91,9 +93,18 @@ type Config struct {
 	// mask index. It must not block: the campaign's workers stall while it
 	// runs.
 	OnVerdict func(index int, v classify.Verdict)
+	// Trace, when non-nil, receives fault-lifecycle events from every
+	// faulty run. With Workers > 1 the sink must be safe for concurrent
+	// Emit calls and events from different runs interleave; single-run
+	// narration (Explain) uses Workers = 1. Tracing never changes
+	// verdicts: emission sites only observe (watches are pure observers
+	// and the early-stop predicate keeps its polling cadence).
+	Trace obs.Tracer
 }
 
-// ForkStats counts checkpoint-forking activity over one campaign.
+// ForkStats counts checkpoint-forking activity over one campaign. Workers
+// fold their per-run counters in with atomic adds, so the struct is
+// race-free under any worker count; read it after the campaign returns.
 type ForkStats struct {
 	// Legacy reports that the campaign ran with full per-run deep clones.
 	Legacy bool
@@ -208,29 +219,7 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 	golden, base := &g.Info, g.base
 	goldenTrace, commitsAtCkpt := g.trace, g.commitsAtCkpt
 
-	var masks []core.Mask
-	var bits uint64
-	var err error
-	if len(cfg.MultiTargets) > 0 {
-		masks, bits, err = multiTargetMasks(cfg, base, golden)
-	} else {
-		var tgt core.Target
-		tgt, err = TargetOf(base, cfg.Target)
-		if err != nil {
-			return nil, err
-		}
-		bits = tgt.BitLen()
-		masks, err = core.Generate(core.GenSpec{
-			Target:   cfg.Target,
-			Bits:     bits,
-			Model:    cfg.Model,
-			Count:    cfg.Faults,
-			WindowLo: golden.WindowLo,
-			WindowHi: golden.WindowHi,
-			BitsPer:  cfg.BitsPerFault,
-			Seed:     cfg.Seed,
-		})
-	}
+	masks, bits, err := buildMasks(cfg, base, golden)
 	if err != nil {
 		return nil, err
 	}
@@ -295,18 +284,20 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 					cfg.OnVerdict(i, v)
 				}
 			}
-			statsMu.Lock()
-			res.Forking.Forks += forks
-			res.Forking.ReuseHits += reuses
+			atomic.AddUint64(&res.Forking.Forks, forks)
+			atomic.AddUint64(&res.Forking.ReuseHits, reuses)
 			if scratch != nil {
 				pages, sets := scratch.ForkCounters()
-				res.Forking.PagesCopied += pages
-				res.Forking.CacheSetsRestored += sets
+				atomic.AddUint64(&res.Forking.PagesCopied, pages)
+				atomic.AddUint64(&res.Forking.CacheSetsRestored, sets)
 			}
-			if wErr != nil && firstErr == nil {
-				firstErr = wErr
+			if wErr != nil {
+				statsMu.Lock()
+				if firstErr == nil {
+					firstErr = wErr
+				}
+				statsMu.Unlock()
 			}
-			statsMu.Unlock()
 		}()
 	}
 	for i := range masks {
@@ -370,6 +361,34 @@ func runGolden(cfg Config) (*GoldenInfo, *soc.System, *trace.Golden, int, error)
 	return g, base, rec.Golden(), commitsAtCkpt, nil
 }
 
+// buildMasks generates the campaign's fault-mask sample from cfg alone
+// (plus the golden window). Mask i depends only on (Seed, i, target
+// geometry): single-target masks come from the sequential core.Generate
+// stream (prefix-stable — generating Count = i+1 masks reproduces mask i
+// exactly), multi-target masks from per-structure derived seeds. Explain
+// leans on this purity to re-derive one campaign mask in isolation.
+func buildMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.Mask, uint64, error) {
+	if len(cfg.MultiTargets) > 0 {
+		return multiTargetMasks(cfg, base, golden)
+	}
+	tgt, err := TargetOf(base, cfg.Target)
+	if err != nil {
+		return nil, 0, err
+	}
+	bits := tgt.BitLen()
+	masks, err := core.Generate(core.GenSpec{
+		Target:   cfg.Target,
+		Bits:     bits,
+		Model:    cfg.Model,
+		Count:    cfg.Faults,
+		WindowLo: golden.WindowLo,
+		WindowHi: golden.WindowHi,
+		BitsPer:  cfg.BitsPerFault,
+		Seed:     cfg.Seed,
+	})
+	return masks, bits, err
+}
+
 // multiTargetMasks builds masks with one fault in every listed structure
 // (the paper's spatial multi-structure combination mode).
 func multiTargetMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.Mask, uint64, error) {
@@ -410,7 +429,18 @@ func multiTargetMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.
 // at the checkpoint snapshot (a fresh clone, a fresh fork, or a reset
 // scratch fork; all three are state-identical) — applies the mask, runs to
 // completion (or early termination) and classifies.
+//
+// When cfg.Trace is armed, runOne additionally narrates the fault's
+// lifecycle: arming, application, first corrupted read / overwrite death
+// (by arming the §IV-B watch purely as an observer, even when early
+// termination is off — all watch implementations are side-effect-free),
+// squashes and store-forwards (via the CPU's tracer), first commit-stream
+// divergence (by polling the HVF comparator inside the commit hook), the
+// watchdog, and the verdict. None of this changes behavior: the early-stop
+// predicate keeps its value and polling cadence, so traced runs classify
+// bit-identically to untraced ones.
 func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, mask core.Mask) (classify.Verdict, error) {
+	tr := cfg.Trace
 	targets := map[string]core.Target{}
 	targetFor := func(name string) (core.Target, error) {
 		if t, ok := targets[name]; ok {
@@ -435,10 +465,35 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 	var comp *trace.Comparator
 	if cfg.HVF && goldenTrace != nil {
 		comp = trace.NewComparator(goldenTrace)
-		s.CPU.CommitHook = comp.Hook()
+		if tr == nil {
+			s.CPU.CommitHook = comp.Hook()
+		} else {
+			// Wrap the comparator hook to catch the first divergence as it
+			// happens (DivergePoint alone only tells us after the run).
+			hook := comp.Hook()
+			c := s.CPU
+			diverged := false
+			s.CPU.CommitHook = func(r cpu.CommitRec) {
+				hook(r)
+				if !diverged && comp.Corrupted() {
+					diverged = true
+					tr.Emit(obs.Event{Cycle: c.Cycle(), Kind: obs.KindDiverged, Commit: comp.DivergePoint(), Detail: "commit stream departs from golden trace"})
+				}
+			}
+		}
 	}
 
 	budget := uint64(float64(golden.Cycles)*cfg.WatchdogFactor) + 20_000
+
+	if tr != nil {
+		for _, f := range mask.Faults {
+			detail := f.Model.String()
+			if !f.Model.Permanent() {
+				detail = fmt.Sprintf("%s at cycle %d", f.Model, f.Cycle)
+			}
+			tr.Emit(obs.Event{Cycle: s.CPU.Cycle(), Kind: obs.KindFaultArmed, Target: f.Target, Bit: f.Bit, Detail: detail})
+		}
+	}
 
 	// Permanent faults hold for the whole run: apply at the fork point.
 	single := len(mask.Faults) == 1
@@ -450,6 +505,10 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 				return classify.Verdict{}, err
 			}
 			ft.Stick(f.Bit, stuckVal(f.Model))
+			if tr != nil {
+				tr.Emit(obs.Event{Cycle: s.CPU.Cycle(), Kind: obs.KindStuckApplied, Target: f.Target, Bit: f.Bit, Detail: "held for the whole run"})
+				s.CPU.Trace = tr
+			}
 		} else {
 			transients = append(transients, f)
 		}
@@ -472,23 +531,76 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 		}
 		ft.Flip(bit)
 		appliedBit = bit
+		if tr != nil {
+			detail := ""
+			if bit != f.Bit {
+				detail = fmt.Sprintf("resampled from dead bit %d (valid-only domain)", f.Bit)
+			}
+			tr.Emit(obs.Event{Cycle: s.CPU.Cycle(), Kind: obs.KindBitFlipped, Target: f.Target, Bit: bit, Detail: detail})
+			// Arm the CPU's squash/forward narration only once corrupted
+			// state exists — pre-injection pipeline noise is golden.
+			s.CPU.Trace = tr
+		}
 	}
 
 	earlyOK := cfg.EarlyTermination && single && !s.CPU.Done()
+	// The watch is armed for narration even when early termination is off:
+	// every Watch/WatchState implementation is a pure observer, so this
+	// cannot perturb the run.
+	traceWatch := tr != nil && single && len(transients) == 1 && !s.CPU.Done()
 	if earlyOK && len(transients) == 1 {
 		if !tgt.Live(appliedBit) {
 			// Invalid or unused entry: provably masked (§IV-B).
+			if tr != nil {
+				tr.Emit(obs.Event{Cycle: s.CPU.Cycle(), Kind: obs.KindInvalidMasked, Target: primary, Bit: appliedBit, Detail: "fault landed in a dead or invalid entry"})
+				tr.Emit(obs.Event{Cycle: s.CPU.Cycle(), Kind: obs.KindVerdict, Target: primary, Detail: classify.Masked.String()})
+			}
 			return classify.EarlyMasked(classify.MaskedInvalidEntry, s.CPU.Cycle()), nil
 		}
+		tgt.Watch(appliedBit)
+	} else if traceWatch {
 		tgt.Watch(appliedBit)
 	}
 
 	var stop func() bool
+	every := uint64(128)
 	if earlyOK && len(transients) == 1 {
 		stop = func() bool { return tgt.WatchState() == core.WatchDead }
 	}
-	res, stopped := s.RunChecked(budget, 128, stop)
+	if traceWatch {
+		// Observe watch-state transitions at the early-stop polling cadence.
+		// The wrapper preserves the inner predicate's value exactly; when
+		// early termination is off the predicate is always false, so a finer
+		// cadence only tightens the event's cycle stamp.
+		inner := stop
+		if inner == nil {
+			every = 1
+		}
+		prev := core.WatchPending
+		c := s.CPU
+		stop = func() bool {
+			if st := tgt.WatchState(); st != prev {
+				switch st {
+				case core.WatchRead:
+					tr.Emit(obs.Event{Cycle: c.Cycle(), Kind: obs.KindCorruptRead, Target: primary, Bit: appliedBit, Detail: "corrupted bit consumed"})
+				case core.WatchDead:
+					if prev == core.WatchPending {
+						tr.Emit(obs.Event{Cycle: c.Cycle(), Kind: obs.KindOverwriteMasked, Target: primary, Bit: appliedBit, Detail: "corrupted bit overwritten or freed before any read"})
+					}
+				}
+				prev = st
+			}
+			if inner != nil {
+				return inner()
+			}
+			return false
+		}
+	}
+	res, stopped := s.RunChecked(budget, every, stop)
 	if stopped {
+		if tr != nil {
+			tr.Emit(obs.Event{Cycle: res.Cycles, Kind: obs.KindVerdict, Target: primary, Detail: classify.Masked.String()})
+		}
 		return classify.EarlyMasked(classify.MaskedDeadFault, res.Cycles), nil
 	}
 
@@ -505,6 +617,12 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 		if v.Outcome != classify.Masked {
 			v.HVFCorrupt = true
 		}
+	}
+	if tr != nil {
+		if res.Status == soc.RunTimedOut {
+			tr.Emit(obs.Event{Cycle: res.Cycles, Kind: obs.KindWatchdog, Detail: fmt.Sprintf("budget %d cycles exhausted", budget)})
+		}
+		tr.Emit(obs.Event{Cycle: res.Cycles, Kind: obs.KindVerdict, Target: primary, Detail: v.Outcome.String()})
 	}
 	return v, nil
 }

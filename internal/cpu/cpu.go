@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"marvel/internal/isa"
+	"marvel/internal/obs"
 	"marvel/internal/mem"
 )
 
@@ -211,6 +212,9 @@ type CPU struct {
 	MagicHook func(sel int64, cycle uint64)
 	// CommitHook observes every committed micro-op (HVF tracing).
 	CommitHook func(CommitRec)
+	// Trace receives fault-lifecycle events (squashes, store-forwards)
+	// when non-nil. Like the hooks, it is not copied by Clone/ResetTo.
+	Trace obs.Tracer
 
 	Stats Stats
 }
@@ -335,6 +339,7 @@ func (c *CPU) ResetTo(g *CPU) {
 	c.events = append(events[:0], g.events...)
 	c.MagicHook = nil
 	c.CommitHook = nil
+	c.Trace = nil
 }
 
 // Clone deep-copies the core onto an already-cloned hierarchy. Hooks are
@@ -355,5 +360,6 @@ func (c *CPU) Clone(hier *mem.Hierarchy) *CPU {
 	n.events = append([]event(nil), c.events...)
 	n.MagicHook = nil
 	n.CommitHook = nil
+	n.Trace = nil
 	return &n
 }

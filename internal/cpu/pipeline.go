@@ -3,6 +3,7 @@ package cpu
 import (
 	"marvel/internal/isa"
 	"marvel/internal/mem"
+	"marvel/internal/obs"
 )
 
 // Step advances the core by one clock cycle. Stages run in reverse pipeline
@@ -226,6 +227,9 @@ func (c *CPU) memStage() {
 			c.lq.enforceStuck(slot)
 			c.scheduleLoadDone(slot, 1)
 			c.Stats.Forwards++
+			if c.Trace != nil {
+				c.Trace.Emit(obs.Event{Cycle: c.cycle, Kind: obs.KindStoreForward, Target: "lsq", Bit: le.addr})
+			}
 			ports--
 		case loadFromMem:
 			le.accessed = true
@@ -575,6 +579,7 @@ func boolTo64(b bool) uint64 {
 // the rename map by walking the ROB tail-first, rolls back the load/store
 // queues, drops in-flight completions and redirects fetch.
 func (c *CPU) squashAfter(seq uint64, newPC uint64) {
+	var removed uint64
 	for c.robCount > 0 {
 		idx := c.robTailIdx()
 		e := &c.rob[idx]
@@ -587,6 +592,10 @@ func (c *CPU) squashAfter(seq uint64, newPC uint64) {
 		}
 		e.valid = false
 		c.robCount--
+		removed++
+	}
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{Cycle: c.cycle, Kind: obs.KindSquash, Target: "rob", N: removed})
 	}
 	c.lq.squashYoungerThan(seq)
 	c.sq.squashYoungerThan(seq)

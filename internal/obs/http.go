@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional runtime-introspection endpoint behind the
+// CLI's -debug-addr flag. It serves:
+//
+//	/metrics      — the Registry snapshot as JSON
+//	/debug/vars   — standard expvar dump (includes the published registry)
+//	/debug/pprof/ — the standard pprof profiles
+//
+// It binds its own mux (never http.DefaultServeMux), so importing obs does
+// not expose profiles on servers the embedding program runs elsewhere.
+type DebugServer struct {
+	// Addr is the actual listen address (useful when the requested
+	// address had port 0).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug starts the debug endpoint on addr for the given registry.
+// The server runs until Close; accept-loop errors after Close are
+// discarded.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

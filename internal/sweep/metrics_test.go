@@ -1,0 +1,80 @@
+package sweep_test
+
+import (
+	"testing"
+
+	"marvel/internal/machsuite"
+	"marvel/internal/obs"
+	"marvel/internal/sweep"
+)
+
+// TestSweepMetricsRegistryConsistency attaches a metrics registry to a
+// mixed CPU+accelerator sweep and cross-checks every registry counter
+// against the sweep's own Result.Counters and per-cell reports — the
+// lock-free mirror must agree exactly with the mutex-guarded accounting.
+func TestSweepMetricsRegistryConsistency(t *testing.T) {
+	spec := sweep.Spec{
+		ISAs:      []string{"riscv"},
+		Workloads: []string{"crc32", "sha"},
+		Targets:   []string{"prf"},
+		Designs:   []string{"gemm"},
+		Components: func() []string {
+			spec, err := machsuite.ByName("gemm")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return []string{spec.Targets[0].Name}
+		}(),
+		Models:    []string{"transient"},
+		Faults:    10,
+		Seed:      41,
+		ValidOnly: true,
+		Preset:    "fast",
+		Metrics:   obs.NewRegistry(),
+	}
+	res, err := sweep.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec.Metrics.Snapshot()
+
+	if s.FaultsDone != uint64(res.Counters.FaultsDone) {
+		t.Errorf("registry faults_done %d != sweep %d", s.FaultsDone, res.Counters.FaultsDone)
+	}
+	if s.EarlyStops != uint64(res.Counters.EarlyStops) {
+		t.Errorf("registry early_stops %d != sweep %d", s.EarlyStops, res.Counters.EarlyStops)
+	}
+	if s.GoldenRuns != uint64(res.Counters.GoldenRuns) || s.GoldenHits != uint64(res.Counters.GoldenHits) {
+		t.Errorf("registry golden %d/%d != sweep %d/%d",
+			s.GoldenRuns, s.GoldenHits, res.Counters.GoldenRuns, res.Counters.GoldenHits)
+	}
+	if s.Forks != res.Counters.Forks || s.ForkReuses != res.Counters.ForkReuses {
+		t.Errorf("registry forks %d/%d != sweep %d/%d",
+			s.Forks, s.ForkReuses, res.Counters.Forks, res.Counters.ForkReuses)
+	}
+	if s.CellsFinished != uint64(res.Counters.CellsExecuted) || s.CellsSkipped != uint64(res.Counters.CellsSkipped) {
+		t.Errorf("registry cells %d finished/%d skipped != sweep %d/%d",
+			s.CellsFinished, s.CellsSkipped, res.Counters.CellsExecuted, res.Counters.CellsSkipped)
+	}
+	if s.CellsStarted != uint64(len(res.Cells)) {
+		t.Errorf("registry cells_started %d != %d planned cells", s.CellsStarted, len(res.Cells))
+	}
+
+	// The verdict mix must equal the sum of per-cell verdict counts.
+	var masked, sdc, crash uint64
+	for _, c := range res.Cells {
+		masked += uint64(c.Masked)
+		sdc += uint64(c.SDC)
+		crash += uint64(c.Crash)
+	}
+	if s.Masked != masked || s.SDC != sdc || s.Crash != crash {
+		t.Errorf("registry verdict mix %d/%d/%d != cell totals %d/%d/%d",
+			s.Masked, s.SDC, s.Crash, masked, sdc, crash)
+	}
+	if s.Masked+s.SDC+s.Crash != s.FaultsDone {
+		t.Errorf("verdict mix %d+%d+%d does not cover faults_done %d", s.Masked, s.SDC, s.Crash, s.FaultsDone)
+	}
+	if got := spec.Metrics.CellLatencyMS.Count(); got != uint64(res.Counters.CellsExecuted) {
+		t.Errorf("latency histogram holds %d observations, want %d", got, res.Counters.CellsExecuted)
+	}
+}

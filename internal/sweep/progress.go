@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"marvel/internal/classify"
+	"marvel/internal/obs"
 )
 
 // Snapshot is one observation of a running sweep, delivered to
@@ -31,10 +32,13 @@ type Snapshot struct {
 	LastCell string
 }
 
-// tracker serializes progress accounting and callback delivery.
+// tracker serializes progress accounting and callback delivery, and
+// mirrors the counters into the sweep's metrics registry (if one is
+// attached) so the debug endpoint sees live state.
 type tracker struct {
 	mu    sync.Mutex
 	cb    func(Snapshot)
+	reg   *obs.Registry // may be nil
 	start time.Time
 	snap  Snapshot
 	// skippedFaults is the share of snap.FaultsDone credited by the
@@ -43,9 +47,10 @@ type tracker struct {
 	skippedFaults int64
 }
 
-func newTracker(cb func(Snapshot), totalCells int, totalFaults int64, start time.Time) *tracker {
+func newTracker(cb func(Snapshot), reg *obs.Registry, totalCells int, totalFaults int64, start time.Time) *tracker {
 	return &tracker{
 		cb:    cb,
+		reg:   reg,
 		start: start,
 		snap:  Snapshot{TotalCells: totalCells, TotalFaults: totalFaults},
 	}
@@ -73,6 +78,9 @@ func (t *tracker) emit() {
 }
 
 func (t *tracker) cellStarted(key string) {
+	if t.reg != nil {
+		t.reg.CellsStarted.Inc()
+	}
 	t.mu.Lock()
 	t.snap.CellsStarted++
 	t.snap.LastCell = key
@@ -81,6 +89,9 @@ func (t *tracker) cellStarted(key string) {
 }
 
 func (t *tracker) cellFinished(key string) {
+	if t.reg != nil {
+		t.reg.CellsFinished.Inc()
+	}
 	t.mu.Lock()
 	t.snap.CellsFinished++
 	t.snap.LastCell = key
@@ -89,6 +100,9 @@ func (t *tracker) cellFinished(key string) {
 }
 
 func (t *tracker) cellSkipped(key string, faults int64) {
+	if t.reg != nil {
+		t.reg.CellsSkipped.Inc()
+	}
 	t.mu.Lock()
 	t.snap.CellsSkipped++
 	t.snap.FaultsDone += faults
@@ -107,6 +121,9 @@ func (t *tracker) faultsDone() int64 {
 
 // onVerdict is handed to every campaign as its OnVerdict hook.
 func (t *tracker) onVerdict(_ int, v classify.Verdict) {
+	if t.reg != nil {
+		t.reg.AddVerdict(v.Outcome.String(), v.EarlyStop, v.HVFCorrupt)
+	}
 	t.mu.Lock()
 	t.snap.FaultsDone++
 	if v.EarlyStop {

@@ -32,6 +32,7 @@ import (
 	"marvel/internal/core"
 	"marvel/internal/isa"
 	"marvel/internal/machsuite"
+	"marvel/internal/obs"
 	"marvel/internal/program"
 	"marvel/internal/workloads"
 )
@@ -89,6 +90,13 @@ type Spec struct {
 	// start/finish and on every classified fault; it must be fast and
 	// must not block.
 	OnProgress func(Snapshot)
+
+	// Metrics, when non-nil, receives live counter updates (verdict mix,
+	// fork reuse, golden-cache hits, per-cell latency) as the sweep runs —
+	// the registry behind the CLI's -debug-addr endpoint. Updates are
+	// lock-free atomic adds, so attaching a registry does not serialize
+	// workers.
+	Metrics *obs.Registry
 }
 
 // Cell kinds.
@@ -386,7 +394,7 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	start := time.Now()
-	tr := newTracker(spec.OnProgress, len(cells), int64(spec.Faults)*int64(len(cells)), start)
+	tr := newTracker(spec.OnProgress, spec.Metrics, len(cells), int64(spec.Faults)*int64(len(cells)), start)
 	res := &Result{Cells: make([]CellReport, len(cells))}
 	res.Counters.CellsPlanned = len(cells)
 
@@ -460,6 +468,15 @@ func Run(spec Spec) (*Result, error) {
 				res.Counters.EarlyStops += int64(rep.EarlyStops)
 				res.Counters.Forks += forks
 				res.Counters.ForkReuses += reuses
+				if spec.Metrics != nil {
+					if hit {
+						spec.Metrics.GoldenHits.Inc()
+					} else {
+						spec.Metrics.GoldenRuns.Inc()
+					}
+					spec.Metrics.AddForkStats(forks, reuses)
+					spec.Metrics.CellLatencyMS.Observe(uint64(rep.WallMS))
+				}
 				var jerr error
 				if journal != nil {
 					jerr = journal.Append(*rep)

@@ -25,11 +25,13 @@ import (
 
 	"marvel/internal/accel"
 	"marvel/internal/campaign"
+	"marvel/internal/classify"
 	"marvel/internal/config"
 	"marvel/internal/core"
 	"marvel/internal/isa"
 	"marvel/internal/machsuite"
 	"marvel/internal/metrics"
+	"marvel/internal/obs"
 	"marvel/internal/program"
 	"marvel/internal/soc"
 	"marvel/internal/sweep"
@@ -141,6 +143,13 @@ type CampaignOptions struct {
 	// LegacyClone forces the pre-CoW per-run deep-clone strategy, for A/B
 	// comparison against copy-on-write checkpoint forking (the default).
 	LegacyClone bool
+	// Preset selects the hardware configuration: "" or "table2" is the
+	// paper's Table II; "fast" is the scaled-down test preset.
+	Preset string
+	// Metrics, when non-nil, receives live verdict-mix and fork counters
+	// as the campaign runs (the registry behind the CLI's -debug-addr
+	// endpoint).
+	Metrics *obs.Registry
 }
 
 // Report is the outcome of a CPU campaign.
@@ -198,9 +207,9 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	pre := config.TableII()
-	if o.PhysRegs > 0 {
-		pre = pre.WithPhysRegs(o.PhysRegs)
+	pre, err := presetFor(o.Preset, o.PhysRegs)
+	if err != nil {
+		return nil, err
 	}
 	dom := core.DomainWholeArray
 	if o.ValidOnly {
@@ -229,9 +238,17 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 	} else {
 		cfg.Target = targets[0]
 	}
+	if reg := o.Metrics; reg != nil {
+		cfg.OnVerdict = func(_ int, v classify.Verdict) {
+			reg.AddVerdict(v.Outcome.String(), v.EarlyStop, v.HVFCorrupt)
+		}
+	}
 	res, err := campaign.Run(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if o.Metrics != nil {
+		o.Metrics.AddForkStats(res.Forking.Forks, res.Forking.ReuseHits)
 	}
 	return &Report{
 		Workload:     o.Workload,
@@ -276,6 +293,10 @@ type AccelOptions struct {
 	// LegacyRebuild forces the pre-fork strategy (a full harness rebuild
 	// per fault) for A/B comparison against fork/reset reuse (the default).
 	LegacyRebuild bool
+	// Metrics, when non-nil, receives live verdict-mix and fork counters
+	// as the campaign runs (the registry behind the CLI's -debug-addr
+	// endpoint).
+	Metrics *obs.Registry
 }
 
 // AccelReport is the outcome of an accelerator campaign.
@@ -318,7 +339,7 @@ func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := accel.RunCampaign(accel.CampaignConfig{
+	cfg := accel.CampaignConfig{
 		Design:        design,
 		Task:          task,
 		Target:        o.Component,
@@ -327,9 +348,18 @@ func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
 		Seed:          o.Seed,
 		Workers:       o.Workers,
 		LegacyRebuild: o.LegacyRebuild,
-	})
+	}
+	if reg := o.Metrics; reg != nil {
+		cfg.OnVerdict = func(_ int, v classify.Verdict) {
+			reg.AddVerdict(v.Outcome.String(), v.EarlyStop, v.HVFCorrupt)
+		}
+	}
+	res, err := accel.RunCampaign(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if o.Metrics != nil {
+		o.Metrics.AddForkStats(res.Forking.Forks, res.Forking.ReuseHits)
 	}
 	return &AccelReport{
 		Design:        o.Design,
@@ -402,6 +432,12 @@ type SweepOptions struct {
 	// serialized on cell start/finish and every classified fault, and
 	// must not block.
 	OnProgress func(SweepProgress)
+
+	// Metrics, when non-nil, receives live counter updates (verdict mix,
+	// fork reuse, golden-cache hits, per-cell latency) as the sweep runs —
+	// the registry behind the CLI's -debug-addr endpoint and the
+	// -progress-jsonl writer.
+	Metrics *obs.Registry
 }
 
 // SweepProgress is a point-in-time view of a running sweep.
@@ -503,6 +539,7 @@ func RunSweep(o SweepOptions) (*SweepReport, error) {
 		Workers:          o.Workers,
 		CellParallel:     o.CellParallel,
 		OutDir:           o.OutDir,
+		Metrics:          o.Metrics,
 	}
 	if o.OnProgress != nil {
 		spec.OnProgress = func(s sweep.Snapshot) {

@@ -1,41 +1,83 @@
 #!/bin/sh
 # verify.sh — the repository's full verification gauntlet:
-#   1. tier-1: build + full test suite
+#   1. tier-1: build + vet + full test suite
 #   2. race jobs: the CPU and accelerator campaigns' parallel paths under
-#      the race detector
+#      the race detector (including traced campaigns and atomic ForkStats)
 #   3. sweep race job + differential guard: the orchestrator's two-level
 #      parallelism, golden-cache reuse and resume must be race-free and
 #      bit-identical to standalone campaigns
-#   4. bench guard: the forking ablations compile and run
+#   4. observability guard: tracing must be zero-alloc on the golden path
+#      and must not perturb verdict streams
+#   5. bench guard: the forking ablations and tracing-overhead benches
+#      compile and run
+#   6. explain smoke test: the CLI narrates a known-SDC fault end to end
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: build + tests =="
+echo "== tier-1: build + vet + tests =="
 go build ./...
+go vet ./...
 go test ./...
 
 echo "== race: parallel campaign determinism =="
 go test -race -run 'TestCampaignWorkerCountInvariance|TestForkCloneEquivalence' ./internal/campaign
+go test -race -run 'TestTracingDoesNotChangeVerdicts|TestForkStatsUnderParallelWorkers' ./internal/campaign
 
 echo "== race: parallel accel campaign determinism =="
 go test -race -run 'TestAccelCampaignWorkerInvariance|TestStandaloneForkResetEquivalence' ./internal/accel
 go test -race -run 'TestAccelCampaignEquivalenceStuckAt0|TestAccelMaskPopulationWindowIndependentOfSchedule' ./internal/accel
+go test -race -run 'TestAccelTracingDoesNotChangeVerdicts|TestAccelForkStatsUnderParallelWorkers' ./internal/accel
 
 echo "== race: sweep orchestrator (golden cache, resume, worker budget) =="
 go test -race ./internal/sweep
 
-# Guard: the differential suite (sweep cell ≡ standalone campaign, proven
-# by verdict-stream digests) must exist and actually run — a refactor that
-# renames or drops it would otherwise silently void the bit-identity
-# guarantee.
+echo "== race: metrics registry =="
+go test -race -run 'TestRegistryConcurrentAdds|TestServeDebugEndpoints' ./internal/obs
+
+# Guard: the differential suite (sweep cell ≡ standalone campaign, traced
+# campaign ≡ untraced campaign, proven by verdict-stream digests) must
+# exist and actually run — a refactor that renames or drops it would
+# otherwise silently void the bit-identity guarantee.
 for t in TestSweepDifferential TestSweepAccelDifferential TestSweepResume; do
 	go test -run "^${t}\$" -v ./internal/sweep | grep -q -- "--- PASS: ${t}" || {
 		echo "verify: differential guard: ${t} did not run/pass" >&2
 		exit 1
 	}
 done
+for t in TestTracingDoesNotChangeVerdicts TestExplainReproducesCampaignVerdict; do
+	go test -run "^${t}\$" -v ./internal/campaign | grep -q -- "--- PASS: ${t}" || {
+		echo "verify: tracing differential guard: ${t} did not run/pass" >&2
+		exit 1
+	}
+done
 
-echo "== bench guard: forking ablations =="
-go test -run '^$' -bench 'BenchmarkAblation_CheckpointForking|BenchmarkAccelCampaign' -benchtime 1x .
+echo "== observability guard: zero-alloc tracing =="
+go test -run '^TestTracerZeroAlloc$' -v ./internal/obs | grep -q -- '--- PASS: TestTracerZeroAlloc' || {
+	echo "verify: zero-alloc tracer guard did not run/pass" >&2
+	exit 1
+}
+
+echo "== bench guard: forking ablations + tracing overhead =="
+go test -run '^$' -bench 'BenchmarkAblation_CheckpointForking|BenchmarkAccelCampaign|BenchmarkTracingOverhead' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkTracerEmit' -benchtime 1000x ./internal/obs
+
+echo "== explain smoke test: narrate a known-SDC fault =="
+# riscv/crc32/prf seed 1 index 10 classifies as SDC on the fast preset
+# (pinned by the mask generator's pure (seed, index) derivation); the
+# narrator must surface the divergence event and the SDC conclusion.
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go run ./cmd/marvel explain -isa riscv -workload crc32 -target prf \
+	-preset fast -seed 1 -index 10 >"$tmp"
+grep -q 'divergence' "$tmp" || {
+	echo "verify: explain smoke: no divergence event in narrative" >&2
+	cat "$tmp" >&2
+	exit 1
+}
+grep -q 'verdict: sdc' "$tmp" || {
+	echo "verify: explain smoke: expected an SDC verdict" >&2
+	cat "$tmp" >&2
+	exit 1
+}
 
 echo "verify: OK"
