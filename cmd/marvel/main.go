@@ -14,9 +14,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -25,6 +27,20 @@ import (
 	"marvel/internal/obs"
 	"marvel/internal/sweep"
 )
+
+// usageError marks a validation failure — bad flag value, unknown name,
+// inconsistent combination — as distinct from a runtime failure. Usage
+// errors exit 2 (like the flag package's own parse errors); everything
+// else exits 1.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// usagef builds a usageError.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -47,6 +63,12 @@ func main() {
 		err = cmdGolden(os.Args[2:])
 	case "soc":
 		err = cmdSoC(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -56,6 +78,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marvel:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -71,6 +97,9 @@ commands:
   accel    [flags]          run an accelerator fault-injection campaign
   golden   [flags]          run a workload without faults (performance)
   soc      [flags]          run a CPU+accelerator full-system demo
+  serve    [flags]          run the campaign service (HTTP job daemon)
+  submit   [flags]          submit a job to a running campaign service
+  watch    [flags]          stream a served job's verdict events
 
 run 'marvel <command> -h' for flags`)
 }
@@ -125,6 +154,9 @@ func cmdCampaign(args []string) error {
 		Preset:           *preset,
 		Workers:          *workers,
 		LegacyClone:      *legacyClone,
+	}
+	if err := opts.Validate(); err != nil {
+		return usageError{err}
 	}
 	if *debugAddr != "" {
 		reg := marvel.NewMetricsRegistry()
@@ -201,6 +233,7 @@ func cmdSweep(args []string) error {
 	workers := fs.Int("workers", 0, "global worker budget across cells (0 = GOMAXPROCS); results are worker-count invariant")
 	cellPar := fs.Int("cellpar", 0, "concurrent cells (0 = up to 3)")
 	out := fs.String("out", "", "persist + resume directory (manifest.json, cells.jsonl)")
+	resume := fs.Bool("resume", false, "require an existing sweep journal in -out and resume it (fail instead of silently starting fresh)")
 	csvPath := fs.String("csv", "", "write the Figure 9-11 CSV of all cells to this file (- = stdout)")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the sweep runs (e.g. localhost:6060)")
@@ -228,6 +261,18 @@ func cmdSweep(args []string) error {
 		Workers:          *workers,
 		CellParallel:     *cellPar,
 		OutDir:           *out,
+	}
+	if _, err := sweep.Plan(spec); err != nil {
+		return usageError{err}
+	}
+	if *resume {
+		if *out == "" {
+			return usagef("-resume needs -out pointing at the sweep's journal directory")
+		}
+		manifest := filepath.Join(*out, "manifest.json")
+		if _, err := os.Stat(manifest); err != nil {
+			return usagef("nothing to resume: no sweep journal at %s (drop -resume to start a fresh sweep)", manifest)
+		}
 	}
 	if *debugAddr != "" || *progressJSONL != "" {
 		spec.Metrics = marvel.NewMetricsRegistry()
@@ -441,6 +486,9 @@ func cmdAccel(args []string) error {
 		GemmMultipliers: *mults,
 		Workers:         *workers,
 		LegacyRebuild:   *legacyRebuild,
+	}
+	if err := opts.Validate(); err != nil {
+		return usageError{err}
 	}
 	if *debugAddr != "" {
 		reg := marvel.NewMetricsRegistry()

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"marvel/internal/obs"
+	"marvel/internal/server"
+)
+
+// cmdServe runs the campaign service: an HTTP daemon that accepts JSON
+// job submissions (single campaigns, accelerator campaigns, or sweeps),
+// executes them on a bounded worker pool with a shared golden cache, and
+// streams per-job verdicts to watchers. SIGTERM/SIGINT drain gracefully:
+// in-flight jobs finish, queued jobs are rejected, then the listener
+// closes.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8765", "service listen address (port 0 picks a free port)")
+	jobs := fs.Int("jobs", 2, "jobs executed concurrently")
+	queue := fs.Int("queue", 16, "submissions waiting behind the running jobs before 429")
+	goldenEntries := fs.Int("golden-cache", server.DefaultGoldenEntries, "prepared goldens kept in the cross-job LRU")
+	workers := fs.Int("workers", 0, "campaign workers per job (0 = GOMAXPROCS)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /metrics/jobs, /debug/vars and /debug/pprof/ on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	jobRegs := obs.NewRegistrySet()
+	svc := server.New(server.Config{
+		Workers:         *jobs,
+		QueueDepth:      *queue,
+		GoldenEntries:   *goldenEntries,
+		CampaignWorkers: *workers,
+		JobRegistries:   jobRegs,
+	})
+
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Publish("marvel-serve")
+		ds, err := obs.ServeDebugMux(*debugAddr, obs.NewDebugMux(reg, jobRegs))
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (per-job: /metrics/jobs)\n", ds.Addr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// The scrapable line the exec harness (and humans) key on.
+	fmt.Printf("marvel serve: listening on http://%s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "marvel serve: %s — draining (in-flight jobs finish, queued jobs are rejected)\n", sig)
+		svc.Manager.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		st := svc.Manager.Stats()
+		fmt.Fprintf(os.Stderr, "marvel serve: drained — %d completed, %d failed, %d rejected\n",
+			st.Completed, st.Failed, st.Rejected)
+		return nil
+	}
+}

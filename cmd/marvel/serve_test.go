@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"marvel"
+	"marvel/internal/server"
+	"marvel/internal/sweep"
+)
+
+// TestServeEndToEnd runs the daemon as a real process: submit over HTTP,
+// stream the verdict events to completion, check the served digest
+// against an offline orchestrator run, then SIGTERM the process and
+// require a clean drain (exit 0).
+func TestServeEndToEnd(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "serve", "-addr", "127.0.0.1:0", "-jobs", "1")
+	cmd.Env = append(os.Environ(), "MARVEL_RUN_MAIN=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	// Scrape the listen address from the daemon's first stdout line.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen line from serve (stderr: %s)", stderr.String())
+	}
+
+	req := server.Request{Kind: server.KindCampaign, Campaign: &marvel.CampaignOptions{
+		ISA:       "riscv",
+		Workload:  "crc32",
+		Target:    "prf",
+		Faults:    6,
+		Seed:      123,
+		ValidOnly: true,
+		Preset:    "fast",
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %+v", resp.StatusCode, st)
+	}
+
+	// The JSONL stream ends when the job does; count verdicts on the way.
+	evResp, err := http.Get(base + "/api/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer evResp.Body.Close()
+	verdicts, last := 0, ""
+	var digest string
+	esc := bufio.NewScanner(evResp.Body)
+	esc.Buffer(make([]byte, 1<<20), 1<<20)
+	for esc.Scan() {
+		line := strings.TrimSpace(esc.Text())
+		if line == "" {
+			continue
+		}
+		var e server.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		last = e.Type
+		if e.Type == server.EventVerdict {
+			verdicts++
+		}
+		if e.Type == server.EventCell && e.Report != nil {
+			digest = e.Report.Digest
+		}
+	}
+	if last != server.EventDone {
+		t.Fatalf("stream ended on %q, want done (stderr: %s)", last, stderr.String())
+	}
+	if verdicts != req.Campaign.Faults {
+		t.Fatalf("streamed %d verdicts, want %d", verdicts, req.Campaign.Faults)
+	}
+
+	// Differential: the served digest must match the offline orchestrator.
+	offline, err := sweep.Run(sweep.Spec{
+		ISAs:      []string{"riscv"},
+		Workloads: []string{"crc32"},
+		Targets:   []string{"prf"},
+		Faults:    6,
+		Seed:      123,
+		ValidOnly: true,
+		Preset:    "fast",
+	})
+	if err != nil {
+		t.Fatalf("offline run: %v", err)
+	}
+	if digest == "" || digest != offline.Cells[0].Digest {
+		t.Fatalf("served digest %q != offline %q", digest, offline.Cells[0].Digest)
+	}
+
+	// SIGTERM drains gracefully: exit 0 and a drain report on stderr.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v (stderr: %s)", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("stderr %q missing drain report", stderr.String())
+	}
+}

@@ -1,0 +1,64 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"marvel/internal/mem"
+)
+
+// FuzzConfigParse throws arbitrary text at the preset parser:
+//
+//   - Parse never panics, whatever the input;
+//   - Parse is deterministic — same text, same preset or same error;
+//   - an accepted preset is structurally sane: the validated invariants
+//     (positive pipeline dimensions, coherent cache geometry) actually
+//     hold on the returned value, not just inside validatePreset.
+func FuzzConfigParse(f *testing.F) {
+	f.Add("")
+	f.Add("preset = fast\n")
+	f.Add("# comment only\n\n")
+	f.Add("width = 4\nrob = 96\nphysregs = 144\n")
+	f.Add("preset = table2\nl1d.kb = 64\nline = 128\nl1.ways = 4\n")
+	f.Add("width = 0\n")
+	f.Add("width = -3\n")
+	f.Add("width = four\n")
+	f.Add("= value\nkey =\n")
+	f.Add("preset = nosuch\n")
+	f.Add("l1d.kb = 3\nline = 64\n")
+	f.Add(strings.Repeat("width = 4\n", 100))
+	f.Add("width\x00= 4\n\xff\xfe")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		p2, err2 := Parse(text)
+		if (err == nil) != (err2 == nil) || (err != nil && err.Error() != err2.Error()) {
+			t.Fatalf("parse not deterministic: %v vs %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("parse not deterministic for %q", text)
+		}
+		if p.CPU.Width < 1 || p.CPU.ROBSize < 1 || p.CPU.IQSize < 1 || p.CPU.NumPhysRegs < 1 {
+			t.Fatalf("accepted preset with non-positive pipeline dims: %+v", p.CPU)
+		}
+		if p.CPU.LQSize < 1 || p.CPU.SQSize < 1 || p.MemLatency < 1 || p.ClockHz <= 0 {
+			t.Fatalf("accepted preset with non-positive memory dims: %+v", p)
+		}
+		for _, c := range []struct {
+			name  string
+			bytes int
+		}{{"l1i", p.Hier.L1I.SizeBytes}, {"l1d", p.Hier.L1D.SizeBytes}, {"l2", p.Hier.L2.SizeBytes}} {
+			if c.bytes < 1 {
+				t.Fatalf("accepted preset with non-positive %s size: %+v", c.name, p.Hier)
+			}
+		}
+		for _, cc := range []mem.CacheConfig{p.Hier.L1I, p.Hier.L1D, p.Hier.L2} {
+			if err := cc.Validate(); err != nil {
+				t.Fatalf("accepted preset fails its own cache validation: %v", err)
+			}
+		}
+	})
+}

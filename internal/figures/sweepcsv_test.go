@@ -1,0 +1,193 @@
+package figures
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"marvel/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CSV from the current output")
+
+func fp(v float64) *float64 { return &v }
+
+// sampleCells covers the CSV's interesting rows: a CPU cell feeding two
+// figures (AVF + SDC-AVF columns), a permanent-fault cell, a
+// measured-HVF cell, a multi-target combo (feeds no figure), and an
+// accelerator cell (empty figures and ISA columns).
+func sampleCells() []sweep.CellReport {
+	return []sweep.CellReport{
+		{
+			Cell:   sweep.Cell{Kind: sweep.KindCPU, ISA: "riscv", Workload: "crc32", Target: "prf", Model: "transient"},
+			Faults: 100, Masked: 80, SDC: 15, Crash: 5,
+			AVF: 0.2, SDCAVF: 0.15, CrashAVF: 0.05, Margin: 0.078,
+			GoldenCycles: 12345, TargetBits: 8192,
+		},
+		{
+			Cell:   sweep.Cell{Kind: sweep.KindCPU, ISA: "arm", Workload: "sha", Target: "l1i", Model: "stuck-at-1"},
+			Faults: 50, Masked: 20, SDC: 25, Crash: 5, EarlyStops: 7,
+			AVF: 0.6, SDCAVF: 0.5, CrashAVF: 0.1, Margin: 0.13,
+			GoldenCycles: 99999, TargetBits: 262144,
+		},
+		{
+			Cell:   sweep.Cell{Kind: sweep.KindCPU, ISA: "x86", Workload: "fft", Target: "l1d", Model: "transient"},
+			Faults: 10, Masked: 10,
+			HVFMeasured: true, HVF: fp(0.25),
+			Margin:       0.3,
+			GoldenCycles: 777, TargetBits: 262144,
+		},
+		{
+			Cell:   sweep.Cell{Kind: sweep.KindCPU, ISA: "riscv", Workload: "crc32", Target: "prf+rob", Model: "transient"},
+			Faults: 4, Masked: 3, Crash: 1,
+			AVF: 0.25, CrashAVF: 0.25, Margin: 0.5,
+			GoldenCycles: 12345, TargetBits: 10000,
+		},
+		{
+			Cell:   sweep.Cell{Kind: sweep.KindAccel, Design: "gemm", Component: "MATRIX1", Model: "transient"},
+			Faults: 30, Masked: 12, SDC: 12, Crash: 6,
+			AVF: 0.6, SDCAVF: 0.4, CrashAVF: 0.2, Margin: 0.17,
+			GoldenCycles: 4242, TargetBits: 524288,
+		},
+	}
+}
+
+// TestSweepCSVGolden locks the exact CSV the figure scripts parse —
+// column set, column order, figure-ID mapping, float formatting, and the
+// blank-HVF convention — against a checked-in golden file.
+func TestSweepCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SweepCSV(&buf, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sweepcsv.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("CSV drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSweepCSVDeterministic proves byte-identical output across calls:
+// rows follow input order and nothing (map iteration, timestamps) leaks
+// into the bytes.
+func TestSweepCSVDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := SweepCSV(&a, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SweepCSV(&b, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two SweepCSV calls over the same cells differ")
+	}
+}
+
+// TestSweepCSVHVFBlankWhenUnmeasured pins the "absent HVF means not
+// measured, never 0.0" convention at the CSV layer: the hvf column must
+// be the empty string, not "0.000000".
+func TestSweepCSVHVFBlankWhenUnmeasured(t *testing.T) {
+	cells := []sweep.CellReport{
+		{Cell: sweep.Cell{Kind: sweep.KindCPU, ISA: "riscv", Workload: "crc32", Target: "prf", Model: "transient"}},
+		{Cell: sweep.Cell{Kind: sweep.KindCPU, ISA: "riscv", Workload: "sha", Target: "prf", Model: "transient"},
+			HVFMeasured: true, HVF: fp(0)},
+	}
+	var buf bytes.Buffer
+	if err := SweepCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.Bytes())
+	hvfCol := colIndex(t, rows[0], "hvf")
+	if got := rows[1][hvfCol]; got != "" {
+		t.Errorf("unmeasured HVF written as %q, want empty", got)
+	}
+	if got := rows[2][hvfCol]; got != "0.000000" {
+		t.Errorf("measured-zero HVF written as %q, want 0.000000", got)
+	}
+}
+
+// TestSweepCSVFigureIDs checks the (target, model) → figure mapping on
+// representative rows, including the multi-figure prf case (Figure 4 AVF
+// + Figure 9 SDC-AVF share rows).
+func TestSweepCSVFigureIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SweepCSV(&buf, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.Bytes())
+	figCol := colIndex(t, rows[0], "figures")
+	want := []string{"fig04;fig09", "fig12", "fig06;fig11", "", ""}
+	for i, w := range want {
+		if got := rows[i+1][figCol]; got != w {
+			t.Errorf("row %d figures %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestSweepWAVF checks the §V-A execution-time weighting: per
+// (isa, target, model) groups, cycle-weighted mean AVF, CPU cells only.
+func TestSweepWAVF(t *testing.T) {
+	cells := []sweep.CellReport{
+		{Cell: sweep.Cell{Kind: sweep.KindCPU, ISA: "riscv", Workload: "crc32", Target: "prf", Model: "transient"},
+			AVF: 0.2, GoldenCycles: 1000},
+		{Cell: sweep.Cell{Kind: sweep.KindCPU, ISA: "riscv", Workload: "sha", Target: "prf", Model: "transient"},
+			AVF: 0.6, GoldenCycles: 3000},
+		{Cell: sweep.Cell{Kind: sweep.KindCPU, ISA: "arm", Workload: "crc32", Target: "prf", Model: "transient"},
+			AVF: 0.9, GoldenCycles: 500},
+		// Same ISA/target, different model: its own group.
+		{Cell: sweep.Cell{Kind: sweep.KindCPU, ISA: "riscv", Workload: "crc32", Target: "prf", Model: "stuck-at-1"},
+			AVF: 1.0, GoldenCycles: 10},
+		// Accelerator cells never enter the CPU aggregate.
+		{Cell: sweep.Cell{Kind: sweep.KindAccel, Design: "gemm", Component: "MATRIX1", Model: "transient"},
+			AVF: 1.0, GoldenCycles: 1 << 40},
+	}
+	got := SweepWAVF(cells)
+	want := map[string]float64{
+		"riscv/prf/transient":  (0.2*1000 + 0.6*3000) / 4000, // 0.5
+		"arm/prf/transient":    0.9,
+		"riscv/prf/stuck-at-1": 1.0,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups %v, want %d", len(got), got, len(want))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok || math.Abs(g-w) > 1e-12 {
+			t.Errorf("group %s = %v, want %v", k, g, w)
+		}
+	}
+}
+
+func parseCSV(t *testing.T, b []byte) [][]string {
+	t.Helper()
+	var rows [][]string
+	for _, line := range bytes.Split(bytes.TrimSpace(b), []byte("\n")) {
+		var row []string
+		for _, f := range bytes.Split(line, []byte(",")) {
+			row = append(row, string(f))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func colIndex(t *testing.T, header []string, name string) int {
+	t.Helper()
+	for i, h := range header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("no %q column in %v", name, header)
+	return -1
+}

@@ -27,10 +27,15 @@ type DebugServer struct {
 	ln  net.Listener
 }
 
-// ServeDebug starts the debug endpoint on addr for the given registry.
-// The server runs until Close; accept-loop errors after Close are
-// discarded.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// NewDebugMux builds the debug endpoint's mux for a registry and, when
+// jobs is non-nil, the per-job registries of a campaign service:
+//
+//	/metrics/jobs      — every job's registry snapshot, keyed by job ID
+//	/metrics/jobs/{id} — one job's registry snapshot (404 if unknown)
+//
+// Exposed so embedders (the `marvel serve` daemon) can mount extra
+// handlers on the same -debug-addr mux.
+func NewDebugMux(reg *Registry, jobs *RegistrySet) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -39,12 +44,43 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(reg.Snapshot())
+		writeJSON(w, reg.Snapshot())
 	})
+	if jobs != nil {
+		mux.HandleFunc("/metrics/jobs", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, jobs.Snapshot())
+		})
+		mux.HandleFunc("/metrics/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			snaps := jobs.Snapshot()
+			snap, ok := snaps[id]
+			if !ok {
+				http.Error(w, "unknown job "+id, http.StatusNotFound)
+				return
+			}
+			writeJSON(w, snap)
+		})
+	}
+	return mux
+}
 
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ServeDebug starts the debug endpoint on addr for the given registry.
+// The server runs until Close; accept-loop errors after Close are
+// discarded.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return ServeDebugMux(addr, NewDebugMux(reg, nil))
+}
+
+// ServeDebugMux starts a debug endpoint serving an already-built mux
+// (NewDebugMux, possibly extended by the embedder).
+func ServeDebugMux(addr string, mux *http.ServeMux) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

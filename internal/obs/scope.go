@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// RegistrySet is a keyed collection of registries — the campaign
+// service's per-job scoping. Each job gets its own Registry (its verdict
+// mix and fork counters in isolation) while the service keeps a separate
+// aggregate registry; the debug endpoint serves both. Safe for
+// concurrent use.
+type RegistrySet struct {
+	mu sync.Mutex
+	m  map[string]*Registry
+}
+
+// NewRegistrySet returns an empty set.
+func NewRegistrySet() *RegistrySet {
+	return &RegistrySet{m: map[string]*Registry{}}
+}
+
+// Get returns the registry for key, creating it on first use.
+func (s *RegistrySet) Get(key string) *Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.m[key]
+	if r == nil {
+		r = NewRegistry()
+		s.m[key] = r
+	}
+	return r
+}
+
+// Drop removes the registry for key (a finished job that was archived).
+// Holders of the registry pointer can keep using it; the set just stops
+// serving it.
+func (s *RegistrySet) Drop(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+}
+
+// Keys returns the registered keys in sorted order.
+func (s *RegistrySet) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot captures every member registry at (approximately) the same
+// instant, keyed as registered.
+func (s *RegistrySet) Snapshot() map[string]RegistrySnapshot {
+	s.mu.Lock()
+	members := make(map[string]*Registry, len(s.m))
+	for k, r := range s.m {
+		members[k] = r
+	}
+	s.mu.Unlock()
+	out := make(map[string]RegistrySnapshot, len(members))
+	for k, r := range members {
+		out[k] = r.Snapshot()
+	}
+	return out
+}

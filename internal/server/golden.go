@@ -1,0 +1,140 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"marvel/internal/sweep"
+)
+
+// GoldenLRU is the service's shared golden cache: a size-bounded,
+// least-recently-used map from golden keys (sweep.CPUGoldenKey /
+// sweep.AccelGoldenKey) to prepared goldens, shared by every job the
+// daemon executes. Two jobs over the same (ISA, workload, preset) pay
+// for the compile + fault-free run once; the bound keeps a long-lived
+// daemon from accumulating every golden it ever prepared.
+//
+// Concurrency follows the sweep run-cache discipline: each entry builds
+// under its own sync.Once, so concurrent jobs that miss on the same key
+// block on the entry — never on the cache — and the build runs exactly
+// once. Eviction only drops the cache's reference; goldens are immutable,
+// so jobs already holding one keep using it safely.
+type GoldenLRU struct {
+	mu   sync.Mutex
+	max  int
+	ll   *list.List // front = most recently used
+	byID map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type lruEntry struct {
+	key  string
+	once sync.Once
+	val  any // *sweep.CPUGolden or *sweep.AccelGolden
+	err  error
+}
+
+// DefaultGoldenEntries is the daemon's default cache bound.
+const DefaultGoldenEntries = 8
+
+// NewGoldenLRU returns a cache bounded to max entries; max <= 0 selects
+// DefaultGoldenEntries.
+func NewGoldenLRU(max int) *GoldenLRU {
+	if max <= 0 {
+		max = DefaultGoldenEntries
+	}
+	return &GoldenLRU{max: max, ll: list.New(), byID: map[string]*list.Element{}}
+}
+
+// acquire returns the entry for key, creating (and evicting) as needed.
+// hit reports whether the entry existed before this call — the same
+// semantics the sweep's per-run cache counts.
+func (c *GoldenLRU) acquire(key string) (*lruEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry), true
+	}
+	e := &lruEntry{key: key}
+	c.byID[key] = c.ll.PushFront(e)
+	c.misses++
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byID, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+	return e, false
+}
+
+// release drops a failed entry so a later job retries the build instead
+// of replaying a cached error (a golden build failure is config-shaped,
+// but dropping it is free and keeps the cache poison-proof).
+func (c *GoldenLRU) release(e *lruEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[e.key]; ok && el.Value.(*lruEntry) == e {
+		c.ll.Remove(el)
+		delete(c.byID, e.key)
+	}
+}
+
+// CPUGolden implements sweep.GoldenCache.
+func (c *GoldenLRU) CPUGolden(key string, build func() (*sweep.CPUGolden, error)) (*sweep.CPUGolden, bool, error) {
+	e, hit := c.acquire(key)
+	e.once.Do(func() { e.val, e.err = build() })
+	if e.err != nil {
+		c.release(e)
+		return nil, hit, e.err
+	}
+	g, ok := e.val.(*sweep.CPUGolden)
+	if !ok {
+		// A CPU key can never collide with an accel key (distinct
+		// prefixes); this guards programmer error, not runtime state.
+		c.release(e)
+		return nil, hit, fmt.Errorf("server: golden cache key %q holds a non-CPU golden", key)
+	}
+	return g, hit, nil
+}
+
+// AccelGolden implements sweep.GoldenCache.
+func (c *GoldenLRU) AccelGolden(key string, build func() (*sweep.AccelGolden, error)) (*sweep.AccelGolden, bool, error) {
+	e, hit := c.acquire(key)
+	e.once.Do(func() { e.val, e.err = build() })
+	if e.err != nil {
+		c.release(e)
+		return nil, hit, e.err
+	}
+	g, ok := e.val.(*sweep.AccelGolden)
+	if !ok {
+		c.release(e)
+		return nil, hit, fmt.Errorf("server: golden cache key %q holds a non-accel golden", key)
+	}
+	return g, hit, nil
+}
+
+// GoldenStats is a point-in-time view of the cache.
+type GoldenStats struct {
+	Entries   int    `json:"entries"`
+	Max       int    `json:"max"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *GoldenLRU) Stats() GoldenStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return GoldenStats{
+		Entries:   c.ll.Len(),
+		Max:       c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"marvel/internal/classify"
+	"marvel/internal/obs"
+	"marvel/internal/sweep"
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateRejected = "rejected"
+)
+
+// Job is one accepted submission and everything the service knows about
+// it. Fields are guarded by mu except the log (internally synchronized)
+// and the progress counter (atomic).
+type Job struct {
+	ID  string
+	Req Request
+
+	log        *eventLog
+	faultsDone atomic.Int64
+	total      int64
+
+	mu        sync.Mutex
+	state     string
+	err       string
+	cells     []sweep.CellReport
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	seq       int // submission order, for stable listing
+}
+
+// Status is the job's wire representation.
+type Status struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+
+	FaultsDone  int64 `json:"faultsDone"`
+	TotalFaults int64 `json:"totalFaults"`
+
+	// Cells carries the per-cell reports — including verdict-stream
+	// digests — once the job is done.
+	Cells []sweep.CellReport `json:"cells,omitempty"`
+
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:          j.ID,
+		Kind:        j.Req.Kind,
+		State:       j.state,
+		Error:       j.err,
+		FaultsDone:  j.faultsDone.Load(),
+		TotalFaults: j.total,
+		Cells:       j.cells,
+		Submitted:   j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	return s
+}
+
+// Terminal reports whether the job has reached a final state.
+func (s Status) Terminal() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateRejected
+}
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of jobs executed concurrently; <= 0 selects 2.
+	Workers int
+	// QueueDepth bounds jobs waiting behind the running ones; a full
+	// queue rejects submissions with ErrQueueFull (HTTP 429). <= 0
+	// selects 16.
+	QueueDepth int
+	// GoldenEntries bounds the shared golden LRU; <= 0 selects
+	// DefaultGoldenEntries.
+	GoldenEntries int
+	// JobRegistries, when non-nil, receives one obs.Registry per job
+	// (keyed by job ID) wired into the debug endpoint's /metrics/jobs.
+	JobRegistries *obs.RegistrySet
+	// CampaignWorkers bounds simulation parallelism inside each job;
+	// 0 = GOMAXPROCS (shared budget semantics are per job, not global).
+	CampaignWorkers int
+
+	// runner replaces sweep.Run in tests that need a job to block or
+	// fail on cue; nil selects the real orchestrator.
+	runner func(sweep.Spec) (*sweep.Result, error)
+}
+
+// Submission errors.
+var (
+	// ErrQueueFull maps to 429 + Retry-After.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining maps to 503: the daemon is shutting down.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Manager owns the job table, the bounded queue, the worker pool and the
+// shared golden cache.
+type Manager struct {
+	cfg     Config
+	goldens *GoldenLRU
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    int
+	queue    chan *Job
+	draining bool
+	wg       sync.WaitGroup
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64 // queued jobs rejected by drain
+	throttled atomic.Uint64 // submissions bounced off the full queue
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.runner == nil {
+		cfg.runner = sweep.Run
+	}
+	m := &Manager{
+		cfg:     cfg,
+		goldens: NewGoldenLRU(cfg.GoldenEntries),
+		jobs:    map[string]*Job{},
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Goldens exposes the shared cache (stats endpoint, tests).
+func (m *Manager) Goldens() *GoldenLRU { return m.goldens }
+
+// Submit validates and enqueues a job. Submitting a spec that maps to an
+// existing job (queued, running or finished) is idempotent: the existing
+// job is returned with existing == true and nothing is enqueued.
+func (m *Manager) Submit(req Request) (job *Job, existing bool, err error) {
+	if err := req.Validate(); err != nil {
+		return nil, false, err
+	}
+	id := req.ID()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		return j, true, nil
+	}
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	j := &Job{
+		ID:        id,
+		Req:       req,
+		log:       newEventLog(),
+		total:     req.TotalFaults(),
+		state:     StateQueued,
+		submitted: time.Now(),
+		seq:       m.order,
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.throttled.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	m.order++
+	m.jobs[id] = j
+	m.submitted.Add(1)
+	j.log.append(Event{Type: EventQueued, Job: id})
+	return j, false, nil
+}
+
+// Get returns the job by ID, or nil.
+func (m *Manager) Get(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// Jobs lists every known job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out
+}
+
+// Stats is the service-level counter snapshot.
+type Stats struct {
+	Submitted uint64      `json:"submitted"`
+	Completed uint64      `json:"completed"`
+	Failed    uint64      `json:"failed"`
+	Rejected  uint64      `json:"rejected"`
+	Throttled uint64      `json:"throttled"`
+	Queued    int         `json:"queued"`
+	Draining  bool        `json:"draining"`
+	Goldens   GoldenStats `json:"goldens"`
+}
+
+// Stats snapshots the service counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	draining := m.draining
+	queued := len(m.queue)
+	m.mu.Unlock()
+	return Stats{
+		Submitted: m.submitted.Load(),
+		Completed: m.completed.Load(),
+		Failed:    m.failed.Load(),
+		Rejected:  m.rejected.Load(),
+		Throttled: m.throttled.Load(),
+		Queued:    queued,
+		Draining:  draining,
+		Goldens:   m.goldens.Stats(),
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain is the SIGTERM path: stop accepting submissions, reject every
+// job still waiting in the queue, let in-flight jobs finish, and return
+// when the pool is idle. Safe to call once.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.draining = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		if m.Draining() {
+			m.reject(j)
+			continue
+		}
+		m.run(j)
+	}
+}
+
+func (m *Manager) reject(j *Job) {
+	j.mu.Lock()
+	j.state = StateRejected
+	j.err = "server draining"
+	j.finished = time.Now()
+	j.mu.Unlock()
+	m.rejected.Add(1)
+	j.log.closeWith(Event{Type: EventRejected, Job: j.ID, Error: "server draining"})
+}
+
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.log.append(Event{Type: EventStarted, Job: j.ID})
+
+	spec := j.Req.grid()
+	spec.Goldens = m.goldens
+	if spec.Workers == 0 {
+		spec.Workers = m.cfg.CampaignWorkers
+	}
+	if m.cfg.JobRegistries != nil {
+		spec.Metrics = m.cfg.JobRegistries.Get(j.ID)
+	}
+	spec.OnVerdict = func(cell sweep.Cell, index int, v classify.Verdict) {
+		j.faultsDone.Add(1)
+		j.log.append(Event{
+			Type:       EventVerdict,
+			Cell:       cell.Key(),
+			Index:      index,
+			Outcome:    v.Outcome.String(),
+			EarlyStop:  v.EarlyStop,
+			HVFCorrupt: v.HVFCorrupt,
+		})
+	}
+
+	res, err := m.cfg.runner(spec)
+	if err != nil {
+		j.mu.Lock()
+		j.state = StateFailed
+		j.err = err.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		m.failed.Add(1)
+		j.log.closeWith(Event{Type: EventFailed, Job: j.ID, Error: err.Error()})
+		return
+	}
+	for i := range res.Cells {
+		rep := res.Cells[i]
+		j.log.append(Event{Type: EventCell, Job: j.ID, Cell: rep.Key, Report: &rep})
+	}
+	j.mu.Lock()
+	j.state = StateDone
+	j.cells = res.Cells
+	j.finished = time.Now()
+	j.mu.Unlock()
+	m.completed.Add(1)
+	j.log.closeWith(Event{Type: EventDone, Job: j.ID})
+}
+
+// retryAfter suggests how long a throttled client should back off: one
+// slot's worth of the queue ahead of it, floored at a second.
+func (m *Manager) retryAfter() time.Duration {
+	m.mu.Lock()
+	queued := len(m.queue)
+	m.mu.Unlock()
+	d := time.Duration(queued+1) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"marvel/internal/sweep"
+)
+
+// Event is one line of a job's stream. Lifecycle events bracket the run
+// ("queued", "started", then "done", "failed" or "rejected"); between
+// them every classified fault emits a "verdict" event and every finished
+// grid cell a "cell" event carrying the persisted report — including its
+// verdict-stream digest, which is what the differential suite compares
+// against offline runs.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	Job  string `json:"job,omitempty"`
+
+	// Verdict events.
+	Cell       string `json:"cell,omitempty"`
+	Index      int    `json:"index,omitempty"`
+	Outcome    string `json:"outcome,omitempty"`
+	EarlyStop  bool   `json:"earlyStop,omitempty"`
+	HVFCorrupt bool   `json:"hvfCorrupt,omitempty"`
+
+	// Cell events.
+	Report *sweep.CellReport `json:"report,omitempty"`
+
+	// Terminal events.
+	Error string `json:"error,omitempty"`
+}
+
+// Event types.
+const (
+	EventQueued   = "queued"
+	EventStarted  = "started"
+	EventVerdict  = "verdict"
+	EventCell     = "cell"
+	EventDone     = "done"
+	EventFailed   = "failed"
+	EventRejected = "rejected"
+)
+
+// eventLog is a job's append-only event sequence. Appends come from
+// concurrent campaign workers; readers replay from any sequence number
+// and block for more until the log closes (terminal event). The wake
+// channel is swapped on every append — closing the old one releases all
+// waiting readers at once without tracking them.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+	wake   chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// append stamps the event's sequence number and wakes readers. Appending
+// to a closed log is a no-op (a straggling callback after a failure).
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	e.Seq = len(l.events)
+	l.events = append(l.events, e)
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// closeWith appends a terminal event and closes the log.
+func (l *eventLog) closeWith(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	e.Seq = len(l.events)
+	l.events = append(l.events, e)
+	l.closed = true
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// next returns events from seq on. When none are pending it blocks until
+// an append, close, or ctx cancellation; done reports the log closed and
+// fully drained.
+func (l *eventLog) next(ctx context.Context, seq int) (batch []Event, done bool) {
+	for {
+		l.mu.Lock()
+		if seq < len(l.events) {
+			batch = append([]Event(nil), l.events[seq:]...)
+			l.mu.Unlock()
+			return batch, false
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return nil, true
+		}
+		wake := l.wake
+		l.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, true
+		}
+	}
+}
+
+// snapshot returns every event so far (for tests and non-streaming use).
+func (l *eventLog) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// serveStream writes the job's events from seq `from` as JSONL (one JSON
+// object per line) or SSE ("data:" frames) until the log closes or the
+// client goes away. Both framings flush per event, so watchers see
+// verdicts live.
+func serveStream(w http.ResponseWriter, r *http.Request, l *eventLog, from int, sse bool) {
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	seq := from
+	for {
+		batch, done := l.next(r.Context(), seq)
+		for _, e := range batch {
+			if sse {
+				if _, err := fmt.Fprint(w, "data: "); err != nil {
+					return
+				}
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			if sse {
+				if _, err := fmt.Fprint(w, "\n"); err != nil {
+					return
+				}
+			}
+		}
+		if flusher != nil && len(batch) > 0 {
+			flusher.Flush()
+		}
+		seq += len(batch)
+		if done {
+			return
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sweep
+
+// The golden cache seam. The expensive shared prefix of every cell — the
+// compiled program image plus the fault-free golden run (CPU), or the
+// golden task execution plus the pristine fork base (accelerator) — is
+// memoized behind the GoldenCache interface. A single Run uses a cache
+// that lives for that sweep; the campaign service (internal/server)
+// plugs in a size-bounded LRU shared by every job it executes. Either
+// way the injection phase consumes the golden through the same
+// campaign.RunWithGolden / accel.RunCampaignWithGolden split, so where
+// a golden came from is bit-invisible in the verdict stream.
+
+import (
+	"fmt"
+	"sync"
+
+	"marvel/internal/accel"
+	"marvel/internal/campaign"
+	"marvel/internal/config"
+	"marvel/internal/isa"
+	"marvel/internal/machsuite"
+	"marvel/internal/program"
+	"marvel/internal/workloads"
+)
+
+// CPUGolden bundles the shareable prefix of a CPU cell. Immutable after
+// construction; safe for concurrent use by any number of campaigns.
+type CPUGolden struct {
+	Image  *program.Image
+	Golden *campaign.Golden
+}
+
+// AccelGolden bundles the shareable prefix of an accelerator cell.
+type AccelGolden struct {
+	Spec   machsuite.Spec
+	Golden *accel.CampaignGolden
+}
+
+// GoldenCache memoizes prepared goldens by key. Implementations must be
+// safe for concurrent use, must invoke build at most once per key even
+// under concurrent lookups, and must return entries that stay valid for
+// the caller even if the key is evicted afterwards (goldens are
+// immutable, so eviction only drops the cache's reference). hit reports
+// whether the entry existed before this call.
+type GoldenCache interface {
+	CPUGolden(key string, build func() (*CPUGolden, error)) (g *CPUGolden, hit bool, err error)
+	AccelGolden(key string, build func() (*AccelGolden, error)) (g *AccelGolden, hit bool, err error)
+}
+
+// CPUGoldenKey identifies one shareable CPU golden phase: everything
+// campaign.PrepareGolden reads (workload image and hardware preset,
+// including a PhysRegs override) and nothing the injection phase varies.
+func CPUGoldenKey(isaName, workload string, pre config.Preset) string {
+	return fmt.Sprintf("cpu/%s/%s/%s/%d", isaName, workload, pre.Name, pre.CPU.NumPhysRegs)
+}
+
+// AccelGoldenKey identifies one shareable accelerator golden phase.
+func AccelGoldenKey(design string) string { return "accel/" + design }
+
+// BuildCPUGolden compiles the workload for the ISA and executes the
+// fault-free golden phase.
+func BuildCPUGolden(isaName, workload string, pre config.Preset) (*CPUGolden, error) {
+	a, err := isa.ByName(isaName)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	img, err := program.Compile(a, ws.Build())
+	if err != nil {
+		return nil, err
+	}
+	golden, err := campaign.PrepareGolden(campaign.Config{Image: img, Preset: pre})
+	if err != nil {
+		return nil, err
+	}
+	return &CPUGolden{Image: img, Golden: golden}, nil
+}
+
+// BuildAccelGolden executes the fault-free accelerator task and builds
+// the pristine fork base.
+func BuildAccelGolden(design string) (*AccelGolden, error) {
+	spec, err := machsuite.ByName(design)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := accel.PrepareGolden(spec.Design, spec.Task)
+	if err != nil {
+		return nil, err
+	}
+	return &AccelGolden{Spec: spec, Golden: golden}, nil
+}
+
+// runCache is the default GoldenCache: unbounded, scoped to one Run.
+// Each entry builds under its own once, so concurrent cells that share a
+// key synchronize on the entry, never on the maps.
+type runCache struct {
+	mu    sync.Mutex
+	cpu   map[string]*cacheEntry[*CPUGolden]
+	accel map[string]*cacheEntry[*AccelGolden]
+}
+
+type cacheEntry[T any] struct {
+	once sync.Once
+	uses int
+	val  T
+	err  error
+}
+
+// NewRunCache returns the per-sweep GoldenCache Run uses when
+// Spec.Goldens is nil.
+func NewRunCache() GoldenCache {
+	return &runCache{
+		cpu:   map[string]*cacheEntry[*CPUGolden]{},
+		accel: map[string]*cacheEntry[*AccelGolden]{},
+	}
+}
+
+func lookup[T any](mu *sync.Mutex, m map[string]*cacheEntry[T], key string, build func() (T, error)) (T, bool, error) {
+	mu.Lock()
+	e := m[key]
+	if e == nil {
+		e = &cacheEntry[T]{}
+		m[key] = e
+	}
+	// Every use past the first is a cache hit: once.Do builds the golden
+	// exactly once, later callers (even concurrent ones that block inside
+	// Do while it builds) reuse it.
+	e.uses++
+	hit := e.uses > 1
+	mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, hit, e.err
+}
+
+func (c *runCache) CPUGolden(key string, build func() (*CPUGolden, error)) (*CPUGolden, bool, error) {
+	return lookup(&c.mu, c.cpu, key, build)
+}
+
+func (c *runCache) AccelGolden(key string, build func() (*AccelGolden, error)) (*AccelGolden, bool, error) {
+	return lookup(&c.mu, c.accel, key, build)
+}

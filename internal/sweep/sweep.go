@@ -23,17 +23,16 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"marvel/internal/accel"
 	"marvel/internal/campaign"
+	"marvel/internal/classify"
 	"marvel/internal/config"
 	"marvel/internal/core"
 	"marvel/internal/isa"
 	"marvel/internal/machsuite"
 	"marvel/internal/obs"
-	"marvel/internal/program"
 	"marvel/internal/workloads"
 )
 
@@ -90,6 +89,20 @@ type Spec struct {
 	// start/finish and on every classified fault; it must be fast and
 	// must not block.
 	OnProgress func(Snapshot)
+
+	// OnVerdict, when non-nil, observes every classified fault of every
+	// executed cell together with the cell it belongs to and its mask
+	// index (the campaign service streams these to watchers). It is
+	// called concurrently from campaign workers and must be safe for
+	// that; it must not block. Cells restored from the resume journal do
+	// not replay verdicts.
+	OnVerdict func(cell Cell, index int, v classify.Verdict)
+
+	// Goldens, when non-nil, replaces the sweep's per-run golden memo
+	// with an external cache, letting several sweeps (the campaign
+	// service's jobs) share prepared goldens. A nil Goldens keeps the
+	// default: a cache that lives and dies with this Run call.
+	Goldens GoldenCache
 
 	// Metrics, when non-nil, receives live counter updates (verdict mix,
 	// fork reuse, golden-cache hits, per-cell latency) as the sweep runs —
@@ -324,11 +337,6 @@ func SplitTarget(tgt string) ([]string, error) {
 	return parts, nil
 }
 
-// goldenKey identifies one shareable golden phase.
-func cpuGoldenKey(isaName, workload string, pre config.Preset) string {
-	return fmt.Sprintf("cpu/%s/%s/%s/%d", isaName, workload, pre.Name, pre.CPU.NumPhysRegs)
-}
-
 // presetByName resolves Spec.Preset.
 func presetByName(name string) (config.Preset, error) {
 	switch name {
@@ -338,25 +346,6 @@ func presetByName(name string) (config.Preset, error) {
 		return config.Fast(), nil
 	}
 	return config.Preset{}, fmt.Errorf("sweep: unknown preset %q (known: table2, fast)", name)
-}
-
-// cpuGoldenEntry is one golden-cache slot: the compiled image plus the
-// prepared campaign golden, built at most once. uses counts the cells
-// that drew on the slot; every use past the first is a cache hit.
-type cpuGoldenEntry struct {
-	once   sync.Once
-	uses   atomic.Uint32
-	img    *program.Image
-	golden *campaign.Golden
-	err    error
-}
-
-type accelGoldenEntry struct {
-	once   sync.Once
-	uses   atomic.Uint32
-	spec   machsuite.Spec
-	golden *accel.CampaignGolden
-	err    error
 }
 
 // Run plans and executes the sweep.
@@ -398,8 +387,6 @@ func Run(spec Spec) (*Result, error) {
 	res := &Result{Cells: make([]CellReport, len(cells))}
 	res.Counters.CellsPlanned = len(cells)
 
-	cpuCache := map[string]*cpuGoldenEntry{}
-	accelCache := map[string]*accelGoldenEntry{}
 	pre, err := presetByName(spec.Preset)
 	if err != nil {
 		return nil, err
@@ -407,20 +394,9 @@ func Run(spec Spec) (*Result, error) {
 	if spec.PhysRegs > 0 {
 		pre = pre.WithPhysRegs(spec.PhysRegs)
 	}
-	// Pre-create every cache slot so workers only synchronize on each
-	// entry's once, never on the maps.
-	for _, c := range cells {
-		switch c.Kind {
-		case KindCPU:
-			k := cpuGoldenKey(c.ISA, c.Workload, pre)
-			if cpuCache[k] == nil {
-				cpuCache[k] = &cpuGoldenEntry{}
-			}
-		case KindAccel:
-			if accelCache[c.Design] == nil {
-				accelCache[c.Design] = &accelGoldenEntry{}
-			}
-		}
+	goldens := spec.Goldens
+	if goldens == nil {
+		goldens = NewRunCache()
 	}
 
 	var mu sync.Mutex // guards res.Counters and the journal
@@ -449,7 +425,7 @@ func Run(spec Spec) (*Result, error) {
 					continue // drain the queue after a failure
 				}
 				tr.cellStarted(key)
-				rep, hit, forks, reuses, err := runCell(spec, pre, cell, perCell, cpuCache, accelCache, tr)
+				rep, hit, forks, reuses, err := runCell(spec, pre, cell, perCell, goldens, tr)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -510,36 +486,24 @@ func Run(spec Spec) (*Result, error) {
 // runCell executes one cell, preparing (or reusing) its golden phase.
 // hit reports whether the golden came from the cache.
 func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
-	cpuCache map[string]*cpuGoldenEntry, accelCache map[string]*accelGoldenEntry,
-	tr *tracker) (rep *CellReport, hit bool, forks, reuses uint64, err error) {
+	goldens GoldenCache, tr *tracker) (rep *CellReport, hit bool, forks, reuses uint64, err error) {
 
 	t0 := time.Now()
+	onVerdict := tr.onVerdict
+	if spec.OnVerdict != nil {
+		cb, c := spec.OnVerdict, cell
+		onVerdict = func(i int, v classify.Verdict) {
+			tr.onVerdict(i, v)
+			cb(c, i, v)
+		}
+	}
 	switch cell.Kind {
 	case KindCPU:
-		entry := cpuCache[cpuGoldenKey(cell.ISA, cell.Workload, pre)]
-		// Every use past the first is a cache hit: once.Do builds the
-		// golden exactly once, later callers (even concurrent ones that
-		// block inside Do while it builds) reuse it.
-		hit = entry.uses.Add(1) > 1
-		entry.once.Do(func() {
-			var a isa.Arch
-			a, entry.err = isa.ByName(cell.ISA)
-			if entry.err != nil {
-				return
-			}
-			var ws workloads.Spec
-			ws, entry.err = workloads.ByName(cell.Workload)
-			if entry.err != nil {
-				return
-			}
-			entry.img, entry.err = program.Compile(a, ws.Build())
-			if entry.err != nil {
-				return
-			}
-			entry.golden, entry.err = campaign.PrepareGolden(campaign.Config{Image: entry.img, Preset: pre})
+		g, hit, err := goldens.CPUGolden(CPUGoldenKey(cell.ISA, cell.Workload, pre), func() (*CPUGolden, error) {
+			return BuildCPUGolden(cell.ISA, cell.Workload, pre)
 		})
-		if entry.err != nil {
-			return nil, false, 0, 0, entry.err
+		if err != nil {
+			return nil, false, 0, 0, err
 		}
 		model, _ := core.ModelByName(cell.Model)
 		targets, err := SplitTarget(cell.Target)
@@ -547,7 +511,7 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			return nil, false, 0, 0, err
 		}
 		cfg := campaign.Config{
-			Image:            entry.img,
+			Image:            g.Image,
 			Preset:           pre,
 			Model:            model,
 			Faults:           spec.Faults,
@@ -557,7 +521,7 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			HVF:              spec.HVF,
 			EarlyTermination: spec.EarlyTermination,
 			WatchdogFactor:   spec.WatchdogFactor,
-			OnVerdict:        tr.onVerdict,
+			OnVerdict:        onVerdict,
 		}
 		if spec.ValidOnly {
 			cfg.Domain = core.DomainValidOnly
@@ -567,7 +531,7 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 		} else {
 			cfg.Target = targets[0]
 		}
-		cres, err := campaign.RunWithGolden(cfg, entry.golden)
+		cres, err := campaign.RunWithGolden(cfg, g.Golden)
 		if err != nil {
 			return nil, false, 0, 0, err
 		}
@@ -576,30 +540,24 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 		return &r, hit, cres.Forking.Forks, cres.Forking.ReuseHits, nil
 
 	case KindAccel:
-		entry := accelCache[cell.Design]
-		hit = entry.uses.Add(1) > 1
-		entry.once.Do(func() {
-			entry.spec, entry.err = machsuite.ByName(cell.Design)
-			if entry.err != nil {
-				return
-			}
-			entry.golden, entry.err = accel.PrepareGolden(entry.spec.Design, entry.spec.Task)
+		g, hit, err := goldens.AccelGolden(AccelGoldenKey(cell.Design), func() (*AccelGolden, error) {
+			return BuildAccelGolden(cell.Design)
 		})
-		if entry.err != nil {
-			return nil, false, 0, 0, entry.err
+		if err != nil {
+			return nil, false, 0, 0, err
 		}
 		model, _ := core.ModelByName(cell.Model)
 		ares, err := accel.RunCampaignWithGolden(accel.CampaignConfig{
-			Design:         entry.spec.Design,
-			Task:           entry.spec.Task,
+			Design:         g.Spec.Design,
+			Task:           g.Spec.Task,
 			Target:         cell.Component,
 			Model:          model,
 			Faults:         spec.Faults,
 			Seed:           spec.Seed,
 			WatchdogFactor: spec.WatchdogFactor,
 			Workers:        workers,
-			OnVerdict:      tr.onVerdict,
-		}, entry.golden)
+			OnVerdict:      onVerdict,
+		}, g.Golden)
 		if err != nil {
 			return nil, false, 0, 0, err
 		}

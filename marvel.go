@@ -148,8 +148,34 @@ type CampaignOptions struct {
 	Preset string
 	// Metrics, when non-nil, receives live verdict-mix and fork counters
 	// as the campaign runs (the registry behind the CLI's -debug-addr
-	// endpoint).
-	Metrics *obs.Registry
+	// endpoint). Never serialized: a campaign submitted to the job
+	// service gets a per-job registry from the server instead.
+	Metrics *obs.Registry `json:"-"`
+}
+
+// Validate resolves every name in the options without running anything:
+// the CLI fails fast with a usage error and the campaign service rejects
+// a bad submission with 400 before it ever reaches the queue.
+func (o CampaignOptions) Validate() error {
+	if _, err := isa.ByName(o.ISA); err != nil {
+		return err
+	}
+	if _, err := workloads.ByName(o.Workload); err != nil {
+		return err
+	}
+	if _, err := o.Model.internal(); err != nil {
+		return err
+	}
+	if _, err := presetFor(o.Preset, o.PhysRegs); err != nil {
+		return err
+	}
+	if _, err := sweep.SplitTarget(o.Target); err != nil {
+		return err
+	}
+	if o.Faults <= 0 {
+		return fmt.Errorf("marvel: fault count must be positive, got %d", o.Faults)
+	}
+	return nil
 }
 
 // Report is the outcome of a CPU campaign.
@@ -295,8 +321,33 @@ type AccelOptions struct {
 	LegacyRebuild bool
 	// Metrics, when non-nil, receives live verdict-mix and fork counters
 	// as the campaign runs (the registry behind the CLI's -debug-addr
-	// endpoint).
-	Metrics *obs.Registry
+	// endpoint). Never serialized; see CampaignOptions.Metrics.
+	Metrics *obs.Registry `json:"-"`
+}
+
+// Validate resolves every name in the options without running anything.
+func (o AccelOptions) Validate() error {
+	spec, err := machsuite.ByName(o.Design)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, c := range spec.Targets {
+		if c.Name == o.Component {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("marvel: design %q has no component %q", o.Design, o.Component)
+	}
+	if _, err := o.Model.internal(); err != nil {
+		return err
+	}
+	if o.Faults <= 0 {
+		return fmt.Errorf("marvel: fault count must be positive, got %d", o.Faults)
+	}
+	return nil
 }
 
 // AccelReport is the outcome of an accelerator campaign.
@@ -430,14 +481,44 @@ type SweepOptions struct {
 
 	// OnProgress, when non-nil, observes live counters; it is called
 	// serialized on cell start/finish and every classified fault, and
-	// must not block.
-	OnProgress func(SweepProgress)
+	// must not block. Never serialized.
+	OnProgress func(SweepProgress) `json:"-"`
 
 	// Metrics, when non-nil, receives live counter updates (verdict mix,
 	// fork reuse, golden-cache hits, per-cell latency) as the sweep runs —
 	// the registry behind the CLI's -debug-addr endpoint and the
-	// -progress-jsonl writer.
-	Metrics *obs.Registry
+	// -progress-jsonl writer. Never serialized.
+	Metrics *obs.Registry `json:"-"`
+}
+
+// Validate plans the sweep grid without running it, resolving every ISA,
+// workload, target, design, component and model name.
+func (o SweepOptions) Validate() error {
+	if _, err := presetFor(o.Preset, o.PhysRegs); err != nil {
+		return err
+	}
+	if o.Faults <= 0 {
+		return fmt.Errorf("marvel: fault count must be positive, got %d", o.Faults)
+	}
+	models := make([]string, len(o.Models))
+	for i, m := range o.Models {
+		if _, err := m.internal(); err != nil {
+			return err
+		}
+		if m == "" {
+			m = Transient
+		}
+		models[i] = string(m)
+	}
+	_, err := sweep.Plan(sweep.Spec{
+		ISAs:       o.ISAs,
+		Workloads:  o.Workloads,
+		Targets:    o.Targets,
+		Designs:    o.Designs,
+		Components: o.Components,
+		Models:     models,
+	})
+	return err
 }
 
 // SweepProgress is a point-in-time view of a running sweep.

@@ -11,6 +11,11 @@
 #   5. bench guard: the forking ablations and tracing-overhead benches
 #      compile and run
 #   6. explain smoke test: the CLI narrates a known-SDC fault end to end
+#   7. server race job: the campaign service's worker pool, golden LRU,
+#      event streams and drain under the race detector, with served-vs-
+#      offline digest differentials
+#   8. fuzz smoke: 30s per fuzz target over the checked-in corpora
+#   9. coverage gate: internal/server must stay >= 80% covered
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -79,5 +84,30 @@ grep -q 'verdict: sdc' "$tmp" || {
 	cat "$tmp" >&2
 	exit 1
 }
+
+echo "== race: campaign service (worker pool, golden LRU, drain) =="
+go test -race ./internal/server
+
+# Guard: the served-vs-offline differentials must exist and pass — the
+# service's bit-identity claim rests on them.
+for t in TestServedCampaignDifferential TestConcurrentJobsDifferential; do
+	go test -run "^${t}\$" -v ./internal/server | grep -q -- "--- PASS: ${t}" || {
+		echo "verify: server differential guard: ${t} did not run/pass" >&2
+		exit 1
+	}
+done
+
+echo "== fuzz smoke: 30s per target =="
+go test -run '^$' -fuzz '^FuzzISARoundTrip$' -fuzztime=30s ./internal/isa
+go test -run '^$' -fuzz '^FuzzConfigParse$' -fuzztime=30s ./internal/config
+
+echo "== coverage gate: internal/server >= 80% =="
+cov="$(go test -cover ./internal/server | awk '{for (i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%$/) print substr($i, 1, length($i)-1)}')"
+[ -n "$cov" ] || { echo "verify: coverage gate: no coverage figure for internal/server" >&2; exit 1; }
+awk -v c="$cov" 'BEGIN { exit (c >= 80.0) ? 0 : 1 }' || {
+	echo "verify: coverage gate: internal/server at ${cov}%, need >= 80%" >&2
+	exit 1
+}
+echo "internal/server coverage: ${cov}%"
 
 echo "verify: OK"
