@@ -133,6 +133,7 @@ func cmdCampaign(args []string) error {
 	physRegs := fs.Int("physregs", 0, "override physical register count (0 = 128)")
 	workers := fs.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS); results are worker-count invariant")
 	legacyClone := fs.Bool("legacyclone", false, "deep-clone the checkpoint per run instead of CoW forking (A/B baseline)")
+	ladder := fs.Int("ladder", 0, "checkpoint-ladder rungs inside the injection window (0 = single checkpoint); results are bit-identical for every value")
 	preset := fs.String("preset", "table2", "CPU hardware preset: table2, fast")
 	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the campaign runs (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -154,6 +155,7 @@ func cmdCampaign(args []string) error {
 		Preset:           *preset,
 		Workers:          *workers,
 		LegacyClone:      *legacyClone,
+		LadderRungs:      *ladder,
 	}
 	if err := opts.Validate(); err != nil {
 		return usageError{err}
@@ -186,6 +188,10 @@ func cmdCampaign(args []string) error {
 	}
 	fmt.Printf("forking: %s, %d forks, %d reuses, %d pages copied, %d cache sets restored\n",
 		strategy, rep.Forks, rep.ForkReuses, rep.PagesCopied, rep.SetsRestored)
+	if rep.Rungs > 0 {
+		fmt.Printf("ladder: %d rungs, %d rung hits, %d cycles replayed pre-injection\n",
+			rep.Rungs, rep.RungHits, rep.ReplayedCycles)
+	}
 	return nil
 }
 
@@ -230,6 +236,7 @@ func cmdSweep(args []string) error {
 	watchdog := fs.Float64("watchdog", 0, "watchdog factor × golden cycles (0 = engine default)")
 	physRegs := fs.Int("physregs", 0, "override physical register count (0 = 128)")
 	preset := fs.String("preset", "table2", "CPU hardware preset: table2, fast")
+	ladder := fs.Int("ladder", 0, "checkpoint-ladder rungs per cell (0 = single checkpoint); results are bit-identical for every value")
 	workers := fs.Int("workers", 0, "global worker budget across cells (0 = GOMAXPROCS); results are worker-count invariant")
 	cellPar := fs.Int("cellpar", 0, "concurrent cells (0 = up to 3)")
 	out := fs.String("out", "", "persist + resume directory (manifest.json, cells.jsonl)")
@@ -258,6 +265,7 @@ func cmdSweep(args []string) error {
 		WatchdogFactor:   *watchdog,
 		PhysRegs:         *physRegs,
 		Preset:           *preset,
+		LadderRungs:      *ladder,
 		Workers:          *workers,
 		CellParallel:     *cellPar,
 		OutDir:           *out,
@@ -350,6 +358,10 @@ func cmdSweep(args []string) error {
 		res.Counters.GoldenRuns, res.Counters.GoldenHits,
 		res.Counters.FaultsDone, res.Counters.EarlyStops,
 		res.Counters.Forks, res.Counters.ForkReuses)
+	if res.Counters.RungHits > 0 {
+		fmt.Printf("ladder: %d rung hits, %d cycles replayed pre-injection\n",
+			res.Counters.RungHits, res.Counters.ReplayedCycles)
+	}
 	fmt.Printf("%-42s %7s %8s %8s %8s %8s\n", "cell", "faults", "AVF", "SDC", "Crash", "HVF")
 	for _, c := range res.Cells {
 		hvf := "-"
@@ -473,6 +485,7 @@ func cmdAccel(args []string) error {
 	mults := fs.Int("gemm-multipliers", 0, "gemm datapath multipliers (DSE)")
 	workers := fs.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS); results are worker-count invariant")
 	legacyRebuild := fs.Bool("legacyrebuild", false, "rebuild the harness per fault instead of fork/reset reuse (A/B baseline)")
+	ladder := fs.Int("ladder", 0, "checkpoint-ladder rungs inside the injection window (0 = single checkpoint); results are bit-identical for every value")
 	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the campaign runs (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -486,6 +499,7 @@ func cmdAccel(args []string) error {
 		GemmMultipliers: *mults,
 		Workers:         *workers,
 		LegacyRebuild:   *legacyRebuild,
+		LadderRungs:     *ladder,
 	}
 	if err := opts.Validate(); err != nil {
 		return usageError{err}
@@ -515,6 +529,10 @@ func cmdAccel(args []string) error {
 	}
 	fmt.Printf("forking: %s, %d forks, %d reuses, %d pages copied\n",
 		strategy, rep.Forks, rep.ForkReuses, rep.PagesCopied)
+	if rep.Rungs > 0 {
+		fmt.Printf("ladder: %d rungs, %d rung hits, %d cycles replayed pre-injection\n",
+			rep.Rungs, rep.RungHits, rep.ReplayedCycles)
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -41,6 +42,17 @@ type CampaignConfig struct {
 	// which is equivalent bit for bit and much cheaper per fault. Kept for
 	// A/B comparison.
 	LegacyRebuild bool
+	// LadderRungs selects the checkpoint ladder: besides the pristine
+	// not-yet-started harness, the fault-free task is snapshotted mid-run
+	// at LadderRungs evenly spaced cycles inside the injection window, and
+	// every transient run forks from the latest rung strictly before its
+	// injection cycle, replaying only the residual prefix. 0 keeps the
+	// single pristine checkpoint. Verdicts are bit-identical for every
+	// value (flips apply inside Tick, so rungs stop strictly before the
+	// injection cycle); permanent faults always use the pristine base —
+	// stuck-at bits must corrupt DMA-in too — and LegacyRebuild, which
+	// rebuilds from scratch, ignores the ladder.
+	LadderRungs int
 	// OnVerdict, when non-nil, observes every classified fault as it
 	// completes (sweep progress reporting). It may be called concurrently
 	// from several workers; the index is the fault index. It must not
@@ -65,6 +77,64 @@ type CampaignGolden struct {
 	Output []byte
 
 	base *Standalone
+
+	// Checkpoint ladders, built lazily and memoized per (rungs, window)
+	// pair — the injection window varies with WindowOverride and rung
+	// placement follows it. Guarded by mu; rung snapshots are frozen once
+	// built and shared read-only by forks.
+	mu      sync.Mutex
+	ladders map[ladderKey][]accelRung
+}
+
+type ladderKey struct {
+	k      int
+	window uint64
+}
+
+// accelRung is one ladder checkpoint: a frozen harness snapshot at a
+// cluster cycle inside the injection window (cycle 0 = the pristine
+// not-yet-started base).
+type accelRung struct {
+	sys   *Standalone
+	cycle uint64
+}
+
+// ladder returns the checkpoint ladder for k mid-window rungs over the
+// given injection window, building it on first use by replaying the
+// fault-free task once and snapshotting at evenly spaced cycles. The
+// replay stops at task completion: faults drawn past it (WindowOverride
+// beyond a fast design's duration) are architecturally masked and need no
+// deeper rung. Rung 0 is always the pristine base.
+func (g *CampaignGolden) ladder(k int, window uint64) []accelRung {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := ladderKey{k: k, window: window}
+	if rs, ok := g.ladders[key]; ok {
+		return rs
+	}
+	rungs := []accelRung{{sys: g.base, cycle: 0}}
+	if k > 0 {
+		walker := g.base.Fork()
+		walker.Cluster.Start()
+		for i := 1; i <= k; i++ {
+			target := uint64(i) * window / uint64(k+1)
+			if target <= rungs[len(rungs)-1].cycle {
+				continue
+			}
+			for !walker.Cluster.Done() && walker.Cluster.Cycle() < target {
+				walker.Cluster.Tick()
+			}
+			if walker.Cluster.Done() {
+				break
+			}
+			rungs = append(rungs, accelRung{sys: walker.snapshot(), cycle: walker.Cluster.Cycle()})
+		}
+	}
+	if g.ladders == nil {
+		g.ladders = map[ladderKey][]accelRung{}
+	}
+	g.ladders[key] = rungs
+	return rungs
 }
 
 // PrepareGolden executes the fault-free accelerator task once and builds
@@ -112,6 +182,16 @@ type ForkStats struct {
 	// PagesCopied is the number of host-memory pages materialized by
 	// copy-on-write across all workers.
 	PagesCopied uint64
+	// Rungs is the number of mid-window checkpoint rungs the campaign had
+	// available beyond the pristine base (0 when the ladder was off).
+	Rungs int
+	// RungHits counts faulty runs dispatched from a mid-window rung
+	// instead of the pristine base.
+	RungHits uint64
+	// ReplayedCycles totals the pre-injection cycles each transient run
+	// had to replay between its fork point and its injection cycle; the
+	// ladder exists to shrink this.
+	ReplayedCycles uint64
 }
 
 // CampaignResult aggregates one accelerator campaign.
@@ -160,6 +240,9 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 	if cfg.Faults <= 0 {
 		return nil, fmt.Errorf("accel: fault count must be positive, got %d", cfg.Faults)
 	}
+	if cfg.LadderRungs < 0 {
+		return nil, fmt.Errorf("accel: ladder rungs must be non-negative, got %d", cfg.LadderRungs)
+	}
 	if cfg.WatchdogFactor <= 1 {
 		cfg.WatchdogFactor = 4
 	}
@@ -198,6 +281,44 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 	}
 	res.Forking.Legacy = cfg.LegacyRebuild
 
+	// Derive the whole fault population up front: coordinates are a pure
+	// function of (Seed, index), so this costs a few splitmix64 draws per
+	// mask and lets the ladder sort dispatch order by injection cycle.
+	// [1, window+1) reproduces the historical "window w" population bit for
+	// bit (see core.DeriveFault).
+	faults := make([]core.Fault, cfg.Faults)
+	for i := range faults {
+		faults[i] = core.DeriveFault(cfg.Seed, i, cfg.Target, cfg.Model, gb.BitLen(), 1, window+1)
+	}
+
+	// Checkpoint ladder: transient runs fork from the deepest rung strictly
+	// before their injection cycle (flips apply inside Tick, so a rung at
+	// exactly the injection cycle would skip the application tick).
+	// Permanent models keep the pristine base — stuck-ats must corrupt
+	// DMA-in — and legacy rebuilds cannot start from a snapshot.
+	rungs := []accelRung{{sys: base, cycle: 0}}
+	if cfg.LadderRungs > 0 && !cfg.Model.Permanent() && !cfg.LegacyRebuild {
+		rungs = g.ladder(cfg.LadderRungs, window)
+	}
+	res.Forking.Rungs = len(rungs) - 1
+	rungOf := make([]int, cfg.Faults)
+	order := make([]int, cfg.Faults)
+	for i := range order {
+		order[i] = i
+	}
+	if len(rungs) > 1 {
+		for i, f := range faults {
+			for ri := 1; ri < len(rungs) && rungs[ri].cycle < f.Cycle; ri++ {
+				rungOf[i] = ri
+			}
+		}
+		// Group masks by rung so each worker forks once per rung it serves
+		// instead of thrashing between fork bases; stable within a rung to
+		// keep cache-friendly index order. Records are indexed by mask, so
+		// results stay schedule-independent.
+		sort.SliceStable(order, func(a, b int) bool { return rungOf[order[a]] < rungOf[order[b]] })
+	}
+
 	var statsMu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
@@ -207,12 +328,14 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 		go func() {
 			defer wg.Done()
 			var scratch *Standalone
-			var forks, reuses uint64
+			scratchRung := -1
+			var forks, reuses, rungHits, replayed uint64
 			var wErr error
 			for i := range work {
 				if wErr != nil {
 					continue // drain the queue after a setup failure
 				}
+				r := rungOf[i]
 				var s *Standalone
 				if cfg.LegacyRebuild {
 					s, wErr = NewStandalone(cfg.Design, cfg.Task)
@@ -220,8 +343,12 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 						continue
 					}
 					forks++
-				} else if scratch == nil {
-					scratch = base.Fork()
+				} else if scratch == nil || scratchRung != r {
+					if scratch != nil {
+						atomic.AddUint64(&res.Forking.PagesCopied, scratch.ForkPagesCopied())
+					}
+					scratch = rungs[r].sys.Fork()
+					scratchRung = r
 					s = scratch
 					forks++
 				} else {
@@ -229,7 +356,13 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 					s = scratch
 					reuses++
 				}
-				f := core.DeriveFault(cfg.Seed, i, cfg.Target, cfg.Model, gb.BitLen(), window)
+				f := faults[i]
+				if r > 0 {
+					rungHits++
+				}
+				if !f.Model.Permanent() && f.Cycle > rungs[r].cycle {
+					replayed += f.Cycle - rungs[r].cycle
+				}
 				res.Records[i] = Record{Fault: f, Verdict: runFaulty(s, bankIdx, f, budget, goldenOut, cfg.Trace)}
 				if cfg.OnVerdict != nil {
 					cfg.OnVerdict(i, res.Records[i].Verdict)
@@ -237,6 +370,8 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 			}
 			atomic.AddUint64(&res.Forking.Forks, forks)
 			atomic.AddUint64(&res.Forking.ReuseHits, reuses)
+			atomic.AddUint64(&res.Forking.RungHits, rungHits)
+			atomic.AddUint64(&res.Forking.ReplayedCycles, replayed)
 			if scratch != nil {
 				atomic.AddUint64(&res.Forking.PagesCopied, scratch.ForkPagesCopied())
 			}
@@ -249,7 +384,7 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 			}
 		}()
 	}
-	for i := 0; i < cfg.Faults; i++ {
+	for _, i := range order {
 		work <- i
 	}
 	close(work)
@@ -289,7 +424,11 @@ func runFaulty(s *Standalone, bankIdx int, f core.Fault, budget uint64, goldenOu
 			tr.Emit(obs.Event{Kind: obs.KindFaultArmed, Target: target, Bit: f.Bit, Detail: fmt.Sprintf("%s at cycle %d", f.Model, f.Cycle)})
 		}
 	}
-	s.Cluster.Start()
+	// A checkpoint-ladder restore resumes mid-task; Start would rewind the
+	// phase machine to DMA-in and replay from scratch.
+	if !s.Cluster.Started() {
+		s.Cluster.Start()
+	}
 	for !s.Cluster.Done() && s.Cluster.Cycle() < budget {
 		s.Cluster.Tick()
 	}

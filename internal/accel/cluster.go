@@ -215,6 +215,11 @@ func (c *Cluster) tracePhase() {
 // Done reports task completion.
 func (c *Cluster) Done() bool { return c.ph == phDone }
 
+// Started reports whether the task has been triggered: false only for a
+// pristine cluster still in the idle phase. Checkpoint-ladder restores
+// resume mid-task and must not re-Start (begin rewinds the phase machine).
+func (c *Cluster) Started() bool { return c.ph != phIdle }
+
 // Faulted returns the accelerator-side error (out-of-range access), which
 // the fault analysis classifies as a Crash.
 func (c *Cluster) Faulted() error { return c.fault }

@@ -60,7 +60,7 @@ func ExplainWithGolden(cfg CampaignConfig, g *CampaignGolden, index int) (*Expla
 	}
 	budget := uint64(float64(g.Cycles)*cfg.WatchdogFactor) + 5000
 
-	f := core.DeriveFault(cfg.Seed, index, cfg.Target, cfg.Model, gb.BitLen(), window)
+	f := core.DeriveFault(cfg.Seed, index, cfg.Target, cfg.Model, gb.BitLen(), 1, window+1)
 	sink := obs.NewRingSink(512)
 	s := g.base.Fork()
 	v := runFaulty(s, bankIdx, f, budget, g.Output, sink)

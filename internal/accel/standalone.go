@@ -74,6 +74,15 @@ func (s *Standalone) Fork() *Standalone {
 // Reset).
 func (s *Standalone) Forked() bool { return s.golden != nil }
 
+// snapshot freezes the harness's current state — possibly mid-task — into
+// an independent Standalone that can serve as a fork base (a checkpoint
+// ladder rung). The host memory is flattened into a deep copy and the
+// cluster is deep-copied, so the receiver may keep running afterwards.
+func (s *Standalone) snapshot() *Standalone {
+	h := s.Host.Clone()
+	return &Standalone{Host: h, Cluster: s.Cluster.Clone(MemHostPort{h}), task: s.task}
+}
+
 // Reset rolls a forked harness back to its golden snapshot, reusing the
 // fork's storage: dirty host-memory pages are dropped and the cluster is
 // restored in place, shedding the previous run's scheduled flips and

@@ -87,6 +87,19 @@ type Config struct {
 	// masks, which is equivalent bit for bit and an order of magnitude
 	// cheaper per fault. Kept for A/B comparison.
 	LegacyClone bool
+	// LadderRungs selects the checkpoint ladder: besides the window-start
+	// checkpoint, the golden system is snapshotted at LadderRungs evenly
+	// spaced cycles inside the injection window, masks are dispatched in
+	// rung order, and every faulty run forks from the latest rung at or
+	// before its first transient's injection cycle — replaying only the
+	// residual pre-injection cycles instead of the whole window prefix.
+	// 0 keeps today's single window-start checkpoint. Verdicts (and their
+	// digests) are bit-identical for every value: the golden prefix is
+	// deterministic, so a rung restore reproduces exactly the state a
+	// window-start fork reaches by simulation. Masks carrying a permanent
+	// fault always fork from the window start, where stuck-at bits must be
+	// applied.
+	LadderRungs int
 	// OnVerdict, when non-nil, observes every classified fault as it
 	// completes (sweep progress reporting). It may be called concurrently
 	// from several workers and must be safe for that; the index is the
@@ -120,6 +133,17 @@ type ForkStats struct {
 	// CacheSetsRestored is the number of cache sets rolled back to the
 	// golden snapshot by scratch resets across all workers.
 	CacheSetsRestored uint64
+	// Rungs is the number of mid-window ladder checkpoints the campaign
+	// had available (0 when the ladder is off).
+	Rungs int
+	// RungHits counts faulty runs forked from a mid-window rung instead of
+	// the window-start checkpoint.
+	RungHits uint64
+	// ReplayedCycles totals the pre-injection cycles scheduled between
+	// each run's fork point and its first transient injection — the
+	// quantity the ladder exists to shrink. Without a ladder this is the
+	// full window prefix of every transient mask.
+	ReplayedCycles uint64
 }
 
 // GoldenInfo describes the fault-free reference run.
@@ -171,6 +195,98 @@ type Golden struct {
 	base          *soc.System
 	trace         *trace.Golden
 	commitsAtCkpt int
+
+	// Checkpoint ladders, built lazily per requested depth and memoized
+	// (one Golden may back concurrent campaigns with different
+	// Config.LadderRungs). Guarded by mu; the rung snapshots themselves
+	// are frozen once built and shared read-only by forks.
+	mu      sync.Mutex
+	ladders map[int][]rung
+}
+
+// rung is one checkpoint of the ladder: a frozen system snapshot taken at
+// a cycle inside the injection window, plus the golden commit count at
+// that point (the HVF comparator of a run forked here compares against
+// the golden trace from commits onward).
+type rung struct {
+	sys     *soc.System
+	cycle   uint64
+	commits int
+}
+
+// ladder returns the checkpoint ladder for k mid-window rungs, building
+// and memoizing it on first use. Rung 0 is always the window-start
+// checkpoint; rungs 1..k are deep clones taken while replaying the
+// fault-free window once, at evenly spaced target cycles. The golden
+// prefix is deterministic, so a run forked from rung r is bit-identical to
+// a window-start fork stepped to the same cycle; rungs record their
+// actual snapshot cycle so selection stays sound even if a step advances
+// the clock by more than one.
+func (g *Golden) ladder(k int) []rung {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rs, ok := g.ladders[k]; ok {
+		return rs
+	}
+	rungs := []rung{{sys: g.base, cycle: g.base.CPU.Cycle(), commits: g.commitsAtCkpt}}
+	if k > 0 && g.Info.WindowHi > rungs[0].cycle {
+		walker := g.base.Clone()
+		commits := g.commitsAtCkpt
+		walker.CPU.CommitHook = func(cpu.CommitRec) { commits++ }
+		lo, hi := rungs[0].cycle, g.Info.WindowHi
+		for i := 1; i <= k; i++ {
+			target := lo + uint64(i)*(hi-lo)/uint64(k+1)
+			if target <= rungs[len(rungs)-1].cycle {
+				continue
+			}
+			walker.RunUntilCycle(target)
+			if walker.CPU.Done() {
+				break
+			}
+			// Clone nils every hook, so the snapshot carries no walker state.
+			rungs = append(rungs, rung{sys: walker.Clone(), cycle: walker.CPU.Cycle(), commits: commits})
+		}
+	}
+	if g.ladders == nil {
+		g.ladders = map[int][]rung{}
+	}
+	g.ladders[k] = rungs
+	return rungs
+}
+
+// rungFor returns the index of the deepest rung usable for mask: the
+// latest rung at or before the mask's first transient injection cycle.
+// Masks carrying any permanent fault pin to rung 0 — stuck-at bits must
+// hold from the window start, exactly where a single-checkpoint campaign
+// applies them.
+func rungFor(rungs []rung, mask core.Mask) int {
+	first, ok := firstTransientCycle(mask)
+	if !ok {
+		return 0
+	}
+	r := 0
+	for i := 1; i < len(rungs); i++ {
+		if rungs[i].cycle <= first {
+			r = i
+		}
+	}
+	return r
+}
+
+// firstTransientCycle returns the earliest transient injection cycle of
+// the mask and whether the mask is purely transient (a permanent fault
+// reports false: such masks never use a mid-window rung).
+func firstTransientCycle(mask core.Mask) (uint64, bool) {
+	first, has := uint64(0), false
+	for _, f := range mask.Faults {
+		if f.Model.Permanent() {
+			return 0, false
+		}
+		if !has || f.Cycle < first {
+			first, has = f.Cycle, true
+		}
+	}
+	return first, has
 }
 
 // PrepareGolden executes the fault-free phase of a campaign: compile-time
@@ -215,6 +331,9 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 	if cfg.WatchdogFactor <= 1 {
 		cfg.WatchdogFactor = 3
 	}
+	if cfg.LadderRungs < 0 {
+		return nil, fmt.Errorf("campaign: ladder rungs must be non-negative, got %d", cfg.LadderRungs)
+	}
 
 	golden, base := &g.Info, g.base
 	goldenTrace, commitsAtCkpt := g.trace, g.commitsAtCkpt
@@ -237,10 +356,41 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 		Margin:     core.MarginFor(bits, len(masks), 1.96),
 	}
 
-	var subTrace *trace.Golden
-	if cfg.HVF {
-		subTrace = goldenTrace.Slice(commitsAtCkpt)
+	// The checkpoint ladder: rung 0 is the window-start checkpoint;
+	// mid-window rungs (when enabled and the model has transients) let a
+	// run fork closer to its injection cycle. rungOf[i] is the rung mask i
+	// forks from.
+	rungs := []rung{{sys: base, cycle: base.CPU.Cycle(), commits: commitsAtCkpt}}
+	if cfg.LadderRungs > 0 && !cfg.Model.Permanent() {
+		rungs = g.ladder(cfg.LadderRungs)
 	}
+	res.Forking.Rungs = len(rungs) - 1
+	rungOf := make([]int, len(masks))
+	order := make([]int, len(masks))
+	for i := range order {
+		order[i] = i
+	}
+	if len(rungs) > 1 {
+		for i := range masks {
+			rungOf[i] = rungFor(rungs, masks[i])
+		}
+		// Dispatch in rung order so each worker's scratch walks the ladder
+		// monotonically and is re-forked at most once per rung. Records are
+		// indexed by mask ID, so results stay order-invariant.
+		sort.SliceStable(order, func(a, b int) bool { return rungOf[order[a]] < rungOf[order[b]] })
+	}
+
+	// Per-rung golden-trace views for the HVF comparator: a run forked at
+	// rung r compares against the golden commits from that rung onward and
+	// reports divergence indices offset back to the window-start view, so
+	// DivergeCommit is identical whichever rung served the run.
+	subTraces := make([]*trace.Golden, len(rungs))
+	if cfg.HVF {
+		for ri, r := range rungs {
+			subTraces[ri] = goldenTrace.Slice(r.commits)
+		}
+	}
+	armCycle := rungs[0].cycle
 
 	res.Forking.Legacy = cfg.LegacyClone
 	var statsMu sync.Mutex
@@ -251,22 +401,31 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker forks one copy-on-write scratch system from the
-			// checkpoint and rolls it back between masks; legacy mode
-			// instead deep-clones the checkpoint for every mask.
+			// Each worker forks one copy-on-write scratch system from its
+			// current rung and rolls it back between masks, re-forking when
+			// the dispatch order moves it to a deeper rung; legacy mode
+			// instead deep-clones the rung snapshot for every mask.
 			var scratch *soc.System
-			var forks, reuses uint64
+			scratchRung := -1
+			var forks, reuses, rungHits, replayed uint64
 			var wErr error
 			for i := range work {
 				if wErr != nil {
 					continue // drain the queue after an infrastructure failure
 				}
+				r := rungOf[i]
 				var s *soc.System
 				if cfg.LegacyClone {
-					s = base.Clone()
+					s = rungs[r].sys.Clone()
 					forks++
-				} else if scratch == nil {
-					scratch = base.Fork()
+				} else if scratch == nil || scratchRung != r {
+					if scratch != nil {
+						pages, sets := scratch.ForkCounters()
+						atomic.AddUint64(&res.Forking.PagesCopied, pages)
+						atomic.AddUint64(&res.Forking.CacheSetsRestored, sets)
+					}
+					scratch = rungs[r].sys.Fork()
+					scratchRung = r
 					s = scratch
 					forks++
 				} else {
@@ -274,8 +433,14 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 					s = scratch
 					reuses++
 				}
+				if r > 0 {
+					rungHits++
+				}
+				if first, ok := firstTransientCycle(masks[i]); ok && first > rungs[r].cycle {
+					replayed += first - rungs[r].cycle
+				}
 				var v classify.Verdict
-				v, wErr = runOne(cfg, s, golden, subTrace, masks[i])
+				v, wErr = runOne(cfg, s, golden, subTraces[r], rungs[r].commits-commitsAtCkpt, armCycle, masks[i])
 				if wErr != nil {
 					continue
 				}
@@ -286,6 +451,8 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 			}
 			atomic.AddUint64(&res.Forking.Forks, forks)
 			atomic.AddUint64(&res.Forking.ReuseHits, reuses)
+			atomic.AddUint64(&res.Forking.RungHits, rungHits)
+			atomic.AddUint64(&res.Forking.ReplayedCycles, replayed)
 			if scratch != nil {
 				pages, sets := scratch.ForkCounters()
 				atomic.AddUint64(&res.Forking.PagesCopied, pages)
@@ -300,7 +467,7 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 			}
 		}()
 	}
-	for i := range masks {
+	for _, i := range order {
 		work <- i
 	}
 	close(work)
@@ -426,9 +593,15 @@ func multiTargetMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.
 }
 
 // runOne drives one faulty simulation on s — a system already positioned
-// at the checkpoint snapshot (a fresh clone, a fresh fork, or a reset
-// scratch fork; all three are state-identical) — applies the mask, runs to
-// completion (or early termination) and classifies.
+// at a checkpoint snapshot (a fresh clone, a fresh fork, or a reset
+// scratch fork of any ladder rung; all are state-identical to a
+// window-start fork simulated to the same cycle) — applies the mask, runs
+// to completion (or early termination) and classifies. goldenTrace is the
+// golden commit trace from the fork point onward and commitOffset the
+// fork point's commit distance from the window-start checkpoint, so HVF
+// divergence indices are reported in window-start coordinates regardless
+// of which rung served the run; armCycle is the window-start checkpoint
+// cycle, stamped on arming events so rung restores narrate identically.
 //
 // When cfg.Trace is armed, runOne additionally narrates the fault's
 // lifecycle: arming, application, first corrupted read / overwrite death
@@ -439,7 +612,7 @@ func multiTargetMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.
 // watchdog, and the verdict. None of this changes behavior: the early-stop
 // predicate keeps its value and polling cadence, so traced runs classify
 // bit-identically to untraced ones.
-func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, mask core.Mask) (classify.Verdict, error) {
+func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, commitOffset int, armCycle uint64, mask core.Mask) (classify.Verdict, error) {
 	tr := cfg.Trace
 	targets := map[string]core.Target{}
 	targetFor := func(name string) (core.Target, error) {
@@ -477,7 +650,7 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 				hook(r)
 				if !diverged && comp.Corrupted() {
 					diverged = true
-					tr.Emit(obs.Event{Cycle: c.Cycle(), Kind: obs.KindDiverged, Commit: comp.DivergePoint(), Detail: "commit stream departs from golden trace"})
+					tr.Emit(obs.Event{Cycle: c.Cycle(), Kind: obs.KindDiverged, Commit: comp.DivergePoint() + commitOffset, Detail: "commit stream departs from golden trace"})
 				}
 			}
 		}
@@ -486,12 +659,15 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 	budget := uint64(float64(golden.Cycles)*cfg.WatchdogFactor) + 20_000
 
 	if tr != nil {
+		// Arming is narrated at the window-start checkpoint cycle — the
+		// campaign's logical arming point — so a run restored from a deeper
+		// ladder rung emits the same event stream as a window-start fork.
 		for _, f := range mask.Faults {
 			detail := f.Model.String()
 			if !f.Model.Permanent() {
 				detail = fmt.Sprintf("%s at cycle %d", f.Model, f.Cycle)
 			}
-			tr.Emit(obs.Event{Cycle: s.CPU.Cycle(), Kind: obs.KindFaultArmed, Target: f.Target, Bit: f.Bit, Detail: detail})
+			tr.Emit(obs.Event{Cycle: armCycle, Kind: obs.KindFaultArmed, Target: f.Target, Bit: f.Bit, Detail: detail})
 		}
 	}
 
@@ -607,7 +783,14 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 	v := verdictFromRun(golden.Output, golden.Cycles, res)
 	if comp != nil {
 		v.HVFCorrupt = comp.Finalize()
+		// Report the divergence index in window-start coordinates: the
+		// golden prefix between the window start and the fork point is
+		// commit-identical by determinism, so offsetting recovers exactly
+		// the index a window-start fork would have measured.
 		v.DivergeCommit = comp.DivergePoint()
+		if v.DivergeCommit >= 0 {
+			v.DivergeCommit += commitOffset
+		}
 		// A fault can reach architecturally-visible memory without any
 		// committed instruction touching it (a corrupted dirty line
 		// written back into the program's output). The paper's HVF

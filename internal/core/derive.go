@@ -56,17 +56,29 @@ func (s *Stream) Uintn(n uint64) uint64 {
 }
 
 // DeriveFault computes the single-bit fault of mask maskID purely from
-// campaign-level inputs: the target's bit population, the injection window
-// [1, window] and the fault model. Transient faults get a cycle; permanent
-// faults hold for the whole run and carry none. This is the derivation the
-// accelerator campaigns of §V-G draw their (bit, cycle) coordinates from;
-// because it is schedule-independent, serial and parallel campaigns see an
-// identical mask population.
-func DeriveFault(seed int64, maskID int, target string, model Model, bits, window uint64) Fault {
+// campaign-level inputs: the target's bit population, the half-open
+// injection window [windowLo, windowHi) and the fault model. Transient
+// faults get a cycle drawn uniformly from the window — the same documented
+// convention the legacy mask generator (Generate) samples — while
+// permanent faults hold for the whole run and carry none. This is the
+// derivation the accelerator campaigns of §V-G draw their (bit, cycle)
+// coordinates from; because it is schedule-independent, serial and
+// parallel campaigns see an identical mask population.
+//
+// The stream consumption is fixed — one draw for the bit, then one draw of
+// windowHi-windowLo values offset by windowLo for the cycle — so a window
+// of [1, w+1) reproduces the historical "[1, w]" population bit for bit.
+// A degenerate window (windowHi <= windowLo) pins the cycle to windowLo
+// while still consuming the cycle draw, keeping the bit stream aligned.
+func DeriveFault(seed int64, maskID int, target string, model Model, bits, windowLo, windowHi uint64) Fault {
 	st := MaskStream(seed, maskID)
 	f := Fault{Target: target, Bit: st.Uintn(bits), Model: model}
 	if model == Transient {
-		f.Cycle = st.Uintn(window) + 1
+		span := uint64(1)
+		if windowHi > windowLo {
+			span = windowHi - windowLo
+		}
+		f.Cycle = windowLo + st.Uintn(span)
 	}
 	return f
 }

@@ -16,7 +16,7 @@ func TestDeriveFaultPrefixStability(t *testing.T) {
 	derive := func(n int) []Fault {
 		out := make([]Fault, n)
 		for i := range out {
-			out[i] = DeriveFault(seed, i, "prf", Transient, 8192, 100000)
+			out[i] = DeriveFault(seed, i, "prf", Transient, 8192, 1, 100001)
 		}
 		return out
 	}
@@ -39,7 +39,7 @@ func TestDeriveFaultWorkerCountInvariance(t *testing.T) {
 	const seed, n = int64(7), 256
 	want := make([]Fault, n)
 	for i := range want {
-		want[i] = DeriveFault(seed, i, "l1d", Transient, 1<<18, 54321)
+		want[i] = DeriveFault(seed, i, "l1d", Transient, 1<<18, 1, 54322)
 	}
 	for _, workers := range []int{1, 2, 3, 7, 16} {
 		got := make([]Fault, n)
@@ -49,7 +49,7 @@ func TestDeriveFaultWorkerCountInvariance(t *testing.T) {
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < n; i += workers {
-					got[i] = DeriveFault(seed, i, "l1d", Transient, 1<<18, 54321)
+					got[i] = DeriveFault(seed, i, "l1d", Transient, 1<<18, 1, 54322)
 				}
 			}(w)
 		}

@@ -60,10 +60,10 @@ func TestDeriveFaultScheduleIndependence(t *testing.T) {
 	const n = 64
 	fwd := make([]Fault, n)
 	for i := 0; i < n; i++ {
-		fwd[i] = DeriveFault(5, i, "SPM", Transient, 4096, 900)
+		fwd[i] = DeriveFault(5, i, "SPM", Transient, 4096, 1, 901)
 	}
 	for i := n - 1; i >= 0; i-- {
-		if got := DeriveFault(5, i, "SPM", Transient, 4096, 900); got != fwd[i] {
+		if got := DeriveFault(5, i, "SPM", Transient, 4096, 1, 901); got != fwd[i] {
 			t.Fatalf("mask %d depends on derivation order: %v vs %v", i, got, fwd[i])
 		}
 	}
@@ -75,7 +75,7 @@ func TestDeriveFaultScheduleIndependence(t *testing.T) {
 			t.Fatalf("mask %d cycle %d outside [1, 900]", i, f.Cycle)
 		}
 	}
-	perm := DeriveFault(5, 0, "SPM", StuckAt1, 4096, 900)
+	perm := DeriveFault(5, 0, "SPM", StuckAt1, 4096, 1, 901)
 	if perm.Cycle != 0 {
 		t.Fatalf("permanent fault carries an injection cycle: %v", perm)
 	}
@@ -86,7 +86,7 @@ func TestDeriveFaultCoversPopulation(t *testing.T) {
 	// population instead of collapsing onto a few values).
 	seen := map[uint64]bool{}
 	for i := 0; i < 256; i++ {
-		seen[DeriveFault(11, i, "x", Transient, 64, 100).Bit] = true
+		seen[DeriveFault(11, i, "x", Transient, 64, 1, 101).Bit] = true
 	}
 	if len(seen) < 48 {
 		t.Fatalf("256 draws over 64 bits hit only %d distinct bits", len(seen))

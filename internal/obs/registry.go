@@ -93,6 +93,11 @@ type Registry struct {
 	// Fork-pool health (from campaign/accel ForkStats).
 	Forks      Counter
 	ForkReuses Counter
+	// Checkpoint-ladder health: RungHits counts faulty runs dispatched
+	// from a mid-window rung, ReplayedCycles totals pre-injection cycles
+	// replayed between fork points and injection cycles.
+	RungHits       Counter
+	ReplayedCycles Counter
 
 	// Sweep-level progress.
 	GoldenRuns    Counter
@@ -136,6 +141,13 @@ func (r *Registry) AddForkStats(forks, reuses uint64) {
 	r.ForkReuses.Add(reuses)
 }
 
+// AddLadderStats folds a campaign's checkpoint-ladder counters into the
+// registry.
+func (r *Registry) AddLadderStats(rungHits, replayedCycles uint64) {
+	r.RungHits.Add(rungHits)
+	r.ReplayedCycles.Add(replayedCycles)
+}
+
 // FaultsPerSec returns the observed classification rate since the
 // registry was created.
 func (r *Registry) FaultsPerSec() float64 {
@@ -160,47 +172,51 @@ func (r *Registry) ForkReuseRate() float64 {
 // RegistrySnapshot is a point-in-time copy of a Registry, suitable for
 // JSON encoding.
 type RegistrySnapshot struct {
-	FaultsDone    uint64            `json:"faults_done"`
-	Masked        uint64            `json:"masked"`
-	SDC           uint64            `json:"sdc"`
-	Crash         uint64            `json:"crash"`
-	EarlyStops    uint64            `json:"early_stops"`
-	HVFCorrupt    uint64            `json:"hvf_corrupt"`
-	FaultsPerSec  float64           `json:"faults_per_sec"`
-	Forks         uint64            `json:"forks"`
-	ForkReuses    uint64            `json:"fork_reuses"`
-	ForkReuseRate float64           `json:"fork_reuse_rate"`
-	GoldenRuns    uint64            `json:"golden_runs"`
-	GoldenHits    uint64            `json:"golden_hits"`
-	CellsStarted  uint64            `json:"cells_started"`
-	CellsFinished uint64            `json:"cells_finished"`
-	CellsSkipped  uint64            `json:"cells_skipped"`
-	CellLatencyMS map[string]uint64 `json:"cell_latency_ms,omitempty"`
-	CellMeanMS    float64           `json:"cell_mean_ms"`
-	UptimeSec     float64           `json:"uptime_sec"`
+	FaultsDone     uint64            `json:"faults_done"`
+	Masked         uint64            `json:"masked"`
+	SDC            uint64            `json:"sdc"`
+	Crash          uint64            `json:"crash"`
+	EarlyStops     uint64            `json:"early_stops"`
+	HVFCorrupt     uint64            `json:"hvf_corrupt"`
+	FaultsPerSec   float64           `json:"faults_per_sec"`
+	Forks          uint64            `json:"forks"`
+	ForkReuses     uint64            `json:"fork_reuses"`
+	ForkReuseRate  float64           `json:"fork_reuse_rate"`
+	RungHits       uint64            `json:"rung_hits"`
+	ReplayedCycles uint64            `json:"replayed_cycles"`
+	GoldenRuns     uint64            `json:"golden_runs"`
+	GoldenHits     uint64            `json:"golden_hits"`
+	CellsStarted   uint64            `json:"cells_started"`
+	CellsFinished  uint64            `json:"cells_finished"`
+	CellsSkipped   uint64            `json:"cells_skipped"`
+	CellLatencyMS  map[string]uint64 `json:"cell_latency_ms,omitempty"`
+	CellMeanMS     float64           `json:"cell_mean_ms"`
+	UptimeSec      float64           `json:"uptime_sec"`
 }
 
 // Snapshot captures the registry's current values.
 func (r *Registry) Snapshot() RegistrySnapshot {
 	return RegistrySnapshot{
-		FaultsDone:    r.FaultsDone.Load(),
-		Masked:        r.Masked.Load(),
-		SDC:           r.SDC.Load(),
-		Crash:         r.Crash.Load(),
-		EarlyStops:    r.EarlyStops.Load(),
-		HVFCorrupt:    r.HVFCorrupt.Load(),
-		FaultsPerSec:  r.FaultsPerSec(),
-		Forks:         r.Forks.Load(),
-		ForkReuses:    r.ForkReuses.Load(),
-		ForkReuseRate: r.ForkReuseRate(),
-		GoldenRuns:    r.GoldenRuns.Load(),
-		GoldenHits:    r.GoldenHits.Load(),
-		CellsStarted:  r.CellsStarted.Load(),
-		CellsFinished: r.CellsFinished.Load(),
-		CellsSkipped:  r.CellsSkipped.Load(),
-		CellLatencyMS: r.CellLatencyMS.Buckets(),
-		CellMeanMS:    r.CellLatencyMS.Mean(),
-		UptimeSec:     time.Since(r.start).Seconds(),
+		FaultsDone:     r.FaultsDone.Load(),
+		Masked:         r.Masked.Load(),
+		SDC:            r.SDC.Load(),
+		Crash:          r.Crash.Load(),
+		EarlyStops:     r.EarlyStops.Load(),
+		HVFCorrupt:     r.HVFCorrupt.Load(),
+		FaultsPerSec:   r.FaultsPerSec(),
+		Forks:          r.Forks.Load(),
+		ForkReuses:     r.ForkReuses.Load(),
+		ForkReuseRate:  r.ForkReuseRate(),
+		RungHits:       r.RungHits.Load(),
+		ReplayedCycles: r.ReplayedCycles.Load(),
+		GoldenRuns:     r.GoldenRuns.Load(),
+		GoldenHits:     r.GoldenHits.Load(),
+		CellsStarted:   r.CellsStarted.Load(),
+		CellsFinished:  r.CellsFinished.Load(),
+		CellsSkipped:   r.CellsSkipped.Load(),
+		CellLatencyMS:  r.CellLatencyMS.Buckets(),
+		CellMeanMS:     r.CellLatencyMS.Mean(),
+		UptimeSec:      time.Since(r.start).Seconds(),
 	}
 }
 

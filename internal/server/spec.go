@@ -129,6 +129,7 @@ func (r Request) grid() sweep.Spec {
 			WatchdogFactor:   o.WatchdogFactor,
 			PhysRegs:         o.PhysRegs,
 			Preset:           o.Preset,
+			LadderRungs:      o.LadderRungs,
 			Workers:          o.Workers,
 			CellParallel:     1,
 		}
@@ -141,6 +142,7 @@ func (r Request) grid() sweep.Spec {
 			Faults:       o.Faults,
 			Seed:         o.Seed,
 			Workers:      o.Workers,
+			LadderRungs:  o.LadderRungs,
 			CellParallel: 1,
 		}
 	case KindSweep:
@@ -165,6 +167,7 @@ func (r Request) grid() sweep.Spec {
 			WatchdogFactor:   o.WatchdogFactor,
 			PhysRegs:         o.PhysRegs,
 			Preset:           o.Preset,
+			LadderRungs:      o.LadderRungs,
 			Workers:          o.Workers,
 			CellParallel:     o.CellParallel,
 		}

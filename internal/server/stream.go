@@ -135,6 +135,11 @@ func serveStream(w http.ResponseWriter, r *http.Request, l *eventLog, from int, 
 	}
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	// The handler rejects negative offsets with 400; clamp here anyway so a
+	// future caller can never turn seq into a slice-bounds panic in next.
+	if from < 0 {
+		from = 0
+	}
 	seq := from
 	for {
 		batch, done := l.next(r.Context(), seq)

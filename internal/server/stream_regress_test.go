@@ -1,0 +1,83 @@
+package server
+
+// Regression tests for stream-resume parameter handling: a negative
+// `from` offset is a client error (400, not a panic or a silent clamp at
+// the HTTP layer), and a `from` pointing past the end of a CLOSED event
+// log returns an empty stream immediately instead of blocking forever on
+// events that will never come.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestStreamNegativeFromRejected(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Manager.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := fastCampaign(61)
+	if resp, _ := postJob(t, ts, req); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	for _, q := range []string{"from=-5", "from=-1", "from=-5&sse=1"} {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + req.ID() + "/events?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestStreamFromBeyondClosedLogReturnsImmediately(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Manager.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := fastCampaign(62)
+	if resp, _ := postJob(t, ts, req); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	// Drain the live stream to EOF — the job is now terminal and its log
+	// closed.
+	full := readEvents(t, ts.URL+"/api/v1/jobs/"+req.ID()+"/events")
+	if len(full) == 0 {
+		t.Fatal("empty event stream")
+	}
+
+	done := make(chan []Event, 1)
+	go func() {
+		done <- readEvents(t, ts.URL+"/api/v1/jobs/"+req.ID()+"/events?from="+strconv.Itoa(len(full)+100))
+	}()
+	select {
+	case tail := <-done:
+		if len(tail) != 0 {
+			t.Errorf("past-the-end resume returned %d events, want none", len(tail))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("past-the-end resume on a closed log hung instead of returning")
+	}
+
+	// Resume exactly at the end behaves the same: empty, immediate.
+	go func() {
+		done <- readEvents(t, ts.URL+"/api/v1/jobs/"+req.ID()+"/events?from="+strconv.Itoa(len(full)))
+	}()
+	select {
+	case tail := <-done:
+		if len(tail) != 0 {
+			t.Errorf("at-the-end resume returned %d events, want none", len(tail))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("at-the-end resume on a closed log hung instead of returning")
+	}
+}

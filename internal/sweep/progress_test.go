@@ -1,0 +1,69 @@
+package sweep
+
+// White-box regression tests for the progress tracker: cells and faults
+// credited by the resume journal must not count as throughput. A resumed
+// sweep that restores most of its grid in milliseconds would otherwise
+// report an absurd cells-per-second figure and an ETA near zero — the
+// bug this file pins fixed.
+
+import (
+	"testing"
+	"time"
+
+	"marvel/internal/classify"
+)
+
+func TestProgressSkippedCellsDoNotInflateThroughput(t *testing.T) {
+	var last Snapshot
+	start := time.Now().Add(-1 * time.Second)
+	tr := newTracker(func(s Snapshot) { last = s }, nil, 10, 100, start)
+
+	// Resume restores half the grid instantly.
+	for i := 0; i < 5; i++ {
+		tr.cellSkipped("restored", 10)
+	}
+	if last.CellsSkipped != 5 || last.FaultsDone != 50 {
+		t.Fatalf("restored accounting wrong: %+v", last)
+	}
+	if last.CellsPerSec != 0 {
+		t.Errorf("CellsPerSec = %v after only restored cells; throughput must count executed cells only", last.CellsPerSec)
+	}
+	if last.ETA != 0 {
+		t.Errorf("ETA = %v with zero executed faults; restored faults must not feed the estimate", last.ETA)
+	}
+
+	// One real cell executes: 10 faults over the ~1s elapsed.
+	tr.cellStarted("real")
+	for i := 0; i < 10; i++ {
+		tr.onVerdict(i, classify.Verdict{})
+	}
+	tr.cellFinished("real")
+
+	if last.FaultsDone != 60 {
+		t.Fatalf("FaultsDone = %d, want 60", last.FaultsDone)
+	}
+	// 1 finished cell in ~1s. Were restored cells counted, this would read
+	// ~6 cells/sec.
+	if last.CellsPerSec <= 0 || last.CellsPerSec > 3 {
+		t.Errorf("CellsPerSec = %v, want ~1 (executed cells only)", last.CellsPerSec)
+	}
+	// 10 executed faults over ~1s, 40 faults remaining → ETA ~4s. Counting
+	// the 50 restored faults as work done would shrink it to ~0.7s.
+	if last.ETA < 2*time.Second || last.ETA > 20*time.Second {
+		t.Errorf("ETA = %v, want ~4s from executed-fault throughput alone", last.ETA)
+	}
+}
+
+func TestProgressFullyRestoredSweepReportsNoThroughput(t *testing.T) {
+	var last Snapshot
+	tr := newTracker(func(s Snapshot) { last = s }, nil, 3, 30, time.Now().Add(-time.Millisecond))
+	for i := 0; i < 3; i++ {
+		tr.cellSkipped("restored", 10)
+	}
+	if last.CellsPerSec != 0 || last.ETA != 0 {
+		t.Errorf("fully restored sweep reported CellsPerSec=%v ETA=%v, want zeros", last.CellsPerSec, last.ETA)
+	}
+	if last.FaultsDone != 30 || last.CellsSkipped != 3 {
+		t.Errorf("restored totals wrong: %+v", last)
+	}
+}

@@ -69,6 +69,14 @@ type Spec struct {
 	// "table2" is the paper's Table II; "fast" is the scaled-down test
 	// preset (small caches).
 	Preset string
+	// LadderRungs forwards the checkpoint ladder to every cell's campaign:
+	// snapshot the golden run at this many evenly spaced cycles inside the
+	// injection window and fork each transient run from the nearest rung
+	// before its injection cycle. 0 keeps the single checkpoint. Verdicts
+	// and digests are bit-identical for every value, so the resume journal
+	// deliberately excludes it from the grid identity — a resumed sweep may
+	// change ladder depth.
+	LadderRungs int
 
 	// Workers is the global worker budget shared by all concurrently
 	// executing cells; 0 = GOMAXPROCS.
@@ -189,6 +197,11 @@ type Counters struct {
 	EarlyStops int64
 	Forks      uint64
 	ForkReuses uint64
+	// RungHits counts faulty runs dispatched from a mid-window checkpoint
+	// rung; ReplayedCycles totals the pre-injection cycles replayed between
+	// fork points and injection cycles (the cost the ladder shrinks).
+	RungHits       uint64
+	ReplayedCycles uint64
 }
 
 // Result is a completed sweep.
@@ -425,7 +438,7 @@ func Run(spec Spec) (*Result, error) {
 					continue // drain the queue after a failure
 				}
 				tr.cellStarted(key)
-				rep, hit, forks, reuses, err := runCell(spec, pre, cell, perCell, goldens, tr)
+				rep, hit, fc, err := runCell(spec, pre, cell, perCell, goldens, tr)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -442,15 +455,18 @@ func Run(spec Spec) (*Result, error) {
 					res.Counters.GoldenRuns++
 				}
 				res.Counters.EarlyStops += int64(rep.EarlyStops)
-				res.Counters.Forks += forks
-				res.Counters.ForkReuses += reuses
+				res.Counters.Forks += fc.forks
+				res.Counters.ForkReuses += fc.reuses
+				res.Counters.RungHits += fc.rungHits
+				res.Counters.ReplayedCycles += fc.replayed
 				if spec.Metrics != nil {
 					if hit {
 						spec.Metrics.GoldenHits.Inc()
 					} else {
 						spec.Metrics.GoldenRuns.Inc()
 					}
-					spec.Metrics.AddForkStats(forks, reuses)
+					spec.Metrics.AddForkStats(fc.forks, fc.reuses)
+					spec.Metrics.AddLadderStats(fc.rungHits, fc.replayed)
 					spec.Metrics.CellLatencyMS.Observe(uint64(rep.WallMS))
 				}
 				var jerr error
@@ -483,10 +499,15 @@ func Run(spec Spec) (*Result, error) {
 	return res, nil
 }
 
+// forkCounters carries one cell's forking/ladder totals back to Run.
+type forkCounters struct {
+	forks, reuses, rungHits, replayed uint64
+}
+
 // runCell executes one cell, preparing (or reusing) its golden phase.
 // hit reports whether the golden came from the cache.
 func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
-	goldens GoldenCache, tr *tracker) (rep *CellReport, hit bool, forks, reuses uint64, err error) {
+	goldens GoldenCache, tr *tracker) (rep *CellReport, hit bool, fc forkCounters, err error) {
 
 	t0 := time.Now()
 	onVerdict := tr.onVerdict
@@ -503,12 +524,12 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			return BuildCPUGolden(cell.ISA, cell.Workload, pre)
 		})
 		if err != nil {
-			return nil, false, 0, 0, err
+			return nil, false, fc, err
 		}
 		model, _ := core.ModelByName(cell.Model)
 		targets, err := SplitTarget(cell.Target)
 		if err != nil {
-			return nil, false, 0, 0, err
+			return nil, false, fc, err
 		}
 		cfg := campaign.Config{
 			Image:            g.Image,
@@ -521,6 +542,7 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			HVF:              spec.HVF,
 			EarlyTermination: spec.EarlyTermination,
 			WatchdogFactor:   spec.WatchdogFactor,
+			LadderRungs:      spec.LadderRungs,
 			OnVerdict:        onVerdict,
 		}
 		if spec.ValidOnly {
@@ -533,18 +555,24 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 		}
 		cres, err := campaign.RunWithGolden(cfg, g.Golden)
 		if err != nil {
-			return nil, false, 0, 0, err
+			return nil, false, fc, err
 		}
 		r := cpuCellReport(cell, cres)
 		r.WallMS = time.Since(t0).Milliseconds()
-		return &r, hit, cres.Forking.Forks, cres.Forking.ReuseHits, nil
+		fc = forkCounters{
+			forks:    cres.Forking.Forks,
+			reuses:   cres.Forking.ReuseHits,
+			rungHits: cres.Forking.RungHits,
+			replayed: cres.Forking.ReplayedCycles,
+		}
+		return &r, hit, fc, nil
 
 	case KindAccel:
 		g, hit, err := goldens.AccelGolden(AccelGoldenKey(cell.Design), func() (*AccelGolden, error) {
 			return BuildAccelGolden(cell.Design)
 		})
 		if err != nil {
-			return nil, false, 0, 0, err
+			return nil, false, fc, err
 		}
 		model, _ := core.ModelByName(cell.Model)
 		ares, err := accel.RunCampaignWithGolden(accel.CampaignConfig{
@@ -556,16 +584,23 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			Seed:           spec.Seed,
 			WatchdogFactor: spec.WatchdogFactor,
 			Workers:        workers,
+			LadderRungs:    spec.LadderRungs,
 			OnVerdict:      onVerdict,
 		}, g.Golden)
 		if err != nil {
-			return nil, false, 0, 0, err
+			return nil, false, fc, err
 		}
 		r := accelCellReport(cell, ares)
 		r.WallMS = time.Since(t0).Milliseconds()
-		return &r, hit, ares.Forking.Forks, ares.Forking.ReuseHits, nil
+		fc = forkCounters{
+			forks:    ares.Forking.Forks,
+			reuses:   ares.Forking.ReuseHits,
+			rungHits: ares.Forking.RungHits,
+			replayed: ares.Forking.ReplayedCycles,
+		}
+		return &r, hit, fc, nil
 	}
-	return nil, false, 0, 0, fmt.Errorf("sweep: unknown cell kind %q", cell.Kind)
+	return nil, false, fc, fmt.Errorf("sweep: unknown cell kind %q", cell.Kind)
 }
 
 // cpuCellReport converts a campaign result into the persisted form.

@@ -143,6 +143,12 @@ type CampaignOptions struct {
 	// LegacyClone forces the pre-CoW per-run deep-clone strategy, for A/B
 	// comparison against copy-on-write checkpoint forking (the default).
 	LegacyClone bool
+	// LadderRungs snapshots the golden run at this many evenly spaced
+	// cycles inside the injection window and forks each transient run from
+	// the nearest rung before its injection cycle, replaying only the
+	// residual prefix. 0 keeps the single window-start checkpoint; results
+	// are bit-identical for every value.
+	LadderRungs int
 	// Preset selects the hardware configuration: "" or "table2" is the
 	// paper's Table II; "fast" is the scaled-down test preset.
 	Preset string
@@ -174,6 +180,9 @@ func (o CampaignOptions) Validate() error {
 	}
 	if o.Faults <= 0 {
 		return fmt.Errorf("marvel: fault count must be positive, got %d", o.Faults)
+	}
+	if o.LadderRungs < 0 {
+		return fmt.Errorf("marvel: ladder rungs must be non-negative, got %d", o.LadderRungs)
 	}
 	return nil
 }
@@ -213,6 +222,13 @@ type Report struct {
 	ForkReuses   uint64
 	PagesCopied  uint64
 	SetsRestored uint64
+	// Checkpoint-ladder stats (see CampaignOptions.LadderRungs): Rungs is
+	// how many mid-window rungs were available, RungHits how many runs
+	// forked from one, ReplayedCycles the total pre-injection cycles
+	// replayed between fork points and injection cycles.
+	Rungs          int
+	RungHits       uint64
+	ReplayedCycles uint64
 }
 
 // RunCampaign executes one CPU fault-injection campaign.
@@ -258,6 +274,7 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 		EarlyTermination: o.EarlyTermination,
 		WatchdogFactor:   o.WatchdogFactor,
 		LegacyClone:      o.LegacyClone,
+		LadderRungs:      o.LadderRungs,
 	}
 	if len(targets) > 1 {
 		cfg.MultiTargets = targets
@@ -275,31 +292,35 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 	}
 	if o.Metrics != nil {
 		o.Metrics.AddForkStats(res.Forking.Forks, res.Forking.ReuseHits)
+		o.Metrics.AddLadderStats(res.Forking.RungHits, res.Forking.ReplayedCycles)
 	}
 	return &Report{
-		Workload:     o.Workload,
-		ISA:          o.ISA,
-		Target:       res.Target,
-		Model:        o.Model,
-		Faults:       res.Counts.Total(),
-		Masked:       res.Counts.Masked,
-		SDC:          res.Counts.SDC,
-		Crash:        res.Counts.Crash,
-		AVF:          res.Counts.AVF(),
-		SDCAVF:       res.Counts.SDCAVF(),
-		CrashAVF:     res.Counts.CrashAVF(),
-		HVF:          res.Counts.HVF(),
-		HVFMeasured:  res.Counts.HVFMeasured(),
-		Margin:       res.Margin,
-		GoldenCycles: res.Golden.Cycles,
-		GoldenInsts:  res.Golden.Insts,
-		IPC:          res.Golden.Stats.IPC(),
-		EarlyStops:   res.Counts.EarlyStops,
-		LegacyClone:  res.Forking.Legacy,
-		Forks:        res.Forking.Forks,
-		ForkReuses:   res.Forking.ReuseHits,
-		PagesCopied:  res.Forking.PagesCopied,
-		SetsRestored: res.Forking.CacheSetsRestored,
+		Workload:       o.Workload,
+		ISA:            o.ISA,
+		Target:         res.Target,
+		Model:          o.Model,
+		Faults:         res.Counts.Total(),
+		Masked:         res.Counts.Masked,
+		SDC:            res.Counts.SDC,
+		Crash:          res.Counts.Crash,
+		AVF:            res.Counts.AVF(),
+		SDCAVF:         res.Counts.SDCAVF(),
+		CrashAVF:       res.Counts.CrashAVF(),
+		HVF:            res.Counts.HVF(),
+		HVFMeasured:    res.Counts.HVFMeasured(),
+		Margin:         res.Margin,
+		GoldenCycles:   res.Golden.Cycles,
+		GoldenInsts:    res.Golden.Insts,
+		IPC:            res.Golden.Stats.IPC(),
+		EarlyStops:     res.Counts.EarlyStops,
+		LegacyClone:    res.Forking.Legacy,
+		Forks:          res.Forking.Forks,
+		ForkReuses:     res.Forking.ReuseHits,
+		PagesCopied:    res.Forking.PagesCopied,
+		SetsRestored:   res.Forking.CacheSetsRestored,
+		Rungs:          res.Forking.Rungs,
+		RungHits:       res.Forking.RungHits,
+		ReplayedCycles: res.Forking.ReplayedCycles,
 	}, nil
 }
 
@@ -319,6 +340,12 @@ type AccelOptions struct {
 	// LegacyRebuild forces the pre-fork strategy (a full harness rebuild
 	// per fault) for A/B comparison against fork/reset reuse (the default).
 	LegacyRebuild bool
+	// LadderRungs snapshots the fault-free task at this many evenly spaced
+	// cycles inside the injection window and forks each transient run from
+	// the nearest rung strictly before its injection cycle. 0 keeps the
+	// single pristine checkpoint; results are bit-identical for every
+	// value. Ignored under LegacyRebuild.
+	LadderRungs int
 	// Metrics, when non-nil, receives live verdict-mix and fork counters
 	// as the campaign runs (the registry behind the CLI's -debug-addr
 	// endpoint). Never serialized; see CampaignOptions.Metrics.
@@ -347,6 +374,9 @@ func (o AccelOptions) Validate() error {
 	if o.Faults <= 0 {
 		return fmt.Errorf("marvel: fault count must be positive, got %d", o.Faults)
 	}
+	if o.LadderRungs < 0 {
+		return fmt.Errorf("marvel: ladder rungs must be non-negative, got %d", o.LadderRungs)
+	}
 	return nil
 }
 
@@ -373,6 +403,10 @@ type AccelReport struct {
 	Forks         uint64
 	ForkReuses    uint64
 	PagesCopied   uint64
+	// Checkpoint-ladder stats (see AccelOptions.LadderRungs).
+	Rungs          int
+	RungHits       uint64
+	ReplayedCycles uint64
 }
 
 // RunAccelCampaign executes one accelerator fault-injection campaign.
@@ -399,6 +433,7 @@ func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
 		Seed:          o.Seed,
 		Workers:       o.Workers,
 		LegacyRebuild: o.LegacyRebuild,
+		LadderRungs:   o.LadderRungs,
 	}
 	if reg := o.Metrics; reg != nil {
 		cfg.OnVerdict = func(_ int, v classify.Verdict) {
@@ -411,24 +446,28 @@ func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
 	}
 	if o.Metrics != nil {
 		o.Metrics.AddForkStats(res.Forking.Forks, res.Forking.ReuseHits)
+		o.Metrics.AddLadderStats(res.Forking.RungHits, res.Forking.ReplayedCycles)
 	}
 	return &AccelReport{
-		Design:        o.Design,
-		Component:     o.Component,
-		Faults:        res.Counts.Total(),
-		Masked:        res.Counts.Masked,
-		SDC:           res.Counts.SDC,
-		Crash:         res.Counts.Crash,
-		AVF:           res.Counts.AVF(),
-		SDCAVF:        res.Counts.SDCAVF(),
-		CrashAVF:      res.Counts.CrashAVF(),
-		Margin:        res.Margin,
-		TaskCycles:    res.GoldenCycles,
-		AreaUnits:     accel.AreaUnits(design),
-		LegacyRebuild: res.Forking.Legacy,
-		Forks:         res.Forking.Forks,
-		ForkReuses:    res.Forking.ReuseHits,
-		PagesCopied:   res.Forking.PagesCopied,
+		Design:         o.Design,
+		Component:      o.Component,
+		Faults:         res.Counts.Total(),
+		Masked:         res.Counts.Masked,
+		SDC:            res.Counts.SDC,
+		Crash:          res.Counts.Crash,
+		AVF:            res.Counts.AVF(),
+		SDCAVF:         res.Counts.SDCAVF(),
+		CrashAVF:       res.Counts.CrashAVF(),
+		Margin:         res.Margin,
+		TaskCycles:     res.GoldenCycles,
+		AreaUnits:      accel.AreaUnits(design),
+		LegacyRebuild:  res.Forking.Legacy,
+		Forks:          res.Forking.Forks,
+		ForkReuses:     res.Forking.ReuseHits,
+		PagesCopied:    res.Forking.PagesCopied,
+		Rungs:          res.Forking.Rungs,
+		RungHits:       res.Forking.RungHits,
+		ReplayedCycles: res.Forking.ReplayedCycles,
 	}, nil
 }
 
@@ -465,6 +504,10 @@ type SweepOptions struct {
 	// Preset selects the CPU hardware configuration: "" or "table2" is
 	// the paper's Table II; "fast" is the scaled-down test preset.
 	Preset string
+	// LadderRungs forwards the checkpoint ladder to every cell's campaign
+	// (see CampaignOptions.LadderRungs); results are bit-identical for
+	// every value, so a resumed sweep may change it.
+	LadderRungs int
 
 	// Workers is the global worker budget shared by every concurrently
 	// running cell; 0 = GOMAXPROCS. CellParallel bounds how many cells
@@ -499,6 +542,9 @@ func (o SweepOptions) Validate() error {
 	}
 	if o.Faults <= 0 {
 		return fmt.Errorf("marvel: fault count must be positive, got %d", o.Faults)
+	}
+	if o.LadderRungs < 0 {
+		return fmt.Errorf("marvel: ladder rungs must be non-negative, got %d", o.LadderRungs)
 	}
 	models := make([]string, len(o.Models))
 	for i, m := range o.Models {
@@ -584,6 +630,10 @@ type SweepReport struct {
 	EarlyStops int64
 	Forks      uint64
 	ForkReuses uint64
+	// Checkpoint-ladder totals across all executed cells (see
+	// SweepOptions.LadderRungs).
+	RungHits       uint64
+	ReplayedCycles uint64
 
 	Elapsed time.Duration
 }
@@ -617,6 +667,7 @@ func RunSweep(o SweepOptions) (*SweepReport, error) {
 		WatchdogFactor:   o.WatchdogFactor,
 		PhysRegs:         o.PhysRegs,
 		Preset:           o.Preset,
+		LadderRungs:      o.LadderRungs,
 		Workers:          o.Workers,
 		CellParallel:     o.CellParallel,
 		OutDir:           o.OutDir,
@@ -644,16 +695,18 @@ func RunSweep(o SweepOptions) (*SweepReport, error) {
 		return nil, err
 	}
 	rep := &SweepReport{
-		Cells:         make([]SweepCell, len(res.Cells)),
-		CellsExecuted: res.Counters.CellsExecuted,
-		CellsSkipped:  res.Counters.CellsSkipped,
-		GoldenRuns:    res.Counters.GoldenRuns,
-		GoldenHits:    res.Counters.GoldenHits,
-		FaultsDone:    res.Counters.FaultsDone,
-		EarlyStops:    res.Counters.EarlyStops,
-		Forks:         res.Counters.Forks,
-		ForkReuses:    res.Counters.ForkReuses,
-		Elapsed:       res.Elapsed,
+		Cells:          make([]SweepCell, len(res.Cells)),
+		CellsExecuted:  res.Counters.CellsExecuted,
+		CellsSkipped:   res.Counters.CellsSkipped,
+		GoldenRuns:     res.Counters.GoldenRuns,
+		GoldenHits:     res.Counters.GoldenHits,
+		FaultsDone:     res.Counters.FaultsDone,
+		EarlyStops:     res.Counters.EarlyStops,
+		Forks:          res.Counters.Forks,
+		ForkReuses:     res.Counters.ForkReuses,
+		RungHits:       res.Counters.RungHits,
+		ReplayedCycles: res.Counters.ReplayedCycles,
+		Elapsed:        res.Elapsed,
 	}
 	for i, c := range res.Cells {
 		sc := SweepCell{

@@ -2,14 +2,16 @@
 # verify.sh — the repository's full verification gauntlet:
 #   1. tier-1: build + vet + full test suite
 #   2. race jobs: the CPU and accelerator campaigns' parallel paths under
-#      the race detector (including traced campaigns and atomic ForkStats)
+#      the race detector (including traced campaigns, atomic ForkStats
+#      and the checkpoint-ladder differential suite)
 #   3. sweep race job + differential guard: the orchestrator's two-level
 #      parallelism, golden-cache reuse and resume must be race-free and
 #      bit-identical to standalone campaigns
 #   4. observability guard: tracing must be zero-alloc on the golden path
 #      and must not perturb verdict streams
 #   5. bench guard: the forking ablations and tracing-overhead benches
-#      compile and run
+#      compile and run, and the checkpoint ladder demonstrably cuts
+#      pre-injection replay at least 2x on a long-window workload
 #   6. explain smoke test: the CLI narrates a known-SDC fault end to end
 #   7. server race job: the campaign service's worker pool, golden LRU,
 #      event streams and drain under the race detector, with served-vs-
@@ -32,6 +34,28 @@ echo "== race: parallel accel campaign determinism =="
 go test -race -run 'TestAccelCampaignWorkerInvariance|TestStandaloneForkResetEquivalence' ./internal/accel
 go test -race -run 'TestAccelCampaignEquivalenceStuckAt0|TestAccelMaskPopulationWindowIndependentOfSchedule' ./internal/accel
 go test -race -run 'TestAccelTracingDoesNotChangeVerdicts|TestAccelForkStatsUnderParallelWorkers' ./internal/accel
+
+echo "== race: checkpoint-ladder dispatch equivalence =="
+# The ladder's rung-sorted dispatch and per-rung scratch systems are the
+# newest parallel surface: the differential suite must pass under the
+# race detector, serial and 8-worker alike, on both engines.
+go test -race -run 'TestLadderEquivalenceSerialAndParallel|TestLadderForkStatsAccounting' ./internal/campaign
+go test -race -run 'TestAccelLadderEquivalenceSerialAndParallel|TestAccelLadderForkStatsAccounting' ./internal/accel
+
+# Guard: the ladder-vs-baseline differentials must exist and actually
+# pass — they carry the proof that rung forking never changes a verdict.
+for t in TestLadderEquivalenceAllTargets TestLadderTracedNarrationIdentical TestLadderStraddlingMaskAppliesInCycleOrder; do
+	go test -run "^${t}\$" -v ./internal/campaign | grep -q -- "--- PASS: ${t}" || {
+		echo "verify: ladder differential guard: ${t} did not run/pass" >&2
+		exit 1
+	}
+done
+for t in TestAccelLadderEquivalenceAllDesigns TestAccelLadderEquivalenceWindowOverride; do
+	go test -run "^${t}\$" -v ./internal/accel | grep -q -- "--- PASS: ${t}" || {
+		echo "verify: ladder differential guard: ${t} did not run/pass" >&2
+		exit 1
+	}
+done
 
 echo "== race: sweep orchestrator (golden cache, resume, worker budget) =="
 go test -race ./internal/sweep
@@ -65,6 +89,11 @@ go test -run '^TestTracerZeroAlloc$' -v ./internal/obs | grep -q -- '--- PASS: T
 echo "== bench guard: forking ablations + tracing overhead =="
 go test -run '^$' -bench 'BenchmarkAblation_CheckpointForking|BenchmarkAccelCampaign|BenchmarkTracingOverhead' -benchtime 1x .
 go test -run '^$' -bench 'BenchmarkTracerEmit' -benchtime 1000x ./internal/obs
+
+echo "== bench guard: ladder replay reduction =="
+# BenchmarkCampaignLadder fails (b.Fatalf) unless LadderRungs=8 cuts the
+# replayed pre-injection cycles at least 2x on the long-window workload.
+go test -run '^$' -bench '^BenchmarkCampaignLadder$' -benchtime 1x .
 
 echo "== explain smoke test: narrate a known-SDC fault =="
 # riscv/crc32/prf seed 1 index 10 classifies as SDC on the fast preset
