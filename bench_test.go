@@ -393,6 +393,76 @@ func BenchmarkCampaignLadder(b *testing.B) {
 		flat, laddered, float64(flat)/float64(laddered))
 }
 
+// BenchmarkCampaignAdaptive measures confidence-targeted sizing on a
+// low-AVF cell: the fixed budget is the classical worst-case sample size
+// (Leveugle et al., p = 0.5) for a ±5% margin, the adaptive run targets
+// the same ±5% but stops as soon as the Wilson interval around the
+// *observed* AVF converges. The adaptive record stream is a bit-identical
+// prefix of the fixed one (the adaptive equivalence suites prove it);
+// what changes is how many injections ever run. The benchmark reports
+// both counts and fails outright if adaptive saves less than 30% of the
+// budget at equal margin — the guard the verify script runs in CI.
+func BenchmarkCampaignAdaptive(b *testing.B) {
+	spec, err := workloads.ByName("crc32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := program.Compile(isa.RV64L{}, spec.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const margin = 0.05
+	base := campaign.Config{
+		Image:   img,
+		Preset:  config.Fast(),
+		Target:  "l1d",
+		Model:   core.Transient,
+		Faults:  1, // probe run to learn the population size
+		Seed:    77,
+		Workers: 4,
+	}
+	probe, err := campaign.Run(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := core.SampleSize(probe.TargetBits, margin, 1.96)
+	base.Faults = budget
+
+	var fixedN, adaptiveN int
+	b.Run("fixed-worst-case", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := campaign.Run(base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fixedN = len(res.Records)
+		}
+		b.ReportMetric(float64(fixedN), "injections")
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.TargetMargin = margin
+			res, err := campaign.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.AchievedMargin > margin {
+				b.Fatalf("stopped at ±%.4f, above the ±%.2f target", res.AchievedMargin, margin)
+			}
+			adaptiveN = len(res.Records)
+		}
+		b.ReportMetric(float64(adaptiveN), "injections")
+	})
+	saved := fixedN - adaptiveN
+	if float64(saved) < 0.30*float64(fixedN) {
+		b.Fatalf("adaptive ran %d of %d injections (saved %.0f%%) — want at least 30%% saved at the same ±%.2f margin",
+			adaptiveN, fixedN, 100*float64(saved)/float64(fixedN), margin)
+	}
+	fmt.Printf("\nAdaptive sizing: %d worst-case injections -> %d adaptive (%.0f%% saved) at ±%.0f%% margin, 95%% confidence\n",
+		fixedN, adaptiveN, 100*float64(saved)/float64(fixedN), 100*margin)
+}
+
 // BenchmarkAblation_InjectionDomain compares whole-array and valid-only
 // fault populations for the L1D (the DESIGN.md domain decision).
 func BenchmarkAblation_InjectionDomain(b *testing.B) {

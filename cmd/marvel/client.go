@@ -36,6 +36,8 @@ func cmdSubmit(args []string) error {
 	hvf := fs.Bool("hvf", false, "also run HVF analysis (campaign)")
 	validOnly := fs.Bool("validonly", true, "draw faults over live entries only (campaign)")
 	earlyTerm := fs.Bool("earlyterm", false, "enable early-termination optimizations (campaign)")
+	margin := fs.Float64("margin", 0, "adaptive sizing: stop once the Wilson half-width on AVF reaches this margin (0 = fixed -faults budget)")
+	confidence := fs.Float64("confidence", 0, "confidence z quantile for adaptive stopping and reported margins (0 = 1.96, i.e. 95%)")
 	preset := fs.String("preset", "table2", "CPU hardware preset (campaign)")
 	wait := fs.Bool("wait", false, "stream the job's events until it finishes (submit + watch)")
 	if err := fs.Parse(args); err != nil {
@@ -68,15 +70,19 @@ func cmdSubmit(args []string) error {
 				HVF:              *hvf,
 				ValidOnly:        *validOnly,
 				EarlyTermination: *earlyTerm,
+				TargetMargin:     *margin,
+				Confidence:       *confidence,
 				Preset:           *preset,
 			}}
 		case server.KindAccel:
 			req = server.Request{Kind: server.KindAccel, Accel: &marvel.AccelOptions{
-				Design:    *design,
-				Component: *comp,
-				Model:     marvel.FaultModel(*model),
-				Faults:    *faults,
-				Seed:      *seed,
+				Design:       *design,
+				Component:    *comp,
+				Model:        marvel.FaultModel(*model),
+				Faults:       *faults,
+				Seed:         *seed,
+				TargetMargin: *margin,
+				Confidence:   *confidence,
 			}}
 		default:
 			return usagef("unknown -kind %q (want campaign or accel; submit sweeps via -spec)", *kind)

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -134,6 +135,8 @@ func cmdCampaign(args []string) error {
 	workers := fs.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS); results are worker-count invariant")
 	legacyClone := fs.Bool("legacyclone", false, "deep-clone the checkpoint per run instead of CoW forking (A/B baseline)")
 	ladder := fs.Int("ladder", 0, "checkpoint-ladder rungs inside the injection window (0 = single checkpoint); results are bit-identical for every value")
+	margin := fs.Float64("margin", 0, "adaptive sizing: stop once the Wilson half-width on AVF reaches this margin (0 = fixed -faults budget); results are a bit-identical prefix of the fixed run")
+	confidence := fs.Float64("confidence", 0, "confidence z quantile for adaptive stopping and reported margins (0 = 1.96, i.e. 95%)")
 	preset := fs.String("preset", "table2", "CPU hardware preset: table2, fast")
 	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the campaign runs (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -156,6 +159,8 @@ func cmdCampaign(args []string) error {
 		Workers:          *workers,
 		LegacyClone:      *legacyClone,
 		LadderRungs:      *ladder,
+		TargetMargin:     *margin,
+		Confidence:       *confidence,
 	}
 	if err := opts.Validate(); err != nil {
 		return usageError{err}
@@ -176,7 +181,11 @@ func cmdCampaign(args []string) error {
 	}
 	fmt.Printf("workload=%s isa=%s target=%s model=%s\n", rep.Workload, rep.ISA, rep.Target, rep.Model)
 	fmt.Printf("golden: %d cycles, %d insts, IPC %.2f\n", rep.GoldenCycles, rep.GoldenInsts, rep.IPC)
-	fmt.Printf("faults: %d (margin ±%.2f%% at 95%%)\n", rep.Faults, 100*rep.Margin)
+	fmt.Printf("faults: %d (margin ±%.2f%% at %.0f%%)\n", rep.Faults, 100*rep.Margin, confidencePct(rep.Z))
+	if *margin > 0 {
+		fmt.Printf("adaptive: target ±%.2f%%, achieved ±%.2f%%, %d of %d budget (%d saved) in %d batches\n",
+			100**margin, 100*rep.AchievedMargin, rep.Faults, rep.Requested, rep.FaultsSaved, rep.Batches)
+	}
 	fmt.Printf("masked=%d sdc=%d crash=%d early-stops=%d\n", rep.Masked, rep.SDC, rep.Crash, rep.EarlyStops)
 	fmt.Printf("AVF=%.4f (SDC %.4f + Crash %.4f)\n", rep.AVF, rep.SDCAVF, rep.CrashAVF)
 	if rep.HVFMeasured {
@@ -202,6 +211,16 @@ type progressLine struct {
 	ElapsedSec float64              `json:"elapsed_sec"`
 	ETASec     float64              `json:"eta_sec"`
 	Metrics    obs.RegistrySnapshot `json:"metrics"`
+}
+
+// confidencePct converts a z quantile to its two-sided confidence level
+// in percent (1.96 → 95), so reported margins name the confidence they
+// were actually computed at instead of a hard-coded "95%".
+func confidencePct(z float64) float64 {
+	if z <= 0 {
+		z = 1.96
+	}
+	return 100 * math.Erf(z/math.Sqrt2)
 }
 
 // csvList splits a comma-separated flag value; empty means nil.
@@ -237,6 +256,8 @@ func cmdSweep(args []string) error {
 	physRegs := fs.Int("physregs", 0, "override physical register count (0 = 128)")
 	preset := fs.String("preset", "table2", "CPU hardware preset: table2, fast")
 	ladder := fs.Int("ladder", 0, "checkpoint-ladder rungs per cell (0 = single checkpoint); results are bit-identical for every value")
+	margin := fs.Float64("margin", 0, "adaptive sizing: each cell stops once its Wilson half-width on AVF reaches this margin (0 = fixed -faults per cell); the journal records each cell's achieved N")
+	confidence := fs.Float64("confidence", 0, "confidence z quantile for adaptive stopping and reported margins (0 = 1.96, i.e. 95%)")
 	workers := fs.Int("workers", 0, "global worker budget across cells (0 = GOMAXPROCS); results are worker-count invariant")
 	cellPar := fs.Int("cellpar", 0, "concurrent cells (0 = up to 3)")
 	out := fs.String("out", "", "persist + resume directory (manifest.json, cells.jsonl)")
@@ -266,6 +287,8 @@ func cmdSweep(args []string) error {
 		PhysRegs:         *physRegs,
 		Preset:           *preset,
 		LadderRungs:      *ladder,
+		TargetMargin:     *margin,
+		Confidence:       *confidence,
 		Workers:          *workers,
 		CellParallel:     *cellPar,
 		OutDir:           *out,
@@ -306,6 +329,9 @@ func cmdSweep(args []string) error {
 			line := fmt.Sprintf("\r\x1b[Kcells %d/%d (%d resumed) | faults %d/%d | early-stops %d",
 				s.CellsFinished+s.CellsSkipped, s.TotalCells, s.CellsSkipped,
 				s.FaultsDone, s.TotalFaults, s.EarlyStops)
+			if s.FaultsSaved > 0 {
+				line += fmt.Sprintf(" | saved %d", s.FaultsSaved)
+			}
 			if s.CellsPerSec > 0 {
 				line += fmt.Sprintf(" | %.2f cells/s", s.CellsPerSec)
 			}
@@ -358,6 +384,10 @@ func cmdSweep(args []string) error {
 		res.Counters.GoldenRuns, res.Counters.GoldenHits,
 		res.Counters.FaultsDone, res.Counters.EarlyStops,
 		res.Counters.Forks, res.Counters.ForkReuses)
+	if res.Counters.FaultsSaved > 0 {
+		fmt.Printf("adaptive: %d budgeted injections saved (target ±%.2f%% at %.0f%%)\n",
+			res.Counters.FaultsSaved, 100**margin, confidencePct(*confidence))
+	}
 	if res.Counters.RungHits > 0 {
 		fmt.Printf("ladder: %d rung hits, %d cycles replayed pre-injection\n",
 			res.Counters.RungHits, res.Counters.ReplayedCycles)
@@ -486,6 +516,8 @@ func cmdAccel(args []string) error {
 	workers := fs.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS); results are worker-count invariant")
 	legacyRebuild := fs.Bool("legacyrebuild", false, "rebuild the harness per fault instead of fork/reset reuse (A/B baseline)")
 	ladder := fs.Int("ladder", 0, "checkpoint-ladder rungs inside the injection window (0 = single checkpoint); results are bit-identical for every value")
+	margin := fs.Float64("margin", 0, "adaptive sizing: stop once the Wilson half-width on AVF reaches this margin (0 = fixed -faults budget); results are a bit-identical prefix of the fixed run")
+	confidence := fs.Float64("confidence", 0, "confidence z quantile for adaptive stopping and reported margins (0 = 1.96, i.e. 95%)")
 	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the campaign runs (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -500,6 +532,8 @@ func cmdAccel(args []string) error {
 		Workers:         *workers,
 		LegacyRebuild:   *legacyRebuild,
 		LadderRungs:     *ladder,
+		TargetMargin:    *margin,
+		Confidence:      *confidence,
 	}
 	if err := opts.Validate(); err != nil {
 		return usageError{err}
@@ -520,7 +554,11 @@ func cmdAccel(args []string) error {
 	}
 	fmt.Printf("design=%s component=%s task=%d cycles area=%.1f\n",
 		rep.Design, rep.Component, rep.TaskCycles, rep.AreaUnits)
-	fmt.Printf("faults: %d (margin ±%.2f%%)\n", rep.Faults, 100*rep.Margin)
+	fmt.Printf("faults: %d (margin ±%.2f%% at %.0f%%)\n", rep.Faults, 100*rep.Margin, confidencePct(rep.Z))
+	if *margin > 0 {
+		fmt.Printf("adaptive: target ±%.2f%%, achieved ±%.2f%%, %d of %d budget (%d saved) in %d batches\n",
+			100**margin, 100*rep.AchievedMargin, rep.Faults, rep.Requested, rep.FaultsSaved, rep.Batches)
+	}
 	fmt.Printf("masked=%d sdc=%d crash=%d\n", rep.Masked, rep.SDC, rep.Crash)
 	fmt.Printf("AVF=%.4f (SDC %.4f + Crash %.4f)\n", rep.AVF, rep.SDCAVF, rep.CrashAVF)
 	strategy := "fork-reset"

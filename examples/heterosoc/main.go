@@ -65,13 +65,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cpuOPF := marvel.OPF(gold.Ops, gold.Cycles, cpuRep.AVF)
-	dsaOPF := marvel.OPF(gold.Ops, dsaRep.TaskCycles, dsaRep.AVF)
+	cpuOPF, cpuMeasured := marvel.OPF(gold.Ops, gold.Cycles, cpuRep.AVF)
+	dsaOPF, dsaMeasured := marvel.OPF(gold.Ops, dsaRep.TaskCycles, dsaRep.AVF)
 	fmt.Println("fft on CPU (riscv, L1D faults) vs fft DSA (REAL SPM faults):")
-	fmt.Printf("  CPU: AVF=%.3f cycles=%-7d OPF=%.3g ops-per-failure\n", cpuRep.AVF, gold.Cycles, cpuOPF)
-	fmt.Printf("  DSA: AVF=%.3f cycles=%-7d OPF=%.3g ops-per-failure\n", dsaRep.AVF, dsaRep.TaskCycles, dsaOPF)
-	if dsaOPF > cpuOPF {
+	fmt.Printf("  CPU: AVF=%.3f cycles=%-7d OPF=%s ops-per-failure\n", cpuRep.AVF, gold.Cycles, opfString(cpuOPF, cpuMeasured))
+	fmt.Printf("  DSA: AVF=%.3f cycles=%-7d OPF=%s ops-per-failure\n", dsaRep.AVF, dsaRep.TaskCycles, opfString(dsaOPF, dsaMeasured))
+	if cpuMeasured && dsaMeasured && dsaOPF > cpuOPF {
 		fmt.Println("  -> the accelerator is more vulnerable per fault, but its speed")
 		fmt.Println("     buys more correct executions per failure (Observation #7).")
 	}
+}
+
+// opfString renders an OPF value, or "n/a" when the campaign observed no
+// failures (no finite OPF exists for AVF = 0).
+func opfString(opf float64, measured bool) string {
+	if !measured {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3g", opf)
 }

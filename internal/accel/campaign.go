@@ -23,6 +23,21 @@ type CampaignConfig struct {
 	Model  core.Model
 	Faults int
 	Seed   int64
+	// TargetMargin > 0 selects adaptive confidence-targeted sizing, exactly
+	// as in campaign.Config: faults are dispatched in batches from the
+	// prefix-stable per-index derivation, the Wilson half-width of the AVF
+	// estimate is recomputed after each completed batch, and the campaign
+	// stops once it drops to TargetMargin — leaving a record stream that is
+	// an exact prefix of the fixed-budget run's. 0 keeps the fixed budget.
+	TargetMargin float64
+	// Confidence is the normal quantile z for margins (adaptive stop and
+	// the reported Margin); <= 0 keeps the default 1.96 (95%).
+	Confidence float64
+	// MinFaults floors the adaptive sample; MaxFaults caps it (0 = Faults).
+	MinFaults int
+	MaxFaults int
+	// BatchSize is the adaptive dispatch granularity; <= 0 picks 32.
+	BatchSize int
 	// WatchdogFactor bounds faulty tasks at factor × golden cycles.
 	WatchdogFactor float64
 	// WindowOverride, when non-zero, draws injection cycles from
@@ -204,7 +219,19 @@ type CampaignResult struct {
 	// the execution schedule.
 	Records []Record
 	Counts  metrics.Counts
-	Margin  float64
+	// Margin is the sampling error over the component's bit population
+	// for the achieved sample size, at quantile Z.
+	Margin float64
+	// Z is the confidence quantile margins were computed at.
+	Z float64
+	// Requested is the planned fault budget; len(Records) may be smaller
+	// when adaptive sizing stopped early. FaultsSaved is the difference
+	// and Batches how many dispatch batches ran.
+	Requested   int
+	FaultsSaved int
+	Batches     int
+	// AchievedMargin is the Wilson half-width of the final AVF estimate.
+	AchievedMargin float64
 	// Forking describes how faulty runs were set up.
 	Forking ForkStats
 }
@@ -243,14 +270,40 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 	if cfg.LadderRungs < 0 {
 		return nil, fmt.Errorf("accel: ladder rungs must be non-negative, got %d", cfg.LadderRungs)
 	}
+	if cfg.TargetMargin < 0 || cfg.TargetMargin >= 1 {
+		return nil, fmt.Errorf("accel: target margin must be in [0, 1), got %v", cfg.TargetMargin)
+	}
+	if cfg.Confidence < 0 {
+		return nil, fmt.Errorf("accel: confidence quantile must be non-negative, got %v", cfg.Confidence)
+	}
+	if cfg.MinFaults < 0 || cfg.MaxFaults < 0 {
+		return nil, fmt.Errorf("accel: min/max faults must be non-negative, got %d/%d", cfg.MinFaults, cfg.MaxFaults)
+	}
+	z := cfg.Confidence
+	if z <= 0 {
+		z = 1.96
+	}
+	adaptive := cfg.TargetMargin > 0
+	batchSize := cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	budget := cfg.Faults
+	if adaptive && cfg.MaxFaults > 0 {
+		budget = cfg.MaxFaults
+	}
+	minFaults := cfg.MinFaults
+	if minFaults > budget {
+		minFaults = budget
+	}
 	if cfg.WatchdogFactor <= 1 {
 		cfg.WatchdogFactor = 4
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.Workers > cfg.Faults {
-		cfg.Workers = cfg.Faults
+	if cfg.Workers > budget {
+		cfg.Workers = budget
 	}
 
 	base, goldenOut, goldenCycles := g.base, g.Output, g.Cycles
@@ -269,15 +322,16 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 	if cfg.WindowOverride > 0 {
 		window = cfg.WindowOverride
 	}
-	budget := uint64(float64(goldenCycles)*cfg.WatchdogFactor) + 5000
+	cycleBudget := uint64(float64(goldenCycles)*cfg.WatchdogFactor) + 5000
 
 	res := &CampaignResult{
 		Target:       cfg.Target,
 		GoldenCycles: goldenCycles,
 		GoldenOutput: goldenOut,
 		TargetBits:   gb.BitLen(),
-		Records:      make([]Record, cfg.Faults),
-		Margin:       core.MarginFor(gb.BitLen(), cfg.Faults, 1.96),
+		Records:      make([]Record, budget),
+		Z:            z,
+		Requested:    budget,
 	}
 	res.Forking.Legacy = cfg.LegacyRebuild
 
@@ -286,7 +340,7 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 	// mask and lets the ladder sort dispatch order by injection cycle.
 	// [1, window+1) reproduces the historical "window w" population bit for
 	// bit (see core.DeriveFault).
-	faults := make([]core.Fault, cfg.Faults)
+	faults := make([]core.Fault, budget)
 	for i := range faults {
 		faults[i] = core.DeriveFault(cfg.Seed, i, cfg.Target, cfg.Model, gb.BitLen(), 1, window+1)
 	}
@@ -301,27 +355,20 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 		rungs = g.ladder(cfg.LadderRungs, window)
 	}
 	res.Forking.Rungs = len(rungs) - 1
-	rungOf := make([]int, cfg.Faults)
-	order := make([]int, cfg.Faults)
-	for i := range order {
-		order[i] = i
-	}
+	rungOf := make([]int, budget)
 	if len(rungs) > 1 {
 		for i, f := range faults {
 			for ri := 1; ri < len(rungs) && rungs[ri].cycle < f.Cycle; ri++ {
 				rungOf[i] = ri
 			}
 		}
-		// Group masks by rung so each worker forks once per rung it serves
-		// instead of thrashing between fork bases; stable within a rung to
-		// keep cache-friendly index order. Records are indexed by mask, so
-		// results stay schedule-independent.
-		sort.SliceStable(order, func(a, b int) bool { return rungOf[order[a]] < rungOf[order[b]] })
 	}
 
 	var statsMu sync.Mutex
 	var firstErr error
-	var wg sync.WaitGroup
+	var failed atomic.Bool
+	var wg sync.WaitGroup      // worker lifetimes
+	var pending sync.WaitGroup // in-flight faults of the current batch
 	work := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -331,16 +378,22 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 			scratchRung := -1
 			var forks, reuses, rungHits, replayed uint64
 			var wErr error
-			for i := range work {
+			process := func(i int) {
 				if wErr != nil {
-					continue // drain the queue after a setup failure
+					return // drain the queue after a setup failure
 				}
 				r := rungOf[i]
 				var s *Standalone
 				if cfg.LegacyRebuild {
 					s, wErr = NewStandalone(cfg.Design, cfg.Task)
 					if wErr != nil {
-						continue
+						statsMu.Lock()
+						if firstErr == nil {
+							firstErr = wErr
+						}
+						statsMu.Unlock()
+						failed.Store(true)
+						return
 					}
 					forks++
 				} else if scratch == nil || scratchRung != r {
@@ -363,10 +416,14 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 				if !f.Model.Permanent() && f.Cycle > rungs[r].cycle {
 					replayed += f.Cycle - rungs[r].cycle
 				}
-				res.Records[i] = Record{Fault: f, Verdict: runFaulty(s, bankIdx, f, budget, goldenOut, cfg.Trace)}
+				res.Records[i] = Record{Fault: f, Verdict: runFaulty(s, bankIdx, f, cycleBudget, goldenOut, cfg.Trace)}
 				if cfg.OnVerdict != nil {
 					cfg.OnVerdict(i, res.Records[i].Verdict)
 				}
+			}
+			for i := range work {
+				process(i)
+				pending.Done()
 			}
 			atomic.AddUint64(&res.Forking.Forks, forks)
 			atomic.AddUint64(&res.Forking.ReuseHits, reuses)
@@ -375,17 +432,44 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 			if scratch != nil {
 				atomic.AddUint64(&res.Forking.PagesCopied, scratch.ForkPagesCopied())
 			}
-			if wErr != nil {
-				statsMu.Lock()
-				if firstErr == nil {
-					firstErr = wErr
-				}
-				statsMu.Unlock()
-			}
 		}()
 	}
-	for _, i := range order {
-		work <- i
+
+	// Batched dispatch, mirroring campaign.RunWithGolden: contiguous
+	// index ranges keep the executed set a stream prefix [0, done); rung
+	// sorting applies inside each batch only.
+	done := 0
+	for done < budget {
+		hi := budget
+		if adaptive && done+batchSize < hi {
+			hi = done + batchSize
+		}
+		batch := make([]int, hi-done)
+		for j := range batch {
+			batch[j] = done + j
+		}
+		if len(rungs) > 1 {
+			sort.SliceStable(batch, func(a, b int) bool { return rungOf[batch[a]] < rungOf[batch[b]] })
+		}
+		pending.Add(len(batch))
+		for _, i := range batch {
+			work <- i
+		}
+		pending.Wait()
+		done = hi
+		res.Batches++
+		if failed.Load() {
+			break
+		}
+		if adaptive && done >= minFaults && done < budget {
+			var c metrics.Counts
+			for _, r := range res.Records[:done] {
+				c.Add(r.Verdict)
+			}
+			if metrics.Confidence(c.AVF(), done, z).Half() <= cfg.TargetMargin {
+				break
+			}
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -395,9 +479,13 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 		return nil, fmt.Errorf("accel: faulty-run setup: %w", firstErr)
 	}
 
+	res.Records = res.Records[:done]
+	res.FaultsSaved = res.Requested - done
+	res.Margin = core.MarginFor(gb.BitLen(), done, z)
 	for _, r := range res.Records {
 		res.Counts.Add(r.Verdict)
 	}
+	res.AchievedMargin = metrics.Confidence(res.Counts.AVF(), done, z).Half()
 	return res, nil
 }
 

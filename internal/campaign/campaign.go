@@ -71,6 +71,31 @@ type Config struct {
 	Seed         int64
 	Domain       core.Domain
 
+	// TargetMargin > 0 selects adaptive confidence-targeted sizing: masks
+	// are dispatched in batches drawn from the same prefix-stable stream a
+	// fixed-budget campaign uses, the Wilson half-width of the AVF
+	// estimate is recomputed after every completed batch, and the campaign
+	// stops as soon as it drops to TargetMargin — the record stream is
+	// then an exact prefix of the fixed-budget run's (same masks, same
+	// verdicts, same digests). 0 keeps the fixed Faults budget.
+	TargetMargin float64
+	// Confidence is the normal quantile z the campaign's margins are
+	// computed at — both the adaptive stop decision and the reported
+	// Margin; <= 0 keeps the default 1.96 (95%).
+	Confidence float64
+	// MinFaults floors the adaptive sample: the stop condition is not
+	// evaluated before this many faults completed (tiny samples make the
+	// Wilson interval wide, so the floor mostly guards against a
+	// pathological TargetMargin near 1). 0 means no floor.
+	MinFaults int
+	// MaxFaults caps the adaptive sample; 0 means Faults is the cap.
+	// Ignored when TargetMargin is 0.
+	MaxFaults int
+	// BatchSize is the adaptive dispatch granularity (the stop condition
+	// is evaluated at batch boundaries); <= 0 picks 32. The batch size
+	// never changes verdicts, only how often the campaign may stop.
+	BatchSize int
+
 	Workers int
 	// HVF enables commit-trace comparison alongside AVF classification
 	// (same masks, same runs — the paper's combined mode).
@@ -170,9 +195,22 @@ type Result struct {
 	TargetBits uint64
 	Records    []Record
 	Counts     metrics.Counts
-	// Margin is the statistical error at 95% confidence for this sample
-	// size over the target's bit population.
+	// Margin is the Leveugle et al. sampling error over the target's bit
+	// population for the achieved sample size, at quantile Z.
 	Margin float64
+	// Z is the confidence quantile the margins were actually computed
+	// at (Config.Confidence, defaulted).
+	Z float64
+	// Requested is the planned fault budget. len(Records) may be smaller
+	// when adaptive sizing stopped early; FaultsSaved is the difference.
+	Requested   int
+	FaultsSaved int
+	// Batches is how many dispatch batches ran (1 for a fixed campaign).
+	Batches int
+	// AchievedMargin is the Wilson half-width of the final AVF estimate
+	// at quantile Z — the quantity adaptive sizing drives down to
+	// Config.TargetMargin.
+	AchievedMargin float64
 	// Forking describes how faulty runs were forked from the checkpoint.
 	Forking ForkStats
 }
@@ -334,11 +372,45 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 	if cfg.LadderRungs < 0 {
 		return nil, fmt.Errorf("campaign: ladder rungs must be non-negative, got %d", cfg.LadderRungs)
 	}
+	if cfg.TargetMargin < 0 || cfg.TargetMargin >= 1 {
+		return nil, fmt.Errorf("campaign: target margin must be in [0, 1), got %v", cfg.TargetMargin)
+	}
+	if cfg.Confidence < 0 {
+		return nil, fmt.Errorf("campaign: confidence quantile must be non-negative, got %v", cfg.Confidence)
+	}
+	if cfg.MinFaults < 0 || cfg.MaxFaults < 0 {
+		return nil, fmt.Errorf("campaign: min/max faults must be non-negative, got %d/%d", cfg.MinFaults, cfg.MaxFaults)
+	}
+	z := cfg.Confidence
+	if z <= 0 {
+		z = 1.96
+	}
+	adaptive := cfg.TargetMargin > 0
+	batchSize := cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	// The budget is the fixed-campaign fault count: the adaptive run draws
+	// its masks from the first `budget` entries of the same stream, so an
+	// early stop at N leaves exactly the fixed run's first N records.
+	budget := cfg.Faults
+	if adaptive && cfg.MaxFaults > 0 {
+		budget = cfg.MaxFaults
+	}
+	minFaults := cfg.MinFaults
+	if minFaults > budget {
+		minFaults = budget
+	}
 
 	golden, base := &g.Info, g.base
 	goldenTrace, commitsAtCkpt := g.trace, g.commitsAtCkpt
 
-	masks, bits, err := buildMasks(cfg, base, golden)
+	// Generate the whole budget up front: mask i depends only on (Seed, i,
+	// target geometry), so the population is identical whether or not the
+	// campaign later stops early.
+	maskCfg := cfg
+	maskCfg.Faults = budget
+	masks, bits, err := buildMasks(maskCfg, base, golden)
 	if err != nil {
 		return nil, err
 	}
@@ -353,7 +425,8 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 		Golden:     *golden,
 		TargetBits: bits,
 		Records:    make([]Record, len(masks)),
-		Margin:     core.MarginFor(bits, len(masks), 1.96),
+		Z:          z,
+		Requested:  budget,
 	}
 
 	// The checkpoint ladder: rung 0 is the window-start checkpoint;
@@ -366,18 +439,10 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 	}
 	res.Forking.Rungs = len(rungs) - 1
 	rungOf := make([]int, len(masks))
-	order := make([]int, len(masks))
-	for i := range order {
-		order[i] = i
-	}
 	if len(rungs) > 1 {
 		for i := range masks {
 			rungOf[i] = rungFor(rungs, masks[i])
 		}
-		// Dispatch in rung order so each worker's scratch walks the ladder
-		// monotonically and is re-forked at most once per rung. Records are
-		// indexed by mask ID, so results stay order-invariant.
-		sort.SliceStable(order, func(a, b int) bool { return rungOf[order[a]] < rungOf[order[b]] })
 	}
 
 	// Per-rung golden-trace views for the HVF comparator: a run forked at
@@ -395,7 +460,11 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 	res.Forking.Legacy = cfg.LegacyClone
 	var statsMu sync.Mutex
 	var firstErr error
-	var wg sync.WaitGroup
+	// failed mirrors firstErr != nil for the dispatcher's between-batch
+	// check without taking statsMu on every worker iteration.
+	var failed atomic.Bool
+	var wg sync.WaitGroup      // worker goroutine lifetimes
+	var pending sync.WaitGroup // in-flight masks of the current batch
 	work := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -403,15 +472,15 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 			defer wg.Done()
 			// Each worker forks one copy-on-write scratch system from its
 			// current rung and rolls it back between masks, re-forking when
-			// the dispatch order moves it to a deeper rung; legacy mode
+			// the dispatch order moves it to a different rung; legacy mode
 			// instead deep-clones the rung snapshot for every mask.
 			var scratch *soc.System
 			scratchRung := -1
 			var forks, reuses, rungHits, replayed uint64
 			var wErr error
-			for i := range work {
+			process := func(i int) {
 				if wErr != nil {
-					continue // drain the queue after an infrastructure failure
+					return // drain the queue after an infrastructure failure
 				}
 				r := rungOf[i]
 				var s *soc.System
@@ -442,12 +511,24 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 				var v classify.Verdict
 				v, wErr = runOne(cfg, s, golden, subTraces[r], rungs[r].commits-commitsAtCkpt, armCycle, masks[i])
 				if wErr != nil {
-					continue
+					// Record the failure immediately: the dispatcher checks it
+					// between batches, not only after all workers exit.
+					statsMu.Lock()
+					if firstErr == nil {
+						firstErr = wErr
+					}
+					statsMu.Unlock()
+					failed.Store(true)
+					return
 				}
 				res.Records[i] = Record{Mask: masks[i], Verdict: v}
 				if cfg.OnVerdict != nil {
 					cfg.OnVerdict(i, v)
 				}
+			}
+			for i := range work {
+				process(i)
+				pending.Done()
 			}
 			atomic.AddUint64(&res.Forking.Forks, forks)
 			atomic.AddUint64(&res.Forking.ReuseHits, reuses)
@@ -458,17 +539,48 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 				atomic.AddUint64(&res.Forking.PagesCopied, pages)
 				atomic.AddUint64(&res.Forking.CacheSetsRestored, sets)
 			}
-			if wErr != nil {
-				statsMu.Lock()
-				if firstErr == nil {
-					firstErr = wErr
-				}
-				statsMu.Unlock()
-			}
 		}()
 	}
-	for _, i := range order {
-		work <- i
+
+	// Batched dispatch. A fixed campaign is one batch spanning the whole
+	// budget; an adaptive campaign sends masks [done, hi) per batch and
+	// re-evaluates the Wilson half-width at each barrier. Batches are
+	// contiguous mask-index ranges, so the set of executed masks is always
+	// the stream prefix [0, done) — the invariant the differential suite
+	// proves — while rung sorting inside a batch keeps each worker's
+	// scratch walking the ladder monotonically.
+	done := 0
+	for done < len(masks) {
+		hi := len(masks)
+		if adaptive && done+batchSize < hi {
+			hi = done + batchSize
+		}
+		batch := make([]int, hi-done)
+		for j := range batch {
+			batch[j] = done + j
+		}
+		if len(rungs) > 1 {
+			sort.SliceStable(batch, func(a, b int) bool { return rungOf[batch[a]] < rungOf[batch[b]] })
+		}
+		pending.Add(len(batch))
+		for _, i := range batch {
+			work <- i
+		}
+		pending.Wait()
+		done = hi
+		res.Batches++
+		if failed.Load() {
+			break
+		}
+		if adaptive && done >= minFaults && done < len(masks) {
+			var c metrics.Counts
+			for _, r := range res.Records[:done] {
+				c.Add(r.Verdict)
+			}
+			if metrics.Confidence(c.AVF(), done, z).Half() <= cfg.TargetMargin {
+				break
+			}
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -479,6 +591,9 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 		return nil, firstErr
 	}
 
+	res.Records = res.Records[:done]
+	res.FaultsSaved = res.Requested - done
+	res.Margin = core.MarginFor(bits, done, z)
 	for _, r := range res.Records {
 		res.Counts.Add(r.Verdict)
 		// The HVF view only exists when the commit-trace analysis ran;
@@ -487,6 +602,7 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 			res.Counts.AddHVF(r.Verdict)
 		}
 	}
+	res.AchievedMargin = metrics.Confidence(res.Counts.AVF(), done, z).Half()
 	return res, nil
 }
 

@@ -273,7 +273,7 @@ func Fig16(p Params) error {
 			cpuCycles = res.Golden.Cycles
 		}
 		cpuSDC, cpuCrash := sdcW/bitsW, crashW/bitsW
-		cpuOPF := metrics.OPF(ops, cpuCycles, clockHz, cpuSDC+cpuCrash)
+		cpuOPF, cpuOPFOk := metrics.OPF(ops, cpuCycles, clockHz, cpuSDC+cpuCrash)
 
 		spec, err := machsuite.ByName(name)
 		if err != nil {
@@ -296,14 +296,24 @@ func Fig16(p Params) error {
 			dsaCycles = res.GoldenCycles
 		}
 		dsaSDC, dsaCrash := dSDC/dBits, dCrash/dBits
-		dsaOPF := metrics.OPF(ops, dsaCycles, clockHz, dsaSDC+dsaCrash)
+		dsaOPF, dsaOPFOk := metrics.OPF(ops, dsaCycles, clockHz, dsaSDC+dsaCrash)
 
-		fmt.Fprintf(p.W, "%-10s %-5s %7.1f%% %7.1f%% %7.1f%% %9d %12.3g\n",
-			name, "CPU", 100*cpuSDC, 100*cpuCrash, 100*(cpuSDC+cpuCrash), cpuCycles, cpuOPF)
-		fmt.Fprintf(p.W, "%-10s %-5s %7.1f%% %7.1f%% %7.1f%% %9d %12.3g\n",
-			name, "DSA", 100*dsaSDC, 100*dsaCrash, 100*(dsaSDC+dsaCrash), dsaCycles, dsaOPF)
+		fmt.Fprintf(p.W, "%-10s %-5s %7.1f%% %7.1f%% %7.1f%% %9d %12s\n",
+			name, "CPU", 100*cpuSDC, 100*cpuCrash, 100*(cpuSDC+cpuCrash), cpuCycles, opfCol(cpuOPF, cpuOPFOk))
+		fmt.Fprintf(p.W, "%-10s %-5s %7.1f%% %7.1f%% %7.1f%% %9d %12s\n",
+			name, "DSA", 100*dsaSDC, 100*dsaCrash, 100*(dsaSDC+dsaCrash), dsaCycles, opfCol(dsaOPF, dsaOPFOk))
 	}
 	return nil
+}
+
+// opfCol renders an OPF cell: a fully-masked campaign has no finite OPF,
+// so the column stays blank rather than printing +Inf (the same
+// convention as the unmeasured-HVF column).
+func opfCol(opf float64, measured bool) string {
+	if !measured {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g", opf)
 }
 
 // Fig17 runs the gemm design-space exploration under a common injection

@@ -151,14 +151,16 @@ func OPS(ops float64, cycles uint64, clockHz float64) float64 {
 
 // OPF implements the paper's §V-G Operations-per-Failure metric,
 // OPF = OPS / AVF: the number of operations executed before a failure is
-// expected. Larger is a better reliability/performance trade-off. An AVF
-// of zero yields +Inf (no observed failures).
-func OPF(ops float64, cycles uint64, clockHz float64, avf float64) float64 {
-	ops64 := OPS(ops, cycles, clockHz)
+// expected. Larger is a better reliability/performance trade-off. A
+// campaign that observed zero failures has no finite OPF — the division
+// would yield +Inf, which encoding/json cannot marshal — so measured
+// reports false and the value is 0: "no failure observed over this
+// sample", not "zero operations per failure".
+func OPF(ops float64, cycles uint64, clockHz float64, avf float64) (opf float64, measured bool) {
 	if avf == 0 {
-		return math.Inf(1)
+		return 0, false
 	}
-	return ops64 / avf
+	return OPS(ops, cycles, clockHz) / avf, true
 }
 
 // Interval is a confidence interval for an estimated proportion. The
@@ -166,6 +168,15 @@ func OPF(ops float64, cycles uint64, clockHz float64, avf float64) float64 {
 // always inside [0, 1].
 type Interval struct {
 	P, Lo, Hi float64
+}
+
+// Half is the interval's conservative half-width: the larger distance
+// from the point estimate to either bound. Adaptive campaign sizing
+// stops once Half() drops to the requested target margin; using the
+// larger side keeps the stop decision conservative on the asymmetric
+// Wilson interval.
+func (iv Interval) Half() float64 {
+	return math.Max(iv.P-iv.Lo, iv.Hi-iv.P)
 }
 
 // Confidence returns the Wilson score interval for proportion p over n

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -111,24 +112,42 @@ func TestOPSAndOPF(t *testing.T) {
 		t.Fatalf("OPS %g", got)
 	}
 	// OPF = OPS / AVF.
-	if got := OPF(1000, 1000, 1e9, 0.5); math.Abs(got-2e9) > 1 {
-		t.Fatalf("OPF %g", got)
+	if got, ok := OPF(1000, 1000, 1e9, 0.5); !ok || math.Abs(got-2e9) > 1 {
+		t.Fatalf("OPF %g measured=%v", got, ok)
 	}
-	if !math.IsInf(OPF(1000, 1000, 1e9, 0), 1) {
-		t.Fatal("zero AVF should give +Inf OPF")
+	// Zero AVF has no finite OPF: the old +Inf result broke JSON
+	// encoding of any report carrying a fully-masked cell.
+	if got, ok := OPF(1000, 1000, 1e9, 0); ok || got != 0 {
+		t.Fatalf("zero AVF should be unmeasured, got %g measured=%v", got, ok)
 	}
 	if OPS(1000, 0, 1e9) != 0 {
 		t.Fatal("zero cycles should give 0 OPS")
 	}
 }
 
+// TestOPFMarshalable pins the satellite fix: an unmeasured OPF must stay
+// JSON-encodable, where the former +Inf made json.Marshal fail.
+func TestOPFMarshalable(t *testing.T) {
+	opf, measured := OPF(1000, 1000, 1e9, 0)
+	raw, err := json.Marshal(struct {
+		OPF      float64 `json:"opf"`
+		Measured bool    `json:"measured"`
+	}{opf, measured})
+	if err != nil {
+		t.Fatalf("unmeasured OPF must marshal: %v", err)
+	}
+	if string(raw) != `{"opf":0,"measured":false}` {
+		t.Fatalf("unexpected encoding %s", raw)
+	}
+}
+
 func TestOPFMonotonicity(t *testing.T) {
 	// Faster or less vulnerable platforms always score higher.
-	base := OPF(1e6, 10000, 1e9, 0.4)
-	if OPF(1e6, 5000, 1e9, 0.4) <= base {
+	base, _ := OPF(1e6, 10000, 1e9, 0.4)
+	if got, _ := OPF(1e6, 5000, 1e9, 0.4); got <= base {
 		t.Error("faster platform must have higher OPF")
 	}
-	if OPF(1e6, 10000, 1e9, 0.2) <= base {
+	if got, _ := OPF(1e6, 10000, 1e9, 0.2); got <= base {
 		t.Error("less vulnerable platform must have higher OPF")
 	}
 }

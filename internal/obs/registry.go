@@ -87,6 +87,10 @@ type Registry struct {
 	// EarlyStops counts verdicts decided by §IV-B early termination
 	// (invalid-entry or dead-fault masking).
 	EarlyStops Counter
+	// FaultsSaved counts budgeted injections that adaptive confidence
+	// sizing stopped short of running (budget minus achieved N, summed
+	// over finished cells).
+	FaultsSaved Counter
 	// HVFCorrupt counts runs whose commit trace diverged from golden.
 	HVFCorrupt Counter
 
@@ -177,6 +181,7 @@ type RegistrySnapshot struct {
 	SDC            uint64            `json:"sdc"`
 	Crash          uint64            `json:"crash"`
 	EarlyStops     uint64            `json:"early_stops"`
+	FaultsSaved    uint64            `json:"faults_saved"`
 	HVFCorrupt     uint64            `json:"hvf_corrupt"`
 	FaultsPerSec   float64           `json:"faults_per_sec"`
 	Forks          uint64            `json:"forks"`
@@ -202,6 +207,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		SDC:            r.SDC.Load(),
 		Crash:          r.Crash.Load(),
 		EarlyStops:     r.EarlyStops.Load(),
+		FaultsSaved:    r.FaultsSaved.Load(),
 		HVFCorrupt:     r.HVFCorrupt.Load(),
 		FaultsPerSec:   r.FaultsPerSec(),
 		Forks:          r.Forks.Load(),

@@ -122,6 +122,10 @@ func (r Request) grid() sweep.Spec {
 			Models:           []string{modelName(o.Model)},
 			Faults:           o.Faults,
 			Seed:             o.Seed,
+			TargetMargin:     o.TargetMargin,
+			Confidence:       o.Confidence,
+			MinFaults:        o.MinFaults,
+			MaxFaults:        o.MaxFaults,
 			BitsPerFault:     o.BitsPerFault,
 			ValidOnly:        o.ValidOnly,
 			HVF:              o.HVF,
@@ -141,6 +145,10 @@ func (r Request) grid() sweep.Spec {
 			Models:       []string{modelName(o.Model)},
 			Faults:       o.Faults,
 			Seed:         o.Seed,
+			TargetMargin: o.TargetMargin,
+			Confidence:   o.Confidence,
+			MinFaults:    o.MinFaults,
+			MaxFaults:    o.MaxFaults,
 			Workers:      o.Workers,
 			LadderRungs:  o.LadderRungs,
 			CellParallel: 1,
@@ -160,6 +168,10 @@ func (r Request) grid() sweep.Spec {
 			Models:           models,
 			Faults:           o.Faults,
 			Seed:             o.Seed,
+			TargetMargin:     o.TargetMargin,
+			Confidence:       o.Confidence,
+			MinFaults:        o.MinFaults,
+			MaxFaults:        o.MaxFaults,
 			BitsPerFault:     o.BitsPerFault,
 			ValidOnly:        o.ValidOnly,
 			HVF:              o.HVF,
@@ -182,9 +194,10 @@ func modelName(m marvel.FaultModel) string {
 	return string(m)
 }
 
-// TotalFaults is the job's planned fault count (cells × faults per cell),
-// used for watcher progress. Returns 0 if the grid fails to plan, which
-// a validated request's grid cannot.
+// TotalFaults is the job's budgeted fault count (cells × budget per
+// cell), used for watcher progress; under adaptive sizing it is an upper
+// bound. Returns 0 if the grid fails to plan, which a validated
+// request's grid cannot.
 func (r Request) TotalFaults() int64 {
 	cells, err := sweep.Plan(r.grid())
 	if err != nil {
@@ -193,14 +206,22 @@ func (r Request) TotalFaults() int64 {
 	return int64(len(cells)) * int64(r.faults())
 }
 
+// faults is the per-cell budget: the adaptive cap when one is set, else
+// the fixed sample size.
 func (r Request) faults() int {
+	budget := func(faults int, margin float64, maxFaults int) int {
+		if margin > 0 && maxFaults > 0 {
+			return maxFaults
+		}
+		return faults
+	}
 	switch r.Kind {
 	case KindCampaign:
-		return r.Campaign.Faults
+		return budget(r.Campaign.Faults, r.Campaign.TargetMargin, r.Campaign.MaxFaults)
 	case KindAccel:
-		return r.Accel.Faults
+		return budget(r.Accel.Faults, r.Accel.TargetMargin, r.Accel.MaxFaults)
 	case KindSweep:
-		return r.Sweep.Faults
+		return budget(r.Sweep.Faults, r.Sweep.TargetMargin, r.Sweep.MaxFaults)
 	}
 	return 0
 }

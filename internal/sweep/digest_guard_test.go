@@ -1,0 +1,46 @@
+package sweep
+
+// Field-drift guard for the record digests. hashFault and hashVerdict
+// enumerate struct fields by hand; a field added to core.Fault or
+// classify.Verdict without a matching digest update would silently
+// weaken every differential suite in the repo (two streams differing
+// only in the new field would still digest equal). This test pins the
+// exact field sets the digest covers — adding a field fails here first,
+// forcing a deliberate decision: hash it and bump the digests, or
+// explicitly exempt it.
+
+import (
+	"reflect"
+	"testing"
+
+	"marvel/internal/classify"
+	"marvel/internal/core"
+)
+
+func assertFieldSet(t *testing.T, typ reflect.Type, want []string) {
+	t.Helper()
+	got := make([]string, typ.NumField())
+	for i := range got {
+		got[i] = typ.Field(i).Name
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s fields changed:\n  now:    %v\n  hashed: %v\nupdate hashFault/hashVerdict in digest.go (and the record digests every equivalence suite relies on) before amending this list",
+			typ, got, want)
+	}
+}
+
+func TestDigestCoversAllFaultFields(t *testing.T) {
+	// Every field hashFault writes, in declaration order.
+	assertFieldSet(t, reflect.TypeOf(core.Fault{}), []string{
+		"Target", "Bit", "Cycle", "Model",
+	})
+}
+
+func TestDigestCoversAllVerdictFields(t *testing.T) {
+	// Every field hashVerdict writes (HVFCorrupt and EarlyStop travel in
+	// one flags byte), in declaration order.
+	assertFieldSet(t, reflect.TypeOf(classify.Verdict{}), []string{
+		"Outcome", "Reason", "HVFCorrupt", "DivergeCommit",
+		"CrashCode", "Cycles", "CycleDelta", "EarlyStop",
+	})
+}

@@ -48,6 +48,14 @@ type manifestGrid struct {
 	WatchdogFactor   float64  `json:"watchdogFactor,omitempty"`
 	PhysRegs         int      `json:"physRegs,omitempty"`
 	Preset           string   `json:"preset,omitempty"`
+	// Adaptive sizing knobs are identity: a journal's achieved-N cells
+	// are only valid prefixes for the same stopping rule. omitempty keeps
+	// manifests from pre-adaptive versions parseable (and resumable, as
+	// long as the resuming spec also leaves the knobs unset).
+	TargetMargin float64 `json:"targetMargin,omitempty"`
+	Confidence   float64 `json:"confidence,omitempty"`
+	MinFaults    int     `json:"minFaults,omitempty"`
+	MaxFaults    int     `json:"maxFaults,omitempty"`
 }
 
 type manifest struct {
@@ -82,6 +90,10 @@ func gridOf(spec Spec) manifestGrid {
 		WatchdogFactor:   spec.WatchdogFactor,
 		PhysRegs:         spec.PhysRegs,
 		Preset:           spec.Preset,
+		TargetMargin:     spec.TargetMargin,
+		Confidence:       spec.Confidence,
+		MinFaults:        spec.MinFaults,
+		MaxFaults:        spec.MaxFaults,
 	}
 }
 

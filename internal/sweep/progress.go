@@ -16,8 +16,9 @@ type Snapshot struct {
 	CellsFinished int // executed this run
 	CellsSkipped  int // restored from the resume journal
 
-	TotalFaults int64 // planned faults across all cells (incl. skipped)
-	FaultsDone  int64 // classified faults (skipped cells count in full)
+	TotalFaults int64 // budgeted faults across all cells (incl. skipped); an upper bound under adaptive sizing
+	FaultsDone  int64 // classified faults (skipped cells count their achieved N)
+	FaultsSaved int64 // budgeted faults adaptive cells stopped short of injecting
 	EarlyStops  int64
 
 	Elapsed time.Duration
@@ -68,10 +69,15 @@ func (t *tracker) emit() {
 	}
 	// ETA from fault throughput: faults are the uniform unit of work
 	// (cells can differ wildly in golden cost, faults don't).
+	// TotalFaults is a budget, not a commitment: faults an adaptive cell
+	// stopped short of are already decided and must leave the ETA.
 	executedFaults := s.FaultsDone - t.skippedFaults
 	if executedFaults > 0 && s.Elapsed > 0 {
 		perFault := s.Elapsed.Seconds() / float64(executedFaults)
-		remaining := float64(s.TotalFaults - s.FaultsDone)
+		remaining := float64(s.TotalFaults - s.FaultsDone - s.FaultsSaved)
+		if remaining < 0 {
+			remaining = 0
+		}
 		s.ETA = time.Duration(perFault * remaining * float64(time.Second))
 	}
 	t.cb(s)
@@ -88,25 +94,37 @@ func (t *tracker) cellStarted(key string) {
 	t.mu.Unlock()
 }
 
-func (t *tracker) cellFinished(key string) {
+// cellFinished records a completed cell; saved is the share of the
+// cell's fault budget that adaptive sizing left uninjected.
+func (t *tracker) cellFinished(key string, saved int64) {
 	if t.reg != nil {
 		t.reg.CellsFinished.Inc()
+		if saved > 0 {
+			t.reg.FaultsSaved.Add(uint64(saved))
+		}
 	}
 	t.mu.Lock()
 	t.snap.CellsFinished++
+	t.snap.FaultsSaved += saved
 	t.snap.LastCell = key
 	t.emit()
 	t.mu.Unlock()
 }
 
-func (t *tracker) cellSkipped(key string, faults int64) {
+// cellSkipped credits a journal-restored cell: faults is the achieved N
+// being replayed, saved the budget share its original run never injected.
+func (t *tracker) cellSkipped(key string, faults, saved int64) {
 	if t.reg != nil {
 		t.reg.CellsSkipped.Inc()
+		if saved > 0 {
+			t.reg.FaultsSaved.Add(uint64(saved))
+		}
 	}
 	t.mu.Lock()
 	t.snap.CellsSkipped++
 	t.snap.FaultsDone += faults
 	t.skippedFaults += faults
+	t.snap.FaultsSaved += saved
 	t.snap.LastCell = key
 	t.emit()
 	t.mu.Unlock()

@@ -20,7 +20,7 @@ func TestProgressSkippedCellsDoNotInflateThroughput(t *testing.T) {
 
 	// Resume restores half the grid instantly.
 	for i := 0; i < 5; i++ {
-		tr.cellSkipped("restored", 10)
+		tr.cellSkipped("restored", 10, 0)
 	}
 	if last.CellsSkipped != 5 || last.FaultsDone != 50 {
 		t.Fatalf("restored accounting wrong: %+v", last)
@@ -37,7 +37,7 @@ func TestProgressSkippedCellsDoNotInflateThroughput(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		tr.onVerdict(i, classify.Verdict{})
 	}
-	tr.cellFinished("real")
+	tr.cellFinished("real", 0)
 
 	if last.FaultsDone != 60 {
 		t.Fatalf("FaultsDone = %d, want 60", last.FaultsDone)
@@ -54,11 +54,45 @@ func TestProgressSkippedCellsDoNotInflateThroughput(t *testing.T) {
 	}
 }
 
+// TestProgressETADeductsSavedFaults pins the adaptive-sizing fix: when
+// cells stop early, the faults they saved are work that will never run.
+// An ETA computed against the full budget would overestimate remaining
+// time on every adaptive sweep.
+func TestProgressETADeductsSavedFaults(t *testing.T) {
+	var last Snapshot
+	start := time.Now().Add(-1 * time.Second)
+	// 4 cells × 25-fault budget = 100 budgeted faults.
+	tr := newTracker(func(s Snapshot) { last = s }, nil, 4, 100, start)
+
+	// Two adaptive cells execute 10 faults each and save 15 each.
+	for c := 0; c < 2; c++ {
+		tr.cellStarted("cell")
+		for i := 0; i < 10; i++ {
+			tr.onVerdict(i, classify.Verdict{})
+		}
+		tr.cellFinished("cell", 15)
+	}
+	if last.FaultsDone != 20 || last.FaultsSaved != 30 {
+		t.Fatalf("accounting wrong: %+v", last)
+	}
+	// 20 faults over ~1s. The naive remaining count is 100-20 = 80 (ETA
+	// ~4s); deducting the 30 saved faults leaves 50 (ETA ~2.5s).
+	if last.ETA < time.Second || last.ETA > 3500*time.Millisecond {
+		t.Errorf("ETA = %v, want ~2.5s with saved faults deducted (naive formula gives ~4s)", last.ETA)
+	}
+
+	// Saved faults restored from a resume journal are deducted the same way.
+	tr.cellSkipped("restored", 10, 15)
+	if last.FaultsSaved != 45 || last.FaultsDone != 30 {
+		t.Fatalf("restored savings not credited: %+v", last)
+	}
+}
+
 func TestProgressFullyRestoredSweepReportsNoThroughput(t *testing.T) {
 	var last Snapshot
 	tr := newTracker(func(s Snapshot) { last = s }, nil, 3, 30, time.Now().Add(-time.Millisecond))
 	for i := 0; i < 3; i++ {
-		tr.cellSkipped("restored", 10)
+		tr.cellSkipped("restored", 10, 0)
 	}
 	if last.CellsPerSec != 0 || last.ETA != 0 {
 		t.Errorf("fully restored sweep reported CellsPerSec=%v ETA=%v, want zeros", last.CellsPerSec, last.ETA)

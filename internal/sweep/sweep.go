@@ -52,6 +52,20 @@ type Spec struct {
 
 	Faults int // statistical sample size per cell
 	Seed   int64
+	// TargetMargin > 0 enables adaptive confidence-targeted sizing in
+	// every cell: each campaign stops drawing masks once the Wilson
+	// half-width on its AVF falls to this margin. Faults (or MaxFaults)
+	// becomes the per-cell upper bound; the journal records each cell's
+	// achieved N so a resumed sweep replays exactly.
+	TargetMargin float64
+	// Confidence is the z quantile for adaptive stopping and reported
+	// margins; 0 keeps 1.96 (95%).
+	Confidence float64
+	// MinFaults floors adaptive cells: no cell stops before this many
+	// injections regardless of interval width.
+	MinFaults int
+	// MaxFaults, when > 0, overrides Faults as the adaptive budget cap.
+	MaxFaults int
 	// BitsPerFault > 1 selects multi-bit masks (CPU cells).
 	BitsPerFault int
 	// ValidOnly draws CPU faults over live entries only.
@@ -156,11 +170,18 @@ type CellReport struct {
 	Key  string `json:"key"`
 	Cell Cell   `json:"cell"`
 
+	// Faults is the achieved sample size: under adaptive sizing this is
+	// where the campaign stopped, and what a resume replays.
 	Faults     int `json:"faults"`
 	Masked     int `json:"masked"`
 	SDC        int `json:"sdc"`
 	Crash      int `json:"crash"`
 	EarlyStops int `json:"earlyStops,omitempty"`
+	// Requested is the cell's fault budget; Requested - Faults is the
+	// adaptive saving (also recorded as FaultsSaved for aggregation).
+	Requested   int `json:"requested,omitempty"`
+	FaultsSaved int `json:"faultsSaved,omitempty"`
+	Batches     int `json:"batches,omitempty"`
 
 	AVF      float64 `json:"avf"`
 	SDCAVF   float64 `json:"sdcAvf"`
@@ -170,6 +191,10 @@ type CellReport struct {
 	HVFMeasured bool     `json:"hvfMeasured"`
 	HVF         *float64 `json:"hvf,omitempty"`
 	Margin      float64  `json:"margin"`
+	// Z is the confidence quantile Margin and AchievedMargin were computed
+	// at; AchievedMargin is the Wilson half-width on the measured AVF.
+	Z              float64 `json:"z,omitempty"`
+	AchievedMargin float64 `json:"achievedMargin,omitempty"`
 
 	GoldenCycles uint64 `json:"goldenCycles"`
 	TargetBits   uint64 `json:"targetBits"`
@@ -194,9 +219,12 @@ type Counters struct {
 	GoldenHits int
 
 	FaultsDone int64
-	EarlyStops int64
-	Forks      uint64
-	ForkReuses uint64
+	// FaultsSaved totals the budgeted injections adaptive cells stopped
+	// short of running (including journal-restored cells).
+	FaultsSaved int64
+	EarlyStops  int64
+	Forks       uint64
+	ForkReuses  uint64
 	// RungHits counts faulty runs dispatched from a mid-window checkpoint
 	// rung; ReplayedCycles totals the pre-injection cycles replayed between
 	// fork points and injection cycles (the cost the ladder shrinks).
@@ -395,8 +423,15 @@ func Run(spec Spec) (*Result, error) {
 		defer journal.Close()
 	}
 
+	// Per-cell budget: the adaptive cap when one is set, else the fixed
+	// sample size. TotalFaults is an upper bound once cells stop early.
+	cellBudget := spec.Faults
+	if spec.TargetMargin > 0 && spec.MaxFaults > 0 {
+		cellBudget = spec.MaxFaults
+	}
+
 	start := time.Now()
-	tr := newTracker(spec.OnProgress, spec.Metrics, len(cells), int64(spec.Faults)*int64(len(cells)), start)
+	tr := newTracker(spec.OnProgress, spec.Metrics, len(cells), int64(cellBudget)*int64(len(cells)), start)
 	res := &Result{Cells: make([]CellReport, len(cells))}
 	res.Counters.CellsPlanned = len(cells)
 
@@ -427,8 +462,9 @@ func Run(spec Spec) (*Result, error) {
 					res.Cells[i] = rep
 					mu.Lock()
 					res.Counters.CellsSkipped++
+					res.Counters.FaultsSaved += int64(rep.FaultsSaved)
 					mu.Unlock()
-					tr.cellSkipped(key, int64(rep.Faults))
+					tr.cellSkipped(key, int64(rep.Faults), int64(rep.FaultsSaved))
 					continue
 				}
 				mu.Lock()
@@ -455,6 +491,7 @@ func Run(spec Spec) (*Result, error) {
 					res.Counters.GoldenRuns++
 				}
 				res.Counters.EarlyStops += int64(rep.EarlyStops)
+				res.Counters.FaultsSaved += int64(rep.FaultsSaved)
 				res.Counters.Forks += fc.forks
 				res.Counters.ForkReuses += fc.reuses
 				res.Counters.RungHits += fc.rungHits
@@ -477,7 +514,7 @@ func Run(spec Spec) (*Result, error) {
 					firstErr = jerr
 				}
 				mu.Unlock()
-				tr.cellFinished(key)
+				tr.cellFinished(key, int64(rep.FaultsSaved))
 			}
 		}()
 	}
@@ -543,6 +580,10 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			EarlyTermination: spec.EarlyTermination,
 			WatchdogFactor:   spec.WatchdogFactor,
 			LadderRungs:      spec.LadderRungs,
+			TargetMargin:     spec.TargetMargin,
+			Confidence:       spec.Confidence,
+			MinFaults:        spec.MinFaults,
+			MaxFaults:        spec.MaxFaults,
 			OnVerdict:        onVerdict,
 		}
 		if spec.ValidOnly {
@@ -585,6 +626,10 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			WatchdogFactor: spec.WatchdogFactor,
 			Workers:        workers,
 			LadderRungs:    spec.LadderRungs,
+			TargetMargin:   spec.TargetMargin,
+			Confidence:     spec.Confidence,
+			MinFaults:      spec.MinFaults,
+			MaxFaults:      spec.MaxFaults,
 			OnVerdict:      onVerdict,
 		}, g.Golden)
 		if err != nil {
@@ -606,20 +651,25 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 // cpuCellReport converts a campaign result into the persisted form.
 func cpuCellReport(cell Cell, res *campaign.Result) CellReport {
 	r := CellReport{
-		Key:          cell.Key(),
-		Cell:         cell,
-		Faults:       res.Counts.Total(),
-		Masked:       res.Counts.Masked,
-		SDC:          res.Counts.SDC,
-		Crash:        res.Counts.Crash,
-		EarlyStops:   res.Counts.EarlyStops,
-		AVF:          res.Counts.AVF(),
-		SDCAVF:       res.Counts.SDCAVF(),
-		CrashAVF:     res.Counts.CrashAVF(),
-		Margin:       res.Margin,
-		GoldenCycles: res.Golden.Cycles,
-		TargetBits:   res.TargetBits,
-		Digest:       DigestCPURecords(res.Records),
+		Key:            cell.Key(),
+		Cell:           cell,
+		Faults:         res.Counts.Total(),
+		Masked:         res.Counts.Masked,
+		SDC:            res.Counts.SDC,
+		Crash:          res.Counts.Crash,
+		EarlyStops:     res.Counts.EarlyStops,
+		AVF:            res.Counts.AVF(),
+		SDCAVF:         res.Counts.SDCAVF(),
+		CrashAVF:       res.Counts.CrashAVF(),
+		Margin:         res.Margin,
+		Z:              res.Z,
+		AchievedMargin: res.AchievedMargin,
+		Requested:      res.Requested,
+		FaultsSaved:    res.FaultsSaved,
+		Batches:        res.Batches,
+		GoldenCycles:   res.Golden.Cycles,
+		TargetBits:     res.TargetBits,
+		Digest:         DigestCPURecords(res.Records),
 	}
 	if res.Counts.HVFMeasured() {
 		r.HVFMeasured = true
@@ -632,20 +682,25 @@ func cpuCellReport(cell Cell, res *campaign.Result) CellReport {
 // accelCellReport converts an accelerator campaign result.
 func accelCellReport(cell Cell, res *accel.CampaignResult) CellReport {
 	return CellReport{
-		Key:          cell.Key(),
-		Cell:         cell,
-		Faults:       res.Counts.Total(),
-		Masked:       res.Counts.Masked,
-		SDC:          res.Counts.SDC,
-		Crash:        res.Counts.Crash,
-		EarlyStops:   res.Counts.EarlyStops,
-		AVF:          res.Counts.AVF(),
-		SDCAVF:       res.Counts.SDCAVF(),
-		CrashAVF:     res.Counts.CrashAVF(),
-		Margin:       res.Margin,
-		GoldenCycles: res.GoldenCycles,
-		TargetBits:   res.TargetBits,
-		Digest:       DigestAccelRecords(res.Records),
+		Key:            cell.Key(),
+		Cell:           cell,
+		Faults:         res.Counts.Total(),
+		Masked:         res.Counts.Masked,
+		SDC:            res.Counts.SDC,
+		Crash:          res.Counts.Crash,
+		EarlyStops:     res.Counts.EarlyStops,
+		AVF:            res.Counts.AVF(),
+		SDCAVF:         res.Counts.SDCAVF(),
+		CrashAVF:       res.Counts.CrashAVF(),
+		Margin:         res.Margin,
+		Z:              res.Z,
+		AchievedMargin: res.AchievedMargin,
+		Requested:      res.Requested,
+		FaultsSaved:    res.FaultsSaved,
+		Batches:        res.Batches,
+		GoldenCycles:   res.GoldenCycles,
+		TargetBits:     res.TargetBits,
+		Digest:         DigestAccelRecords(res.Records),
 	}
 }
 

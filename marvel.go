@@ -122,6 +122,21 @@ type CampaignOptions struct {
 	Faults int // statistical sample size (paper default: 1000)
 	Seed   int64
 
+	// TargetMargin > 0 enables adaptive confidence-targeted sizing: the
+	// campaign draws masks in batches from the same prefix-stable stream
+	// and stops once the Wilson half-width on the AVF falls to this
+	// margin, making Faults (or MaxFaults) an upper bound. The executed
+	// records are bit-identical to the first N of the fixed-budget run.
+	TargetMargin float64
+	// Confidence is the z quantile for adaptive stopping and reported
+	// margins; 0 keeps 1.96 (95%).
+	Confidence float64
+	// MinFaults floors adaptive campaigns: never stop before this many
+	// injections, however narrow the interval.
+	MinFaults int
+	// MaxFaults, when > 0, replaces Faults as the adaptive budget cap.
+	MaxFaults int
+
 	// BitsPerFault > 1 selects multi-bit masks (spatial multi-fault
 	// mode); 0 or 1 is the single-bit default.
 	BitsPerFault int
@@ -184,6 +199,23 @@ func (o CampaignOptions) Validate() error {
 	if o.LadderRungs < 0 {
 		return fmt.Errorf("marvel: ladder rungs must be non-negative, got %d", o.LadderRungs)
 	}
+	if err := validateAdaptive(o.TargetMargin, o.Confidence, o.MinFaults, o.MaxFaults); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateAdaptive checks the shared adaptive-sizing knobs.
+func validateAdaptive(margin, confidence float64, minF, maxF int) error {
+	if margin < 0 || margin >= 1 {
+		return fmt.Errorf("marvel: target margin must be in [0, 1), got %v", margin)
+	}
+	if confidence < 0 {
+		return fmt.Errorf("marvel: confidence quantile must be non-negative, got %v", confidence)
+	}
+	if minF < 0 || maxF < 0 {
+		return fmt.Errorf("marvel: min/max faults must be non-negative, got %d/%d", minF, maxF)
+	}
 	return nil
 }
 
@@ -207,7 +239,18 @@ type Report struct {
 	// HVF == 0, which is "not measured", not "measured 0.0".
 	HVF         float64
 	HVFMeasured bool
-	Margin      float64 // statistical error at 95% confidence
+	// Margin is the population error margin at the achieved sample size;
+	// Z is the confidence quantile it (and AchievedMargin, the Wilson
+	// half-width on the measured AVF) was computed at.
+	Margin         float64
+	Z              float64
+	AchievedMargin float64
+	// Requested is the fault budget; under adaptive sizing FaultsSaved =
+	// Requested - Faults injections were never run, across Batches
+	// dispatch batches.
+	Requested   int
+	FaultsSaved int
+	Batches     int
 
 	GoldenCycles uint64
 	GoldenInsts  uint64
@@ -275,6 +318,10 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 		WatchdogFactor:   o.WatchdogFactor,
 		LegacyClone:      o.LegacyClone,
 		LadderRungs:      o.LadderRungs,
+		TargetMargin:     o.TargetMargin,
+		Confidence:       o.Confidence,
+		MinFaults:        o.MinFaults,
+		MaxFaults:        o.MaxFaults,
 	}
 	if len(targets) > 1 {
 		cfg.MultiTargets = targets
@@ -309,6 +356,11 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 		HVF:            res.Counts.HVF(),
 		HVFMeasured:    res.Counts.HVFMeasured(),
 		Margin:         res.Margin,
+		Z:              res.Z,
+		AchievedMargin: res.AchievedMargin,
+		Requested:      res.Requested,
+		FaultsSaved:    res.FaultsSaved,
+		Batches:        res.Batches,
 		GoldenCycles:   res.Golden.Cycles,
 		GoldenInsts:    res.Golden.Insts,
 		IPC:            res.Golden.Stats.IPC(),
@@ -331,6 +383,15 @@ type AccelOptions struct {
 	Model     FaultModel
 	Faults    int
 	Seed      int64
+	// Adaptive confidence-targeted sizing, as in CampaignOptions:
+	// TargetMargin > 0 stops the campaign once the Wilson half-width on
+	// the AVF reaches it; Confidence is the z quantile (0 = 1.96);
+	// MinFaults floors the sample; MaxFaults, when > 0, caps the budget
+	// instead of Faults.
+	TargetMargin float64
+	Confidence   float64
+	MinFaults    int
+	MaxFaults    int
 	// GemmMultipliers overrides the gemm datapath's multiplier count
 	// (the Figure 17 design-space exploration); 0 keeps the default.
 	GemmMultipliers int
@@ -377,6 +438,9 @@ func (o AccelOptions) Validate() error {
 	if o.LadderRungs < 0 {
 		return fmt.Errorf("marvel: ladder rungs must be non-negative, got %d", o.LadderRungs)
 	}
+	if err := validateAdaptive(o.TargetMargin, o.Confidence, o.MinFaults, o.MaxFaults); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -391,7 +455,15 @@ type AccelReport struct {
 	AVF       float64
 	SDCAVF    float64
 	CrashAVF  float64
-	Margin    float64
+	// Margin is the population error margin at the achieved sample size,
+	// at quantile Z; AchievedMargin is the Wilson half-width on the
+	// measured AVF. Requested/FaultsSaved/Batches mirror Report.
+	Margin         float64
+	Z              float64
+	AchievedMargin float64
+	Requested      int
+	FaultsSaved    int
+	Batches        int
 
 	TaskCycles uint64
 	AreaUnits  float64
@@ -434,6 +506,10 @@ func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
 		Workers:       o.Workers,
 		LegacyRebuild: o.LegacyRebuild,
 		LadderRungs:   o.LadderRungs,
+		TargetMargin:  o.TargetMargin,
+		Confidence:    o.Confidence,
+		MinFaults:     o.MinFaults,
+		MaxFaults:     o.MaxFaults,
 	}
 	if reg := o.Metrics; reg != nil {
 		cfg.OnVerdict = func(_ int, v classify.Verdict) {
@@ -459,6 +535,11 @@ func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
 		SDCAVF:         res.Counts.SDCAVF(),
 		CrashAVF:       res.Counts.CrashAVF(),
 		Margin:         res.Margin,
+		Z:              res.Z,
+		AchievedMargin: res.AchievedMargin,
+		Requested:      res.Requested,
+		FaultsSaved:    res.FaultsSaved,
+		Batches:        res.Batches,
 		TaskCycles:     res.GoldenCycles,
 		AreaUnits:      accel.AreaUnits(design),
 		LegacyRebuild:  res.Forking.Legacy,
@@ -493,6 +574,15 @@ type SweepOptions struct {
 
 	Faults int // statistical sample size per cell
 	Seed   int64
+
+	// Adaptive confidence-targeted sizing, applied to every cell (see
+	// CampaignOptions): TargetMargin > 0 lets each cell stop once its
+	// Wilson half-width converges, Faults/MaxFaults bounding the budget.
+	// The resume journal records each cell's achieved N.
+	TargetMargin float64
+	Confidence   float64
+	MinFaults    int
+	MaxFaults    int
 
 	// Campaign knobs, applied to every cell (see CampaignOptions).
 	BitsPerFault     int
@@ -546,6 +636,9 @@ func (o SweepOptions) Validate() error {
 	if o.LadderRungs < 0 {
 		return fmt.Errorf("marvel: ladder rungs must be non-negative, got %d", o.LadderRungs)
 	}
+	if err := validateAdaptive(o.TargetMargin, o.Confidence, o.MinFaults, o.MaxFaults); err != nil {
+		return err
+	}
 	models := make([]string, len(o.Models))
 	for i, m := range o.Models {
 		if _, err := m.internal(); err != nil {
@@ -574,8 +667,12 @@ type SweepProgress struct {
 	CellsFinished int
 	CellsSkipped  int // restored from the resume journal
 
+	// TotalFaults is the budgeted total; under adaptive sizing it is an
+	// upper bound, and FaultsSaved counts budgeted injections cells
+	// stopped short of.
 	TotalFaults int64
 	FaultsDone  int64
+	FaultsSaved int64
 	EarlyStops  int64
 
 	Elapsed     time.Duration
@@ -607,7 +704,14 @@ type SweepCell struct {
 	// HVF is meaningful only when HVFMeasured is true.
 	HVF         float64
 	HVFMeasured bool
-	Margin      float64
+	// Margin and AchievedMargin are at quantile Z; Requested/FaultsSaved/
+	// Batches report the cell's adaptive sizing (see Report).
+	Margin         float64
+	Z              float64
+	AchievedMargin float64
+	Requested      int
+	FaultsSaved    int
+	Batches        int
 
 	GoldenCycles uint64
 	TargetBits   uint64
@@ -627,9 +731,12 @@ type SweepReport struct {
 	GoldenHits int
 
 	FaultsDone int64
-	EarlyStops int64
-	Forks      uint64
-	ForkReuses uint64
+	// FaultsSaved totals the budgeted injections adaptive cells stopped
+	// short of running (including journal-restored cells).
+	FaultsSaved int64
+	EarlyStops  int64
+	Forks       uint64
+	ForkReuses  uint64
 	// Checkpoint-ladder totals across all executed cells (see
 	// SweepOptions.LadderRungs).
 	RungHits       uint64
@@ -660,6 +767,10 @@ func RunSweep(o SweepOptions) (*SweepReport, error) {
 		Models:           models,
 		Faults:           o.Faults,
 		Seed:             o.Seed,
+		TargetMargin:     o.TargetMargin,
+		Confidence:       o.Confidence,
+		MinFaults:        o.MinFaults,
+		MaxFaults:        o.MaxFaults,
 		BitsPerFault:     o.BitsPerFault,
 		ValidOnly:        o.ValidOnly,
 		HVF:              o.HVF,
@@ -682,6 +793,7 @@ func RunSweep(o SweepOptions) (*SweepReport, error) {
 				CellsSkipped:  s.CellsSkipped,
 				TotalFaults:   s.TotalFaults,
 				FaultsDone:    s.FaultsDone,
+				FaultsSaved:   s.FaultsSaved,
 				EarlyStops:    s.EarlyStops,
 				Elapsed:       s.Elapsed,
 				CellsPerSec:   s.CellsPerSec,
@@ -701,6 +813,7 @@ func RunSweep(o SweepOptions) (*SweepReport, error) {
 		GoldenRuns:     res.Counters.GoldenRuns,
 		GoldenHits:     res.Counters.GoldenHits,
 		FaultsDone:     res.Counters.FaultsDone,
+		FaultsSaved:    res.Counters.FaultsSaved,
 		EarlyStops:     res.Counters.EarlyStops,
 		Forks:          res.Counters.Forks,
 		ForkReuses:     res.Counters.ForkReuses,
@@ -710,27 +823,32 @@ func RunSweep(o SweepOptions) (*SweepReport, error) {
 	}
 	for i, c := range res.Cells {
 		sc := SweepCell{
-			Key:          c.Key,
-			Kind:         c.Cell.Kind,
-			ISA:          c.Cell.ISA,
-			Workload:     c.Cell.Workload,
-			Target:       c.Cell.Target,
-			Design:       c.Cell.Design,
-			Component:    c.Cell.Component,
-			Model:        FaultModel(c.Cell.Model),
-			Faults:       c.Faults,
-			Masked:       c.Masked,
-			SDC:          c.SDC,
-			Crash:        c.Crash,
-			EarlyStops:   c.EarlyStops,
-			AVF:          c.AVF,
-			SDCAVF:       c.SDCAVF,
-			CrashAVF:     c.CrashAVF,
-			HVFMeasured:  c.HVFMeasured,
-			Margin:       c.Margin,
-			GoldenCycles: c.GoldenCycles,
-			TargetBits:   c.TargetBits,
-			WallMS:       c.WallMS,
+			Key:            c.Key,
+			Kind:           c.Cell.Kind,
+			ISA:            c.Cell.ISA,
+			Workload:       c.Cell.Workload,
+			Target:         c.Cell.Target,
+			Design:         c.Cell.Design,
+			Component:      c.Cell.Component,
+			Model:          FaultModel(c.Cell.Model),
+			Faults:         c.Faults,
+			Masked:         c.Masked,
+			SDC:            c.SDC,
+			Crash:          c.Crash,
+			EarlyStops:     c.EarlyStops,
+			AVF:            c.AVF,
+			SDCAVF:         c.SDCAVF,
+			CrashAVF:       c.CrashAVF,
+			HVFMeasured:    c.HVFMeasured,
+			Margin:         c.Margin,
+			Z:              c.Z,
+			AchievedMargin: c.AchievedMargin,
+			Requested:      c.Requested,
+			FaultsSaved:    c.FaultsSaved,
+			Batches:        c.Batches,
+			GoldenCycles:   c.GoldenCycles,
+			TargetBits:     c.TargetBits,
+			WallMS:         c.WallMS,
 		}
 		if c.HVF != nil {
 			sc.HVF = *c.HVF
@@ -879,8 +997,11 @@ func WeightedSDCAVF(reports []*Report) float64 {
 // ClockHz is the modeled SoC clock for OPS/OPF computations.
 const ClockHz = 1e9
 
-// OPF computes the Operations-per-Failure metric of §V-G.
-func OPF(ops float64, cycles uint64, avf float64) float64 {
+// OPF computes the Operations-per-Failure metric of §V-G. A campaign
+// that observed zero failures has no finite OPF: measured reports false
+// and the value is 0 ("no failure observed over this sample"), keeping
+// +Inf out of JSON-encoded reports.
+func OPF(ops float64, cycles uint64, avf float64) (opf float64, measured bool) {
 	return metrics.OPF(ops, cycles, ClockHz, avf)
 }
 

@@ -6,7 +6,10 @@
 #      and the checkpoint-ladder differential suite)
 #   3. sweep race job + differential guard: the orchestrator's two-level
 #      parallelism, golden-cache reuse and resume must be race-free and
-#      bit-identical to standalone campaigns
+#      bit-identical to standalone campaigns; adaptive confidence-targeted
+#      sizing must be schedule-independent and a bit-identical prefix of
+#      the fixed-budget run, and must demonstrably save >= 30% of the
+#      worst-case budget at equal margin
 #   4. observability guard: tracing must be zero-alloc on the golden path
 #      and must not perturb verdict streams
 #   5. bench guard: the forking ablations and tracing-overhead benches
@@ -57,6 +60,33 @@ for t in TestAccelLadderEquivalenceAllDesigns TestAccelLadderEquivalenceWindowOv
 	}
 done
 
+echo "== race: adaptive-sizing dispatch equivalence =="
+# Adaptive stopping decides at batch barriers, so the achieved sample and
+# the record stream must be schedule-independent: the serial and 8-worker
+# adaptive campaigns agree under the race detector on both engines.
+go test -race -run 'TestAdaptiveEquivalenceSerialAndParallel|TestAdaptiveEquivalenceWithLadder' ./internal/campaign
+go test -race -run 'TestAccelAdaptiveSerialAndParallel|TestAccelAdaptiveWithLadder' ./internal/accel
+
+# Guard: the adaptive-vs-fixed differentials must exist and actually
+# pass — they carry the proof that stopping early only truncates the
+# prefix-stable record stream, never changes it.
+for t in TestAdaptiveEquivalenceAllTargets TestAdaptiveStopsEarlyAndConverges TestFixedModeUnchangedByAdaptiveFields; do
+	go test -run "^${t}\$" -v ./internal/campaign | grep -q -- "--- PASS: ${t}" || {
+		echo "verify: adaptive differential guard: ${t} did not run/pass" >&2
+		exit 1
+	}
+done
+for t in TestAccelAdaptiveEquivalenceAllDesigns TestAccelAdaptiveStopsEarlyAndConverges; do
+	go test -run "^${t}\$" -v ./internal/accel | grep -q -- "--- PASS: ${t}" || {
+		echo "verify: adaptive differential guard: ${t} did not run/pass" >&2
+		exit 1
+	}
+done
+go test -run '^TestSweepAdaptiveResume$' -v ./internal/sweep | grep -q -- '--- PASS: TestSweepAdaptiveResume' || {
+	echo "verify: adaptive differential guard: TestSweepAdaptiveResume did not run/pass" >&2
+	exit 1
+}
+
 echo "== race: sweep orchestrator (golden cache, resume, worker budget) =="
 go test -race ./internal/sweep
 
@@ -94,6 +124,12 @@ echo "== bench guard: ladder replay reduction =="
 # BenchmarkCampaignLadder fails (b.Fatalf) unless LadderRungs=8 cuts the
 # replayed pre-injection cycles at least 2x on the long-window workload.
 go test -run '^$' -bench '^BenchmarkCampaignLadder$' -benchtime 1x .
+
+echo "== bench guard: adaptive sizing savings =="
+# BenchmarkCampaignAdaptive fails (b.Fatalf) unless confidence-targeted
+# stopping saves at least 30% of the worst-case fixed budget at the same
+# margin on a low-AVF cell.
+go test -run '^$' -bench '^BenchmarkCampaignAdaptive$' -benchtime 1x .
 
 echo "== explain smoke test: narrate a known-SDC fault =="
 # riscv/crc32/prf seed 1 index 10 classifies as SDC on the fast preset
