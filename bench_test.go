@@ -12,10 +12,12 @@ package marvel_test
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"marvel/internal/accel"
 	"marvel/internal/campaign"
@@ -536,6 +538,69 @@ func BenchmarkTracingOverhead(b *testing.B) {
 			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
 		})
 	}
+}
+
+// BenchmarkProfilingOverhead quantifies the span layer's cost on the
+// campaign engine. "off" is a nil Profiler, so every span site reduces
+// to one nil check and a no-op End; "on" attaches a live profiler
+// (atomic phase-table adds, no timeline sink — the worst case that
+// still sits on the campaign hot path). The guard compares best-of-run
+// wall times and fails if profiling costs more than 5%: spans bracket
+// the simulated work, they must never become part of it. The verify
+// script runs this in CI.
+func BenchmarkProfilingOverhead(b *testing.B) {
+	spec, err := workloads.ByName("crc32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := program.Compile(isa.RV64L{}, spec.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := campaign.Config{
+		Image:   img,
+		Preset:  config.Fast(),
+		Target:  "prf",
+		Model:   core.Transient,
+		Faults:  48,
+		Seed:    7,
+		Workers: 4,
+	}
+	// Best-of-all-iterations timing: the minimum is the least noisy
+	// estimator for a guard that compares two variants.
+	run := func(b *testing.B, profiled bool) time.Duration {
+		b.Helper()
+		best := time.Duration(math.MaxInt64)
+		for i := 0; i < b.N; i++ {
+			for rep := 0; rep < 3; rep++ {
+				cfg := base
+				if profiled {
+					cfg.Profile = obs.NewProfiler()
+				}
+				t0 := time.Now()
+				res, err := campaign.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Counts.Total() != base.Faults {
+					b.Fatalf("classified %d of %d", res.Counts.Total(), base.Faults)
+				}
+				if d := time.Since(t0); d < best {
+					best = d
+				}
+			}
+		}
+		b.ReportMetric(best.Seconds()*1e3, "best-ms")
+		return best
+	}
+	var off, on time.Duration
+	b.Run("off", func(b *testing.B) { off = run(b, false) })
+	b.Run("on", func(b *testing.B) { on = run(b, true) })
+	overhead := float64(on-off) / float64(off)
+	if overhead > 0.05 {
+		b.Fatalf("profiling overhead %.1f%% (off %v, on %v) — want under 5%%", 100*overhead, off, on)
+	}
+	fmt.Printf("\nProfiling overhead: %v unprofiled -> %v profiled (%+.1f%%)\n", off, on, 100*overhead)
 }
 
 func BenchmarkSimulatorThroughput(b *testing.B) {

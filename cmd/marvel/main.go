@@ -139,6 +139,7 @@ func cmdCampaign(args []string) error {
 	confidence := fs.Float64("confidence", 0, "confidence z quantile for adaptive stopping and reported margins (0 = 1.96, i.e. 95%)")
 	preset := fs.String("preset", "table2", "CPU hardware preset: table2, fast")
 	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the campaign runs (e.g. localhost:6060)")
+	timeline := fs.String("timeline", "", "write a per-worker Chrome trace-event timeline (Perfetto-loadable) to this file and print a where-the-time-went table; verdicts are bit-identical with and without it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,8 +176,22 @@ func cmdCampaign(args []string) error {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
 		opts.Metrics = reg
 	}
+	var tl *timelineRun
+	if *timeline != "" {
+		var err error
+		if tl, err = startTimeline(*timeline); err != nil {
+			return err
+		}
+		opts.Profile = tl.prof
+		if opts.Metrics != nil {
+			opts.Metrics.AttachProfiler(tl.prof)
+		}
+	}
 	rep, err := marvel.RunCampaign(opts)
 	if err != nil {
+		return err
+	}
+	if err := tl.finish(); err != nil {
 		return err
 	}
 	fmt.Printf("workload=%s isa=%s target=%s model=%s\n", rep.Workload, rep.ISA, rep.Target, rep.Model)
@@ -211,6 +226,39 @@ type progressLine struct {
 	ElapsedSec float64              `json:"elapsed_sec"`
 	ETASec     float64              `json:"eta_sec"`
 	Metrics    obs.RegistrySnapshot `json:"metrics"`
+}
+
+// timelineRun wires the -timeline flag shared by campaign, accel and
+// sweep: a profiler whose spans stream to a Chrome trace-event file.
+type timelineRun struct {
+	path string
+	prof *obs.Profiler
+	tw   *obs.TimelineWriter
+}
+
+// startTimeline opens path and returns the profiler to hand to the run.
+func startTimeline(path string) (*timelineRun, error) {
+	tw, err := obs.CreateTimeline(path)
+	if err != nil {
+		return nil, err
+	}
+	prof := obs.NewProfiler()
+	prof.AttachTimeline(tw)
+	return &timelineRun{path: path, prof: prof, tw: tw}, nil
+}
+
+// finish closes the trace file and prints the where-the-time-went table.
+// Nil-safe, so callers can defer it unconditionally; Close is idempotent.
+func (t *timelineRun) finish() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.tw.Close(); err != nil {
+		return err
+	}
+	fmt.Print(t.prof.Snapshot().Table())
+	fmt.Printf("timeline written to %s (load in Perfetto or chrome://tracing)\n", t.path)
+	return nil
 }
 
 // confidencePct converts a z quantile to its two-sided confidence level
@@ -266,6 +314,7 @@ func cmdSweep(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the sweep runs (e.g. localhost:6060)")
 	progressJSONL := fs.String("progress-jsonl", "", "append machine-readable progress snapshots (with registry metrics) to this JSONL file")
+	timeline := fs.String("timeline", "", "write a per-worker Chrome trace-event timeline (Perfetto-loadable) to this file and print a where-the-time-went table; verdicts are bit-identical with and without it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -315,6 +364,17 @@ func cmdSweep(args []string) error {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
+	}
+	var tl *timelineRun
+	if *timeline != "" {
+		var err error
+		if tl, err = startTimeline(*timeline); err != nil {
+			return err
+		}
+		spec.Profile = tl.prof
+		if spec.Metrics != nil {
+			spec.Metrics.AttachProfiler(tl.prof)
+		}
 	}
 	if !*quiet {
 		var lastDraw time.Time
@@ -374,6 +434,9 @@ func cmdSweep(args []string) error {
 		fmt.Fprint(os.Stderr, "\r\x1b[K") // clear the progress line
 	}
 	if err != nil {
+		return err
+	}
+	if err := tl.finish(); err != nil {
 		return err
 	}
 
@@ -519,6 +582,7 @@ func cmdAccel(args []string) error {
 	margin := fs.Float64("margin", 0, "adaptive sizing: stop once the Wilson half-width on AVF reaches this margin (0 = fixed -faults budget); results are a bit-identical prefix of the fixed run")
 	confidence := fs.Float64("confidence", 0, "confidence z quantile for adaptive stopping and reported margins (0 = 1.96, i.e. 95%)")
 	debugAddr := fs.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof/ on this address while the campaign runs (e.g. localhost:6060)")
+	timeline := fs.String("timeline", "", "write a per-worker Chrome trace-event timeline (Perfetto-loadable) to this file and print a where-the-time-went table; verdicts are bit-identical with and without it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -548,8 +612,22 @@ func cmdAccel(args []string) error {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (also /debug/vars, /debug/pprof/)\n", srv.Addr)
 		opts.Metrics = reg
 	}
+	var tl *timelineRun
+	if *timeline != "" {
+		var err error
+		if tl, err = startTimeline(*timeline); err != nil {
+			return err
+		}
+		opts.Profile = tl.prof
+		if opts.Metrics != nil {
+			opts.Metrics.AttachProfiler(tl.prof)
+		}
+	}
 	rep, err := marvel.RunAccelCampaign(opts)
 	if err != nil {
+		return err
+	}
+	if err := tl.finish(); err != nil {
 		return err
 	}
 	fmt.Printf("design=%s component=%s task=%d cycles area=%.1f\n",

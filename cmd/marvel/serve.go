@@ -44,13 +44,15 @@ func cmdServe(args []string) error {
 
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
-		reg.Publish("marvel-serve")
+		if err := reg.Publish("marvel-serve"); err != nil {
+			return err
+		}
 		ds, err := obs.ServeDebugMux(*debugAddr, obs.NewDebugMux(reg, jobRegs))
 		if err != nil {
 			return err
 		}
 		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (per-job: /metrics/jobs)\n", ds.Addr)
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/metrics (per-job: /metrics/jobs, Prometheus: /metrics/prom)\n", ds.Addr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -40,11 +40,13 @@ func presetFor(name string, physRegs int) (config.Preset, error) {
 func NewMetricsRegistry() *obs.Registry { return obs.NewRegistry() }
 
 // ServeDebug starts the runtime-introspection endpoint (JSON /metrics,
-// /debug/vars, /debug/pprof/) on addr for the given registry; it also
-// publishes the registry under the expvar name "marvel". Close the
-// returned server when the run finishes.
+// Prometheus /metrics/prom, /debug/vars, /debug/pprof/) on addr for the
+// given registry; it also publishes the registry under the expvar name
+// "marvel". Close the returned server when the run finishes.
 func ServeDebug(addr string, reg *obs.Registry) (*obs.DebugServer, error) {
-	reg.Publish("marvel")
+	if err := reg.Publish("marvel"); err != nil {
+		return nil, err
+	}
 	return obs.ServeDebug(addr, reg)
 }
 

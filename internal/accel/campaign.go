@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -79,6 +80,12 @@ type CampaignConfig struct {
 	// narration (Explain) uses Workers = 1. Tracing does not change
 	// verdicts — emission sites only observe.
 	Trace obs.Tracer
+	// Profile, when non-nil, attributes wall-clock time to campaign
+	// phases (golden/ladder prep, fork, reset, residual replay, faulty
+	// execution, classify) on per-worker timeline lanes. Profiling only
+	// observes — the tick sequence and verdicts are bit-identical with
+	// it on or off.
+	Profile *obs.Profiler
 }
 
 // CampaignGolden bundles the fault-free phase of an accelerator campaign:
@@ -251,7 +258,9 @@ func (r *CampaignResult) AVF() float64 { return r.Counts.AVF() }
 // schedule — serial, one worker, N workers, rebuild-per-fault — produces
 // the same Records, Counts and AVF.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	sp := cfg.Profile.NewLane("golden").Begin(obs.PhaseGolden)
 	g, err := PrepareGolden(cfg.Design, cfg.Task)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -352,7 +361,9 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 	// DMA-in — and legacy rebuilds cannot start from a snapshot.
 	rungs := []accelRung{{sys: base, cycle: 0}}
 	if cfg.LadderRungs > 0 && !cfg.Model.Permanent() && !cfg.LegacyRebuild {
+		sp := cfg.Profile.NewLane("ladder").Begin(obs.PhaseLadder)
 		rungs = g.ladder(cfg.LadderRungs, window)
+		sp.End()
 	}
 	res.Forking.Rungs = len(rungs) - 1
 	rungOf := make([]int, budget)
@@ -374,6 +385,10 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var lane *obs.Lane
+			if cfg.Profile != nil {
+				lane = cfg.Profile.NewLane("worker-" + strconv.Itoa(w))
+			}
 			var scratch *Standalone
 			scratchRung := -1
 			var forks, reuses, rungHits, replayed uint64
@@ -385,7 +400,9 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 				r := rungOf[i]
 				var s *Standalone
 				if cfg.LegacyRebuild {
+					sp := lane.BeginID(obs.PhaseFork, int64(i))
 					s, wErr = NewStandalone(cfg.Design, cfg.Task)
+					sp.End()
 					if wErr != nil {
 						statsMu.Lock()
 						if firstErr == nil {
@@ -397,16 +414,20 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 					}
 					forks++
 				} else if scratch == nil || scratchRung != r {
+					sp := lane.BeginID(obs.PhaseFork, int64(i))
 					if scratch != nil {
 						atomic.AddUint64(&res.Forking.PagesCopied, scratch.ForkPagesCopied())
 					}
 					scratch = rungs[r].sys.Fork()
 					scratchRung = r
 					s = scratch
+					sp.End()
 					forks++
 				} else {
+					sp := lane.BeginID(obs.PhaseReset, int64(i))
 					scratch.Reset()
 					s = scratch
+					sp.End()
 					reuses++
 				}
 				f := faults[i]
@@ -416,7 +437,7 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 				if !f.Model.Permanent() && f.Cycle > rungs[r].cycle {
 					replayed += f.Cycle - rungs[r].cycle
 				}
-				res.Records[i] = Record{Fault: f, Verdict: runFaulty(s, bankIdx, f, cycleBudget, goldenOut, cfg.Trace)}
+				res.Records[i] = Record{Fault: f, Verdict: runFaulty(s, bankIdx, f, cycleBudget, goldenOut, cfg.Trace, lane, int64(i))}
 				if cfg.OnVerdict != nil {
 					cfg.OnVerdict(i, res.Records[i].Verdict)
 				}
@@ -495,7 +516,13 @@ func RunCampaignWithGolden(cfg CampaignConfig, g *CampaignGolden) (*CampaignResu
 // tracer is armed the cluster reports flips and phase transitions and this
 // driver brackets the run with arming and verdict events; a nil tracer
 // costs one pointer store plus the cluster's per-site nil checks.
-func runFaulty(s *Standalone, bankIdx int, f core.Fault, budget uint64, goldenOut []byte, tr obs.Tracer) classify.Verdict {
+//
+// lane/id, when profiling, attribute the pre-injection replay ticks and
+// the remaining faulty ticks to separate spans. The replay segment is a
+// plain split of the single tick loop — the conditions compose to
+// exactly the original loop — so the tick sequence (and the verdict) is
+// identical whether or not a lane is armed.
+func runFaulty(s *Standalone, bankIdx int, f core.Fault, budget uint64, goldenOut []byte, tr obs.Tracer, lane *obs.Lane, id int64) classify.Verdict {
 	s.Cluster.Trace = tr
 	target := s.Cluster.Banks()[bankIdx].spec.Name
 	if f.Model.Permanent() {
@@ -517,10 +544,24 @@ func runFaulty(s *Standalone, bankIdx int, f core.Fault, budget uint64, goldenOu
 	if !s.Cluster.Started() {
 		s.Cluster.Start()
 	}
+	if !f.Model.Permanent() && f.Cycle > 0 {
+		// Residual pre-injection replay: ticks strictly before the one
+		// that lands on f.Cycle (flips apply post-increment inside Tick,
+		// so the injection tick itself counts as faulty execution).
+		rsp := lane.BeginID(obs.PhaseReplay, id)
+		for !s.Cluster.Done() && s.Cluster.Cycle() < budget && s.Cluster.Cycle()+1 < f.Cycle {
+			s.Cluster.Tick()
+		}
+		rsp.End()
+	}
+	fsp := lane.BeginID(obs.PhaseFaulty, id)
 	for !s.Cluster.Done() && s.Cluster.Cycle() < budget {
 		s.Cluster.Tick()
 	}
+	fsp.End()
+	csp := lane.BeginID(obs.PhaseClassify, id)
 	v := classifyFaulty(s, budget, goldenOut)
+	csp.End()
 	if tr != nil {
 		if v.CrashCode == classify.WatchdogCrashCode {
 			tr.Emit(obs.Event{Cycle: s.Cluster.Cycle(), Kind: obs.KindWatchdog, Target: target, Detail: fmt.Sprintf("budget %d cycles exhausted", budget)})

@@ -82,7 +82,7 @@ func TestWatchdogExpiryClassifiesCrash(t *testing.T) {
 	// Flip bit 30 of the IN word after DMA-in staged it (cycle 2) but
 	// before the kernel's load consumes it.
 	f := core.Fault{Target: "IN", Bit: 30, Cycle: 2, Model: core.Transient}
-	v := runFaulty(s, 0, f, budget, out, nil)
+	v := runFaulty(s, 0, f, budget, out, nil, nil, 0)
 	if v.Outcome != classify.Crash || v.CrashCode != "watchdog-timeout" {
 		t.Fatalf("inflated loop bound: verdict %+v, want Crash/watchdog-timeout", v)
 	}
@@ -108,7 +108,7 @@ func TestLateWindowFaultClassifiesMasked(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := core.Fault{Target: "OUT", Bit: 0, Cycle: goldenCycles * 10, Model: core.Transient}
-	v := runFaulty(s, 1, f, uint64(float64(goldenCycles)*4)+5000, out, nil)
+	v := runFaulty(s, 1, f, uint64(float64(goldenCycles)*4)+5000, out, nil, nil, 0)
 	if v.Outcome != classify.Masked {
 		t.Fatalf("fault after completion: verdict %+v, want Masked", v)
 	}
@@ -151,7 +151,7 @@ func TestStuckAtAppliesBeforeStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := core.Fault{Target: "IN", Bit: 7, Model: core.StuckAt1}
-	v := runFaulty(s, 0, f, uint64(float64(goldenCycles)*4)+5000, out, nil)
+	v := runFaulty(s, 0, f, uint64(float64(goldenCycles)*4)+5000, out, nil, nil, 0)
 	if v.Outcome != classify.SDC {
 		t.Fatalf("stuck-at-1 on a zero input byte: verdict %+v, want SDC", v)
 	}

@@ -63,7 +63,7 @@ func ExplainWithGolden(cfg CampaignConfig, g *CampaignGolden, index int) (*Expla
 	f := core.DeriveFault(cfg.Seed, index, cfg.Target, cfg.Model, gb.BitLen(), 1, window+1)
 	sink := obs.NewRingSink(512)
 	s := g.base.Fork()
-	v := runFaulty(s, bankIdx, f, budget, g.Output, sink)
+	v := runFaulty(s, bankIdx, f, budget, g.Output, sink, nil, 0)
 	return &Explanation{
 		Index:        index,
 		Fault:        f,

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -138,6 +139,13 @@ type Config struct {
 	// verdicts: emission sites only observe (watches are pure observers
 	// and the early-stop predicate keeps its polling cadence).
 	Trace obs.Tracer
+	// Profile, when non-nil, attributes wall-clock time to campaign
+	// phases (golden and ladder prep, fork, reset, residual replay,
+	// faulty execution, classify) on per-worker timeline lanes. Like
+	// Trace, profiling only observes: span boundaries sit outside the
+	// simulated work, so verdicts and their digests are bit-identical
+	// with profiling on or off.
+	Profile *obs.Profiler
 }
 
 // ForkStats counts checkpoint-forking activity over one campaign. Workers
@@ -335,7 +343,9 @@ func PrepareGolden(cfg Config) (*Golden, error) {
 	if cfg.Image == nil {
 		return nil, fmt.Errorf("campaign: no workload image")
 	}
+	sp := cfg.Profile.NewLane("golden").Begin(obs.PhaseGolden)
 	info, base, goldenTrace, commitsAtCkpt, err := runGolden(cfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -435,7 +445,9 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 	// forks from.
 	rungs := []rung{{sys: base, cycle: base.CPU.Cycle(), commits: commitsAtCkpt}}
 	if cfg.LadderRungs > 0 && !cfg.Model.Permanent() {
+		sp := cfg.Profile.NewLane("ladder").Begin(obs.PhaseLadder)
 		rungs = g.ladder(cfg.LadderRungs)
+		sp.End()
 	}
 	res.Forking.Rungs = len(rungs) - 1
 	rungOf := make([]int, len(masks))
@@ -474,6 +486,10 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 			// current rung and rolls it back between masks, re-forking when
 			// the dispatch order moves it to a different rung; legacy mode
 			// instead deep-clones the rung snapshot for every mask.
+			var lane *obs.Lane
+			if cfg.Profile != nil {
+				lane = cfg.Profile.NewLane("worker-" + strconv.Itoa(w))
+			}
 			var scratch *soc.System
 			scratchRung := -1
 			var forks, reuses, rungHits, replayed uint64
@@ -483,11 +499,15 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 					return // drain the queue after an infrastructure failure
 				}
 				r := rungOf[i]
+				id := int64(masks[i].ID)
 				var s *soc.System
 				if cfg.LegacyClone {
+					sp := lane.BeginID(obs.PhaseFork, id)
 					s = rungs[r].sys.Clone()
+					sp.End()
 					forks++
 				} else if scratch == nil || scratchRung != r {
+					sp := lane.BeginID(obs.PhaseFork, id)
 					if scratch != nil {
 						pages, sets := scratch.ForkCounters()
 						atomic.AddUint64(&res.Forking.PagesCopied, pages)
@@ -496,10 +516,13 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 					scratch = rungs[r].sys.Fork()
 					scratchRung = r
 					s = scratch
+					sp.End()
 					forks++
 				} else {
+					sp := lane.BeginID(obs.PhaseReset, id)
 					scratch.Reset()
 					s = scratch
+					sp.End()
 					reuses++
 				}
 				if r > 0 {
@@ -509,7 +532,7 @@ func RunWithGolden(cfg Config, g *Golden) (*Result, error) {
 					replayed += first - rungs[r].cycle
 				}
 				var v classify.Verdict
-				v, wErr = runOne(cfg, s, golden, subTraces[r], rungs[r].commits-commitsAtCkpt, armCycle, masks[i])
+				v, wErr = runOne(cfg, s, golden, subTraces[r], rungs[r].commits-commitsAtCkpt, armCycle, masks[i], lane)
 				if wErr != nil {
 					// Record the failure immediately: the dispatcher checks it
 					// between batches, not only after all workers exit.
@@ -728,7 +751,9 @@ func multiTargetMasks(cfg Config, base *soc.System, golden *GoldenInfo) ([]core.
 // watchdog, and the verdict. None of this changes behavior: the early-stop
 // predicate keeps its value and polling cadence, so traced runs classify
 // bit-identically to untraced ones.
-func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, commitOffset int, armCycle uint64, mask core.Mask) (classify.Verdict, error) {
+// lane, when non-nil, receives replay/faulty/classify spans for
+// wall-clock attribution; a nil lane (profiling off) costs nothing.
+func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Golden, commitOffset int, armCycle uint64, mask core.Mask, lane *obs.Lane) (classify.Verdict, error) {
 	tr := cfg.Trace
 	targets := map[string]core.Target{}
 	targetFor := func(name string) (core.Target, error) {
@@ -809,7 +834,9 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 
 	appliedBit := uint64(0)
 	for _, f := range transients {
+		sp := lane.BeginID(obs.PhaseReplay, int64(mask.ID))
 		s.RunUntilCycle(f.Cycle)
+		sp.End()
 		if s.CPU.Done() {
 			break
 		}
@@ -888,7 +915,9 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 			return false
 		}
 	}
+	sp := lane.BeginID(obs.PhaseFaulty, int64(mask.ID))
 	res, stopped := s.RunChecked(budget, every, stop)
+	sp.End()
 	if stopped {
 		if tr != nil {
 			tr.Emit(obs.Event{Cycle: res.Cycles, Kind: obs.KindVerdict, Target: primary, Detail: classify.Masked.String()})
@@ -896,6 +925,8 @@ func runOne(cfg Config, s *soc.System, golden *GoldenInfo, goldenTrace *trace.Go
 		return classify.EarlyMasked(classify.MaskedDeadFault, res.Cycles), nil
 	}
 
+	csp := lane.BeginID(obs.PhaseClassify, int64(mask.ID))
+	defer csp.End()
 	v := verdictFromRun(golden.Output, golden.Cycles, res)
 	if comp != nil {
 		v.HVFCorrupt = comp.Finalize()

@@ -68,7 +68,7 @@ func ExplainWithGolden(cfg Config, g *Golden, index int) (*Explanation, error) {
 	}
 
 	s := g.base.Fork()
-	v, err := runOne(cfg, s, &g.Info, subTrace, 0, g.base.CPU.Cycle(), mask)
+	v, err := runOne(cfg, s, &g.Info, subTrace, 0, g.base.CPU.Cycle(), mask, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -135,7 +135,7 @@ func TestLadderStraddlingMaskAppliesInCycleOrder(t *testing.T) {
 	flatSink := &eventSliceSink{}
 	flatCfg := cfg
 	flatCfg.Trace = flatSink
-	vFlat, err := runOne(flatCfg, rungs[0].sys.Fork(), &g.Info, nil, 0, armCycle, mask)
+	vFlat, err := runOne(flatCfg, rungs[0].sys.Fork(), &g.Info, nil, 0, armCycle, mask, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestLadderStraddlingMaskAppliesInCycleOrder(t *testing.T) {
 	ladSink := &eventSliceSink{}
 	ladCfg := cfg
 	ladCfg.Trace = ladSink
-	vLad, err := runOne(ladCfg, rungs[r].sys.Fork(), &g.Info, nil, 0, armCycle, mask)
+	vLad, err := runOne(ladCfg, rungs[r].sys.Fork(), &g.Info, nil, 0, armCycle, mask, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,110 @@
+package campaign_test
+
+import (
+	"testing"
+	"time"
+
+	"marvel/internal/campaign"
+	"marvel/internal/config"
+	"marvel/internal/core"
+	"marvel/internal/obs"
+	"marvel/internal/sweep"
+)
+
+// TestProfilingDoesNotChangeVerdicts is the differential guard for the
+// span layer: a campaign with a profiler attached must classify every
+// fault bit-identically to the unprofiled campaign — span boundaries
+// sit outside the simulated work. Covered serial and parallel, flat and
+// laddered, with the optimization stack on.
+func TestProfilingDoesNotChangeVerdicts(t *testing.T) {
+	img := compileWorkload(t, "riscv", "crc32")
+	base := campaign.Config{
+		Image:  img,
+		Preset: config.Fast(),
+		Target: "prf",
+		Model:  core.Transient,
+		Faults: 50,
+		Seed:   7,
+	}
+	variants := []struct {
+		name string
+		mod  func(*campaign.Config)
+	}{
+		{"base", func(*campaign.Config) {}},
+		{"ladder", func(c *campaign.Config) { c.LadderRungs = 4 }},
+		{"validonly+earlyterm+hvf", func(c *campaign.Config) {
+			c.Domain = core.DomainValidOnly
+			c.EarlyTermination = true
+			c.HVF = true
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := base
+			v.mod(&cfg)
+			plain, err := campaign.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, workers := range []int{1, 4} {
+				prof := cfg
+				prof.Workers = workers
+				prof.Profile = obs.NewProfiler()
+				pr, err := campaign.Run(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := sweep.DigestCPURecords(pr.Records), sweep.DigestCPURecords(plain.Records); got != want {
+					t.Fatalf("profiled digest (%d workers) %s != unprofiled %s", workers, got, want)
+				}
+				snap := prof.Profile.Snapshot()
+				if len(snap.Phases) == 0 || len(snap.Lanes) == 0 {
+					t.Fatalf("profiler recorded nothing: %+v", snap)
+				}
+			}
+		})
+	}
+}
+
+// TestProfiledAttributionCoversWallClock pins the attribution accuracy
+// contract: on a single-worker campaign with a prepared golden, the
+// phase self-times (fork/reset/replay/faulty/classify + ladder) must
+// account for nearly all of the engine's wall-clock — the spans bracket
+// the expensive stages, so only mask generation and channel plumbing
+// fall outside them.
+func TestProfiledAttributionCoversWallClock(t *testing.T) {
+	img := compileWorkload(t, "riscv", "crc32")
+	cfg := campaign.Config{
+		Image:   img,
+		Preset:  config.Fast(),
+		Target:  "prf",
+		Model:   core.Transient,
+		Faults:  60,
+		Seed:    5,
+		Workers: 1,
+		Profile: obs.NewProfiler(),
+	}
+	start := time.Now()
+	if _, err := campaign.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start).Seconds()
+
+	snap := cfg.Profile.Snapshot()
+	var sum float64
+	for _, p := range snap.Phases {
+		sum += p.Seconds
+	}
+	ratio := sum / wall
+	t.Logf("attributed %.4fs of %.4fs wall (%.1f%%), phases: %+v", sum, wall, 100*ratio, snap.Phases)
+	if ratio < 0.95 {
+		t.Errorf("phase self-times cover only %.1f%% of wall-clock, want >= 95%%", 100*ratio)
+	}
+	// Self-times are disjoint on a single worker lane (plus the golden
+	// and ladder prep lanes, which precede the worker), so the sum can
+	// never meaningfully exceed the wall.
+	if ratio > 1.02 {
+		t.Errorf("phase self-times cover %.1f%% of wall-clock; spans overlap", 100*ratio)
+	}
+}

@@ -52,15 +52,18 @@ func NewDebugMux(reg *Registry, jobs *RegistrySet) *http.ServeMux {
 		})
 		mux.HandleFunc("/metrics/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 			id := r.PathValue("id")
-			snaps := jobs.Snapshot()
-			snap, ok := snaps[id]
+			jr, ok := jobs.Lookup(id)
 			if !ok {
 				http.Error(w, "unknown job "+id, http.StatusNotFound)
 				return
 			}
-			writeJSON(w, snap)
+			writeJSON(w, jr.Snapshot())
 		})
 	}
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		WritePrometheus(w, reg, jobs)
+	})
 	return mux
 }
 

@@ -165,11 +165,24 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	b := h.Buckets()
 	var total uint64
-	for _, n := range b {
-		total += n
+	for i, bc := range b {
+		total += bc.Count
+		if i > 0 && bc.UpperBound <= b[i-1].UpperBound {
+			t.Fatalf("buckets not in ascending bound order: %v", b)
+		}
 	}
 	if total != 5 {
 		t.Fatalf("bucket sum = %d (%v), want 5", total, b)
+	}
+	// 0 → bound 0; 1 → bound 1; 2,3 → bound 3; 500 → bound 511.
+	want := []BucketCount{{0, 1}, {1, 1}, {3, 2}, {511, 1}}
+	if len(b) != len(want) {
+		t.Fatalf("buckets = %v, want %v", b, want)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
 	}
 }
 

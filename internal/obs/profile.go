@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase names one stage of campaign work for wall-clock attribution.
+// The taxonomy mirrors the stages the engines already distinguish: the
+// golden reference run, checkpoint-ladder walk/snapshot, CoW fork,
+// scratch reset, residual pre-injection replay, faulty execution,
+// verdict classification, journal appends, and — in the campaign
+// service — queue wait and verdict-stream fan-out.
+type Phase uint8
+
+const (
+	PhaseGolden Phase = iota
+	PhaseLadder
+	PhaseFork
+	PhaseReset
+	PhaseReplay
+	PhaseFaulty
+	PhaseClassify
+	PhaseJournal
+	PhaseQueueWait
+	PhaseStream
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"golden", "ladder", "fork", "reset", "replay",
+	"faulty", "classify", "journal", "queue-wait", "stream",
+}
+
+// String returns the phase's stable wire name (used as trace-event span
+// names and Prometheus label values).
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase-%d", uint8(p))
+}
+
+// Profiler attributes wall-clock time to phases and per-worker lanes.
+// It follows the Tracer's zero-cost-when-off contract: a nil *Profiler
+// is fully usable — NewLane returns a nil *Lane, Begin on a nil lane
+// returns an inert Span, and Span.End on it is a no-op — so emission
+// sites cost one nil check and zero allocations when profiling is off.
+//
+// When on, every ended span adds its duration to a lock-free per-phase
+// table and its lane's busy counter, and (if a timeline is attached)
+// emits one Chrome trace-event "complete" record.
+type Profiler struct {
+	epoch  time.Time
+	phases [NumPhases]phaseCell
+	sink   atomic.Pointer[TimelineWriter]
+
+	mu    sync.Mutex
+	lanes []*Lane
+}
+
+type phaseCell struct {
+	nanos atomic.Uint64
+	spans atomic.Uint64
+}
+
+// NewProfiler returns a profiler with its epoch (trace time zero)
+// started.
+func NewProfiler() *Profiler { return &Profiler{epoch: time.Now()} }
+
+// AttachTimeline directs span emission to w (nil detaches), replaying
+// thread_name metadata for lanes that already exist — the campaign
+// service creates a job's profiler at submission but opens its timeline
+// file only when the job starts running. Safe to call concurrently with
+// span emission; on a nil profiler it is a no-op.
+func (p *Profiler) AttachTimeline(w *TimelineWriter) {
+	if p == nil {
+		return
+	}
+	p.sink.Store(w)
+	if w == nil {
+		return
+	}
+	p.mu.Lock()
+	lanes := make([]*Lane, len(p.lanes))
+	copy(lanes, p.lanes)
+	p.mu.Unlock()
+	for _, l := range lanes {
+		w.laneMeta(l.tid, l.name)
+	}
+}
+
+// Lane is one timeline row — typically a worker goroutine, but also
+// the orchestrator's golden-prep or the server's per-job control flow.
+// Lanes are cheap; create one per concurrent strand so trace rows never
+// interleave. All methods are nil-receiver safe.
+type Lane struct {
+	p     *Profiler
+	tid   int
+	name  string
+	busy  atomic.Uint64
+	spans atomic.Uint64
+}
+
+// NewLane registers a named timeline lane. Returns nil when the
+// profiler is nil, which downstream Begin/End calls tolerate.
+func (p *Profiler) NewLane(name string) *Lane {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	l := &Lane{p: p, tid: len(p.lanes) + 1, name: name}
+	p.lanes = append(p.lanes, l)
+	p.mu.Unlock()
+	if w := p.sink.Load(); w != nil {
+		w.laneMeta(l.tid, name)
+	}
+	return l
+}
+
+// Span is an open interval on one lane. It is a value type: beginning
+// and ending a span allocates nothing.
+type Span struct {
+	l     *Lane
+	start time.Duration
+	id    int64
+	phase Phase
+}
+
+// Begin opens a span for phase. On a nil lane it returns an inert span.
+func (l *Lane) Begin(phase Phase) Span {
+	if l == nil {
+		return Span{}
+	}
+	return Span{l: l, phase: phase, start: time.Since(l.p.epoch)}
+}
+
+// BeginID opens a span tagged with a numeric identity (mask ID, cell
+// index, stream cursor) that rides into the trace event's args.
+func (l *Lane) BeginID(phase Phase, id int64) Span {
+	if l == nil {
+		return Span{}
+	}
+	return Span{l: l, phase: phase, id: id, start: time.Since(l.p.epoch)}
+}
+
+// End closes the span, folding its duration into the per-phase table
+// and the lane's busy time, and emitting a trace event when a timeline
+// is attached. No-op on an inert span.
+func (s Span) End() {
+	if s.l == nil {
+		return
+	}
+	p := s.l.p
+	end := time.Since(p.epoch)
+	dur := end - s.start
+	if dur < 0 {
+		dur = 0
+	}
+	p.phases[s.phase].nanos.Add(uint64(dur))
+	p.phases[s.phase].spans.Add(1)
+	s.l.busy.Add(uint64(dur))
+	s.l.spans.Add(1)
+	if w := p.sink.Load(); w != nil {
+		w.complete(s.l.tid, s.phase.String(), s.start, dur, s.id)
+	}
+}
+
+// PhaseSeconds returns the accumulated self-time for one phase. Zero on
+// a nil profiler.
+func (p *Profiler) PhaseSeconds(phase Phase) float64 {
+	if p == nil || phase >= NumPhases {
+		return 0
+	}
+	return time.Duration(p.phases[phase].nanos.Load()).Seconds()
+}
+
+// PhaseStat is one row of the per-phase attribution table.
+type PhaseStat struct {
+	Phase   string  `json:"phase"`
+	Spans   uint64  `json:"spans"`
+	Seconds float64 `json:"seconds"`
+}
+
+// LaneStat is one timeline lane's busy/idle summary. BusyFrac is busy
+// time over the profiler's wall time (idle fraction = 1 - BusyFrac).
+type LaneStat struct {
+	Lane     string  `json:"lane"`
+	Tid      int     `json:"tid"`
+	Spans    uint64  `json:"spans"`
+	BusySec  float64 `json:"busy_sec"`
+	BusyFrac float64 `json:"busy_frac"`
+}
+
+// ProfileSnapshot is a point-in-time copy of the attribution tables,
+// suitable for JSON encoding.
+type ProfileSnapshot struct {
+	WallSec float64     `json:"wall_sec"`
+	Phases  []PhaseStat `json:"phases,omitempty"`
+	Lanes   []LaneStat  `json:"lanes,omitempty"`
+}
+
+// Snapshot captures the profiler's attribution tables. Phases with no
+// spans are omitted; phases are sorted by descending self-time, lanes
+// by tid. Returns a zero snapshot on a nil profiler.
+func (p *Profiler) Snapshot() ProfileSnapshot {
+	if p == nil {
+		return ProfileSnapshot{}
+	}
+	wall := time.Since(p.epoch).Seconds()
+	snap := ProfileSnapshot{WallSec: wall}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		n := p.phases[ph].spans.Load()
+		if n == 0 {
+			continue
+		}
+		snap.Phases = append(snap.Phases, PhaseStat{
+			Phase:   ph.String(),
+			Spans:   n,
+			Seconds: time.Duration(p.phases[ph].nanos.Load()).Seconds(),
+		})
+	}
+	sort.SliceStable(snap.Phases, func(i, j int) bool {
+		return snap.Phases[i].Seconds > snap.Phases[j].Seconds
+	})
+	p.mu.Lock()
+	lanes := make([]*Lane, len(p.lanes))
+	copy(lanes, p.lanes)
+	p.mu.Unlock()
+	for _, l := range lanes {
+		busy := time.Duration(l.busy.Load()).Seconds()
+		frac := 0.0
+		if wall > 0 {
+			frac = busy / wall
+		}
+		snap.Lanes = append(snap.Lanes, LaneStat{
+			Lane:     l.name,
+			Tid:      l.tid,
+			Spans:    l.spans.Load(),
+			BusySec:  busy,
+			BusyFrac: frac,
+		})
+	}
+	return snap
+}
+
+// Table renders the snapshot as an aligned where-the-time-went text
+// table (phases with share of total self-time, then per-lane busy
+// fractions). Empty string when nothing was recorded.
+func (s ProfileSnapshot) Table() string {
+	if len(s.Phases) == 0 && len(s.Lanes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	var total float64
+	for _, p := range s.Phases {
+		total += p.Seconds
+	}
+	fmt.Fprintf(&b, "where the time went (wall %.3fs):\n", s.WallSec)
+	for _, p := range s.Phases {
+		share := 0.0
+		if total > 0 {
+			share = 100 * p.Seconds / total
+		}
+		fmt.Fprintf(&b, "  %-10s %10.3fs  %5.1f%%  (%d spans)\n",
+			p.Phase, p.Seconds, share, p.Spans)
+	}
+	for _, l := range s.Lanes {
+		fmt.Fprintf(&b, "  lane %-16s busy %8.3fs  %5.1f%%  idle %5.1f%%\n",
+			l.Lane, l.BusySec, 100*l.BusyFrac, 100*(1-l.BusyFrac))
+	}
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestProfilerZeroAlloc is the zero-cost-when-off guard for the span
+// layer, mirroring TestTracerZeroAlloc: the nil-profiler path used in
+// engine hot paths — one nil check at lane creation, then Begin/End on a
+// nil lane — must not allocate.
+func TestProfilerZeroAlloc(t *testing.T) {
+	var p *Profiler // profiling off
+	lane := p.NewLane("worker-0")
+	if lane != nil {
+		t.Fatalf("NewLane on nil profiler = %v, want nil", lane)
+	}
+	offAllocs := testing.AllocsPerRun(1000, func() {
+		sp := lane.BeginID(PhaseFaulty, 42)
+		sp.End()
+		sp2 := lane.Begin(PhaseClassify)
+		sp2.End()
+	})
+	if offAllocs != 0 {
+		t.Fatalf("nil-lane span allocates %.1f/op, want 0", offAllocs)
+	}
+
+	// With profiling on (no timeline sink), spans still must not
+	// allocate: Span is a value type and the tables are atomics.
+	p = NewProfiler()
+	lane = p.NewLane("worker-0")
+	onAllocs := testing.AllocsPerRun(1000, func() {
+		sp := lane.BeginID(PhaseFaulty, 42)
+		sp.End()
+	})
+	if onAllocs != 0 {
+		t.Fatalf("profiled span allocates %.1f/op, want 0", onAllocs)
+	}
+}
+
+func TestProfilerPhaseTable(t *testing.T) {
+	p := NewProfiler()
+	w0 := p.NewLane("worker-0")
+	w1 := p.NewLane("worker-1")
+	if w0.tid == w1.tid {
+		t.Fatalf("lanes share tid %d", w0.tid)
+	}
+
+	sp := w0.Begin(PhaseFaulty)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	sp = w1.BeginID(PhaseClassify, 7)
+	sp.End()
+	Span{}.End() // inert span: must be a no-op
+
+	if p.PhaseSeconds(PhaseFaulty) <= 0 {
+		t.Fatal("faulty phase has no recorded time")
+	}
+	if p.PhaseSeconds(PhaseGolden) != 0 {
+		t.Fatal("golden phase recorded time without spans")
+	}
+
+	snap := p.Snapshot()
+	if snap.WallSec <= 0 {
+		t.Fatalf("wall = %v, want > 0", snap.WallSec)
+	}
+	if len(snap.Phases) != 2 {
+		t.Fatalf("snapshot has %d phases, want 2 (faulty, classify): %+v", len(snap.Phases), snap.Phases)
+	}
+	// Phases sort by descending self-time; the slept-through faulty span
+	// must lead.
+	if snap.Phases[0].Phase != "faulty" {
+		t.Fatalf("dominant phase = %q, want faulty", snap.Phases[0].Phase)
+	}
+	if len(snap.Lanes) != 2 || snap.Lanes[0].Lane != "worker-0" || snap.Lanes[0].Spans != 1 {
+		t.Fatalf("lanes = %+v", snap.Lanes)
+	}
+	if f := snap.Lanes[0].BusyFrac; f <= 0 || f > 1 {
+		t.Fatalf("worker-0 busy fraction = %v, want (0, 1]", f)
+	}
+	if tbl := snap.Table(); tbl == "" {
+		t.Fatal("Table() empty for a populated snapshot")
+	}
+	// A nil profiler snapshots to zero and renders nothing.
+	var nilP *Profiler
+	if tbl := nilP.Snapshot().Table(); tbl != "" {
+		t.Fatalf("nil profiler table = %q, want empty", tbl)
+	}
+}
+
+// traceDoc mirrors the Chrome trace-event JSON object format for
+// decoding in tests.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// checkTraceSchema validates the invariants the exporter promises:
+// the document parses, every event is an "M" metadata or "X" complete
+// or "i" instant record, complete events carry non-negative ts/dur,
+// ts is monotonically non-decreasing per tid (lane spans are
+// sequential, never nested), and every tid with spans has a
+// thread_name lane.
+func checkTraceSchema(t *testing.T, raw []byte) traceDoc {
+	t.Helper()
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%.400s", err, raw)
+	}
+	named := map[int]bool{}
+	lastTs := map[int]float64{}
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Fatalf("event %d: metadata %q, want thread_name", i, ev.Name)
+			}
+			if _, ok := ev.Args["name"].(string); !ok {
+				t.Fatalf("event %d: thread_name without args.name", i)
+			}
+			named[ev.Tid] = true
+		case "X":
+			if ev.Pid != 1 || ev.Tid <= 0 {
+				t.Fatalf("event %d: pid/tid = %d/%d", i, ev.Pid, ev.Tid)
+			}
+			if ev.Ts < 0 || ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("event %d: bad ts/dur: %+v", i, ev)
+			}
+			if ev.Ts < lastTs[ev.Tid] {
+				t.Fatalf("event %d: ts %v goes backwards on tid %d (last %v)",
+					i, ev.Ts, ev.Tid, lastTs[ev.Tid])
+			}
+			lastTs[ev.Tid] = ev.Ts
+		case "i":
+			// instant markers carry no duration
+		default:
+			t.Fatalf("event %d: unexpected ph %q", i, ev.Ph)
+		}
+	}
+	for tid := range lastTs {
+		if !named[tid] {
+			t.Fatalf("tid %d has spans but no thread_name lane", tid)
+		}
+	}
+	return doc
+}
+
+func TestTimelineWriterSchema(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTimelineWriter(&buf)
+
+	p := NewProfiler()
+	early := p.NewLane("pre-attach") // must get its meta on AttachTimeline
+	p.AttachTimeline(tw)
+	late := p.NewLane("post-attach")
+
+	sp := early.BeginID(PhaseFork, 3)
+	sp.End()
+	sp = late.Begin(PhaseFaulty)
+	sp.End()
+	sp = late.Begin(PhaseClassify)
+	sp.End()
+	tw.Instant(early.tid, "marker", time.Millisecond)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Late spans after close are dropped, not appended outside the JSON.
+	p.NewLane("too-late").Begin(PhaseStream).End()
+
+	doc := checkTraceSchema(t, buf.Bytes())
+	var metas, completes int
+	var sawID bool
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+		case "X":
+			completes++
+			if id, ok := ev.Args["id"]; ok && id.(float64) == 3 {
+				sawID = true
+			}
+		}
+	}
+	if metas != 2 || completes != 3 {
+		t.Fatalf("got %d metas, %d completes, want 2 and 3", metas, completes)
+	}
+	if !sawID {
+		t.Fatal("BeginID identity did not reach the trace args")
+	}
+}
+
+func TestFaultsPerSecClocksFromFirstVerdict(t *testing.T) {
+	r := NewRegistry()
+	// Backdate creation by an hour: under the old registry-creation
+	// clock, one verdict would read as ~1/3600 faults/sec.
+	r.start = time.Now().Add(-time.Hour)
+	if got := r.FaultsPerSec(); got != 0 {
+		t.Fatalf("FaultsPerSec before any verdict = %v, want 0", got)
+	}
+	r.AddVerdict("masked", false, false)
+	time.Sleep(10 * time.Millisecond)
+	if got := r.FaultsPerSec(); got < 1 {
+		t.Fatalf("FaultsPerSec = %v; the rate clock still counts pre-verdict idle time", got)
+	}
+}
+
+func TestPublishForeignNameErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Publish("obs-test-rebind"); err != nil {
+		t.Fatalf("first Publish: %v", err)
+	}
+	if err := r.Publish("obs-test-rebind"); err != nil {
+		t.Fatalf("rebind Publish: %v", err)
+	}
+	// expvar.NewInt registers a foreign (non-registry) var; publishing a
+	// registry under its name must refuse rather than silently no-op.
+	expvar.NewInt("obs-test-foreign")
+	if err := r.Publish("obs-test-foreign"); err == nil {
+		t.Fatal("Publish over a foreign expvar succeeded, want error")
+	}
+}
+
+func TestProfileSnapshotSelfTimeSums(t *testing.T) {
+	p := NewProfiler()
+	lane := p.NewLane("w")
+	for i := 0; i < 5; i++ {
+		sp := lane.Begin(PhaseFaulty)
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	snap := p.Snapshot()
+	var sum float64
+	for _, ph := range snap.Phases {
+		sum += ph.Seconds
+	}
+	if math.Abs(sum-snap.Lanes[0].BusySec) > 1e-9 {
+		t.Fatalf("phase self-time %v != lane busy %v for a single lane", sum, snap.Lanes[0].BusySec)
+	}
+}

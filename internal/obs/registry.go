@@ -58,17 +58,21 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
-// Buckets returns the non-empty buckets as "<upper-bound>: count" pairs in
-// ascending bound order.
-func (h *Histogram) Buckets() map[string]uint64 {
-	out := map[string]uint64{}
+// BucketCount is one histogram bucket: Count observations with
+// value <= UpperBound (and greater than the previous bucket's bound).
+type BucketCount struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending bound order.
+// Bucket i of the power-of-two layout holds 2^(i-1) <= v < 2^i, so its
+// inclusive upper bound is 2^i - 1 (bucket 0 holds exactly v == 0).
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
-			if i == 0 {
-				out["0"] = n
-			} else {
-				out[fmt.Sprintf("<%d", uint64(1)<<i)] = n
-			}
+			out = append(out, BucketCount{UpperBound: uint64(1)<<i - 1, Count: n})
 		}
 	}
 	return out
@@ -113,6 +117,12 @@ type Registry struct {
 	CellLatencyMS Histogram
 
 	start time.Time
+	// firstVerdict is the unix-nano timestamp of the first AddVerdict
+	// (0 until one lands) — the faults/sec clock, so idle setup and
+	// golden-prep time never deflate the rate.
+	firstVerdict atomic.Int64
+	// prof, when attached, folds wall-clock attribution into snapshots.
+	prof atomic.Pointer[Profiler]
 }
 
 // NewRegistry returns a registry with its faults/sec clock started.
@@ -122,6 +132,9 @@ func NewRegistry() *Registry { return &Registry{start: time.Now()} }
 // Outcome.String() value ("masked", "sdc", "crash") — string-typed so
 // engines' callers can feed it without obs importing the classify package.
 func (r *Registry) AddVerdict(outcome string, earlyStop, hvfCorrupt bool) {
+	if r.firstVerdict.Load() == 0 {
+		r.firstVerdict.CompareAndSwap(0, time.Now().UnixNano())
+	}
 	r.FaultsDone.Inc()
 	switch outcome {
 	case "masked", "Masked":
@@ -152,15 +165,27 @@ func (r *Registry) AddLadderStats(rungHits, replayedCycles uint64) {
 	r.ReplayedCycles.Add(replayedCycles)
 }
 
-// FaultsPerSec returns the observed classification rate since the
-// registry was created.
+// FaultsPerSec returns the observed classification rate, clocked from
+// the first verdict (not registry creation, whose idle setup and
+// golden-prep time would deflate the rate). 0 before any verdict.
 func (r *Registry) FaultsPerSec() float64 {
-	el := time.Since(r.start).Seconds()
+	ns := r.firstVerdict.Load()
+	if ns == 0 {
+		return 0
+	}
+	el := time.Since(time.Unix(0, ns)).Seconds()
 	if el <= 0 {
 		return 0
 	}
 	return float64(r.FaultsDone.Load()) / el
 }
+
+// AttachProfiler folds p's wall-clock attribution tables into this
+// registry's snapshots (nil detaches).
+func (r *Registry) AttachProfiler(p *Profiler) { r.prof.Store(p) }
+
+// Profiler returns the attached profiler, or nil.
+func (r *Registry) Profiler() *Profiler { return r.prof.Load() }
 
 // ForkReuseRate returns reuses/(forks+reuses), the fraction of per-fault
 // setups served by resetting an existing fork scratch rather than forking
@@ -176,32 +201,40 @@ func (r *Registry) ForkReuseRate() float64 {
 // RegistrySnapshot is a point-in-time copy of a Registry, suitable for
 // JSON encoding.
 type RegistrySnapshot struct {
-	FaultsDone     uint64            `json:"faults_done"`
-	Masked         uint64            `json:"masked"`
-	SDC            uint64            `json:"sdc"`
-	Crash          uint64            `json:"crash"`
-	EarlyStops     uint64            `json:"early_stops"`
-	FaultsSaved    uint64            `json:"faults_saved"`
-	HVFCorrupt     uint64            `json:"hvf_corrupt"`
-	FaultsPerSec   float64           `json:"faults_per_sec"`
-	Forks          uint64            `json:"forks"`
-	ForkReuses     uint64            `json:"fork_reuses"`
-	ForkReuseRate  float64           `json:"fork_reuse_rate"`
-	RungHits       uint64            `json:"rung_hits"`
-	ReplayedCycles uint64            `json:"replayed_cycles"`
-	GoldenRuns     uint64            `json:"golden_runs"`
-	GoldenHits     uint64            `json:"golden_hits"`
-	CellsStarted   uint64            `json:"cells_started"`
-	CellsFinished  uint64            `json:"cells_finished"`
-	CellsSkipped   uint64            `json:"cells_skipped"`
-	CellLatencyMS  map[string]uint64 `json:"cell_latency_ms,omitempty"`
-	CellMeanMS     float64           `json:"cell_mean_ms"`
-	UptimeSec      float64           `json:"uptime_sec"`
+	FaultsDone     uint64           `json:"faults_done"`
+	Masked         uint64           `json:"masked"`
+	SDC            uint64           `json:"sdc"`
+	Crash          uint64           `json:"crash"`
+	EarlyStops     uint64           `json:"early_stops"`
+	FaultsSaved    uint64           `json:"faults_saved"`
+	HVFCorrupt     uint64           `json:"hvf_corrupt"`
+	FaultsPerSec   float64          `json:"faults_per_sec"`
+	Forks          uint64           `json:"forks"`
+	ForkReuses     uint64           `json:"fork_reuses"`
+	ForkReuseRate  float64          `json:"fork_reuse_rate"`
+	RungHits       uint64           `json:"rung_hits"`
+	ReplayedCycles uint64           `json:"replayed_cycles"`
+	GoldenRuns     uint64           `json:"golden_runs"`
+	GoldenHits     uint64           `json:"golden_hits"`
+	CellsStarted   uint64           `json:"cells_started"`
+	CellsFinished  uint64           `json:"cells_finished"`
+	CellsSkipped   uint64           `json:"cells_skipped"`
+	CellLatencyMS  []BucketCount    `json:"cell_latency_ms,omitempty"`
+	CellLatencySum uint64           `json:"cell_latency_sum_ms"`
+	CellMeanMS     float64          `json:"cell_mean_ms"`
+	UptimeSec      float64          `json:"uptime_sec"`
+	Profile        *ProfileSnapshot `json:"profile,omitempty"`
 }
 
 // Snapshot captures the registry's current values.
 func (r *Registry) Snapshot() RegistrySnapshot {
+	var prof *ProfileSnapshot
+	if p := r.prof.Load(); p != nil {
+		ps := p.Snapshot()
+		prof = &ps
+	}
 	return RegistrySnapshot{
+		Profile:        prof,
 		FaultsDone:     r.FaultsDone.Load(),
 		Masked:         r.Masked.Load(),
 		SDC:            r.SDC.Load(),
@@ -221,6 +254,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		CellsFinished:  r.CellsFinished.Load(),
 		CellsSkipped:   r.CellsSkipped.Load(),
 		CellLatencyMS:  r.CellLatencyMS.Buckets(),
+		CellLatencySum: r.CellLatencyMS.Sum(),
 		CellMeanMS:     r.CellLatencyMS.Mean(),
 		UptimeSec:      time.Since(r.start).Seconds(),
 	}
@@ -229,19 +263,22 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 // Publish exposes the registry under the given expvar name (the debug
 // endpoint's /debug/vars). Republishing an existing name rebinds it to
 // this registry instead of panicking, so tests and repeated CLI runs in
-// one process are safe.
-func (r *Registry) Publish(name string) {
+// one process are safe; a name held by a foreign (non-registry) expvar
+// is left alone and reported as an error.
+func (r *Registry) Publish(name string) error {
 	f := expvar.Func(func() any { return r.Snapshot() })
 	if v := expvar.Get(name); v != nil {
-		if fv, ok := v.(*rebindableVar); ok {
-			fv.set(f)
-			return
+		fv, ok := v.(*rebindableVar)
+		if !ok {
+			return fmt.Errorf("obs: expvar name %q already held by a foreign %T", name, v)
 		}
-		return // name taken by something else; leave it
+		fv.set(f)
+		return nil
 	}
 	rv := &rebindableVar{}
 	rv.set(f)
 	expvar.Publish(name, rv)
+	return nil
 }
 
 // rebindableVar lets Publish swap the backing registry for a name that is

@@ -32,6 +32,14 @@ func (s *RegistrySet) Get(key string) *Registry {
 	return r
 }
 
+// Lookup returns the registry for key without creating it.
+func (s *RegistrySet) Lookup(key string) (*Registry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.m[key]
+	return r, ok
+}
+
 // Drop removes the registry for key (a finished job that was archived).
 // Holders of the registry pointer can keep using it; the set just stops
 // serving it.

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// TimelineWriter streams Chrome trace-event JSON ("JSON object format":
+// a {"traceEvents":[...]} wrapper holding "X" complete events plus "M"
+// thread_name metadata), loadable in Perfetto or chrome://tracing. One
+// writer serves all of a profiler's lanes; events carry pid 1 and the
+// lane's tid, so each worker renders as its own track.
+//
+// Writes are mutex-serialized and buffered; Close terminates the JSON
+// and flushes. A closed writer silently drops late events — server
+// streams can outlive their job's timeline.
+type TimelineWriter struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	n      int
+	closed bool
+}
+
+// NewTimelineWriter wraps w as a trace-event stream. If w is also an
+// io.Closer it is closed by Close.
+func NewTimelineWriter(w io.Writer) *TimelineWriter {
+	t := &TimelineWriter{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	_, _ = t.w.WriteString(`{"traceEvents":[`)
+	return t
+}
+
+// CreateTimeline creates (truncating) path and returns a trace-event
+// writer over it.
+func CreateTimeline(path string) (*TimelineWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewTimelineWriter(f), nil
+}
+
+// traceEvent is one Chrome trace-event record. Fields use the format's
+// canonical short names; ts/dur are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (t *TimelineWriter) emit(ev traceEvent) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if t.n > 0 {
+		_ = t.w.WriteByte(',')
+	}
+	_ = t.w.WriteByte('\n')
+	_, _ = t.w.Write(b)
+	t.n++
+}
+
+// laneMeta names a tid's track (the trace-event "thread_name" metadata
+// record).
+func (t *TimelineWriter) laneMeta(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.emit(traceEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// complete records one finished span as an "X" complete event.
+func (t *TimelineWriter) complete(tid int, name string, start, dur time.Duration, id int64) {
+	if t == nil {
+		return
+	}
+	d := float64(dur.Nanoseconds()) / 1e3
+	ev := traceEvent{
+		Name: name, Cat: "marvel", Ph: "X", Pid: 1, Tid: tid,
+		Ts: float64(start.Nanoseconds()) / 1e3, Dur: &d,
+	}
+	if id != 0 {
+		ev.Args = map[string]any{"id": id}
+	}
+	t.emit(ev)
+}
+
+// Instant records a zero-duration "i" instant event on a tid (used for
+// one-shot markers like job submission).
+func (t *TimelineWriter) Instant(tid int, name string, at time.Duration) {
+	if t == nil {
+		return
+	}
+	t.emit(traceEvent{
+		Name: name, Cat: "marvel", Ph: "i", Pid: 1, Tid: tid,
+		Ts:   float64(at.Nanoseconds()) / 1e3,
+		Args: map[string]any{"s": "t"},
+	})
+}
+
+// Close terminates the JSON document and flushes (closing the
+// underlying file when the writer owns one). Safe to call twice.
+func (t *TimelineWriter) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	_, _ = t.w.WriteString("\n]}\n")
+	err := t.w.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("obs: closing timeline: %w", err)
+	}
+	return nil
+}

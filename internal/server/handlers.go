@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"marvel/internal/obs"
 )
 
 // Server is the HTTP face of a Manager.
@@ -104,7 +106,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	sse := r.URL.Query().Get("sse") == "1" ||
 		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
-	serveStream(w, r, job.log, from, sse)
+	var lane *obs.Lane
+	if job.prof != nil {
+		lane = job.prof.NewLane("stream")
+	}
+	serveStream(w, r, job.log, from, sse, lane)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -32,6 +32,13 @@ type Job struct {
 	faultsDone atomic.Int64
 	total      int64
 
+	// prof attributes the job's wall-clock (created at submission when
+	// the service keeps per-job registries or the request asked for a
+	// timeline; nil otherwise — all span sites tolerate that). qspan is
+	// the queue-wait span, open from submission to run start.
+	prof  *obs.Profiler
+	qspan obs.Span
+
 	mu        sync.Mutex
 	state     string
 	err       string
@@ -195,6 +202,12 @@ func (m *Manager) Submit(req Request) (job *Job, existing bool, err error) {
 		submitted: time.Now(),
 		seq:       m.order,
 	}
+	if m.cfg.JobRegistries != nil || req.Timeline != "" {
+		// The profiler's epoch is the submission instant, so the
+		// queue-wait span starts at trace time zero.
+		j.prof = obs.NewProfiler()
+		j.qspan = j.prof.NewLane("job").Begin(obs.PhaseQueueWait)
+	}
 	select {
 	case m.queue <- j:
 	default:
@@ -292,6 +305,7 @@ func (m *Manager) worker() {
 }
 
 func (m *Manager) reject(j *Job) {
+	j.qspan.End()
 	j.mu.Lock()
 	j.state = StateRejected
 	j.err = "server draining"
@@ -308,13 +322,32 @@ func (m *Manager) run(j *Job) {
 	j.mu.Unlock()
 	j.log.append(Event{Type: EventStarted, Job: j.ID})
 
+	var tw *obs.TimelineWriter
+	if j.Req.Timeline != "" {
+		var err error
+		tw, err = obs.CreateTimeline(j.Req.Timeline)
+		if err != nil {
+			j.qspan.End()
+			m.fail(j, err)
+			return
+		}
+		j.prof.AttachTimeline(tw)
+	}
+	// Close the queue-wait span after the timeline attaches so it lands
+	// in the trace file, not just the phase table.
+	j.qspan.End()
+
 	spec := j.Req.grid()
 	spec.Goldens = m.goldens
+	spec.Profile = j.prof
 	if spec.Workers == 0 {
 		spec.Workers = m.cfg.CampaignWorkers
 	}
 	if m.cfg.JobRegistries != nil {
 		spec.Metrics = m.cfg.JobRegistries.Get(j.ID)
+		if j.prof != nil {
+			spec.Metrics.AttachProfiler(j.prof)
+		}
 	}
 	spec.OnVerdict = func(cell sweep.Cell, index int, v classify.Verdict) {
 		j.faultsDone.Add(1)
@@ -329,14 +362,13 @@ func (m *Manager) run(j *Job) {
 	}
 
 	res, err := m.cfg.runner(spec)
+	// Close the timeline before the terminal event: late stream spans
+	// from watchers that outlive the job are silently dropped.
+	if tw != nil {
+		_ = tw.Close()
+	}
 	if err != nil {
-		j.mu.Lock()
-		j.state = StateFailed
-		j.err = err.Error()
-		j.finished = time.Now()
-		j.mu.Unlock()
-		m.failed.Add(1)
-		j.log.closeWith(Event{Type: EventFailed, Job: j.ID, Error: err.Error()})
+		m.fail(j, err)
 		return
 	}
 	for i := range res.Cells {
@@ -350,6 +382,17 @@ func (m *Manager) run(j *Job) {
 	j.mu.Unlock()
 	m.completed.Add(1)
 	j.log.closeWith(Event{Type: EventDone, Job: j.ID})
+}
+
+// fail marks j failed with err and closes its stream.
+func (m *Manager) fail(j *Job, err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.err = err.Error()
+	j.finished = time.Now()
+	j.mu.Unlock()
+	m.failed.Add(1)
+	j.log.closeWith(Event{Type: EventFailed, Job: j.ID, Error: err.Error()})
 }
 
 // retryAfter suggests how long a throttled client should back off: one

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"marvel/internal/obs"
+)
+
+// TestServedTimelineAndQueueWait submits a real job with a Timeline
+// path and per-job registries, and checks the three server-side
+// attribution promises: the queue-wait span lands in the job's phase
+// table, the trace file is valid Chrome trace-event JSON with a "job"
+// control lane, and the job's digests still match the offline run
+// (profiling is observational).
+func TestServedTimelineAndQueueWait(t *testing.T) {
+	regs := obs.NewRegistrySet()
+	m := NewManager(Config{Workers: 1, JobRegistries: regs})
+	defer m.Drain()
+
+	path := filepath.Join(t.TempDir(), "job.trace.json")
+	req := fastCampaign(51)
+	req.Timeline = path
+	job, existing, err := m.Submit(req)
+	if err != nil || existing {
+		t.Fatalf("submit: existing=%v err=%v", existing, err)
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", st.State, st.Error)
+	}
+	offline := runOffline(t, req)
+	checkDigests(t, st, offline)
+
+	if job.prof == nil {
+		t.Fatal("job has no profiler despite Timeline + JobRegistries")
+	}
+	if s := job.prof.PhaseSeconds(obs.PhaseQueueWait); s <= 0 {
+		t.Fatalf("queue-wait phase = %vs, want > 0", s)
+	}
+	if s := job.prof.PhaseSeconds(obs.PhaseFaulty); s <= 0 {
+		t.Fatalf("faulty phase = %vs; campaign spans did not reach the job profiler", s)
+	}
+
+	// The per-job registry must expose the same profiler in snapshots.
+	jr, ok := regs.Lookup(job.ID)
+	if !ok {
+		t.Fatalf("no per-job registry for %s", job.ID)
+	}
+	snap := jr.Snapshot()
+	if snap.Profile == nil || len(snap.Profile.Phases) == 0 {
+		t.Fatalf("job registry snapshot has no profile: %+v", snap)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("job trace does not parse: %v\n%.400s", err, raw)
+	}
+	lanes := map[string]bool{}
+	var queueWaitSpan bool
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if n, _ := ev.Args["name"].(string); n != "" {
+				lanes[n] = true
+			}
+		case "X":
+			if ev.Name == "queue-wait" {
+				queueWaitSpan = true
+			}
+		}
+	}
+	if !lanes["job"] {
+		t.Fatalf("trace has no job control lane; lanes = %v", lanes)
+	}
+	if !queueWaitSpan {
+		t.Fatal("queue-wait span missing from the trace file")
+	}
+}
+
+// TestServedStreamSpans checks watcher fan-out attribution: streaming a
+// finished job's events through serveStream records stream-phase spans
+// on a per-watcher lane.
+func TestServedStreamSpans(t *testing.T) {
+	regs := obs.NewRegistrySet()
+	m := NewManager(Config{Workers: 1, JobRegistries: regs})
+	defer m.Drain()
+
+	job, _, err := m.Submit(fastCampaign(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, job); st.State != StateDone {
+		t.Fatalf("job state %s, want done", st.State)
+	}
+	before := job.prof.PhaseSeconds(obs.PhaseStream)
+
+	srv := &Server{Manager: m}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	events := readEvents(t, ts.URL+"/api/v1/jobs/"+job.ID+"/events")
+	if len(events) == 0 || events[len(events)-1].Type != EventDone {
+		t.Fatalf("stream events end with %+v, want done", events)
+	}
+	if after := job.prof.PhaseSeconds(obs.PhaseStream); after <= before {
+		t.Fatalf("stream phase did not advance: before %v after %v", before, after)
+	}
+}
+
+// TestTimelineFailureFailsJob pins the error path: an unwritable
+// timeline path fails the job cleanly instead of running it without the
+// requested trace.
+func TestTimelineFailureFailsJob(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Drain()
+
+	req := fastCampaign(53)
+	req.Timeline = filepath.Join(t.TempDir(), "no", "such", "dir", "t.json")
+	job, _, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateFailed {
+		t.Fatalf("job state %s, want failed for unwritable timeline", st.State)
+	}
+	if st.Error == "" {
+		t.Fatal("failed job carries no error")
+	}
+}
+
+// TestTimelineChangesJobID pins that Timeline participates in job
+// identity (same spec, different timeline = different job) while its
+// absence keeps the historical ID space.
+func TestTimelineChangesJobID(t *testing.T) {
+	a := fastCampaign(54)
+	b := fastCampaign(54)
+	if a.ID() != b.ID() {
+		t.Fatal("equal requests map to different IDs")
+	}
+	b.Timeline = "/tmp/x.json"
+	if a.ID() == b.ID() {
+		t.Fatal("timeline-bearing request shares the bare request's ID")
+	}
+}

@@ -41,6 +41,14 @@ type Request struct {
 	Campaign *marvel.CampaignOptions `json:"campaign,omitempty"`
 	Accel    *marvel.AccelOptions    `json:"accel,omitempty"`
 	Sweep    *marvel.SweepOptions    `json:"sweep,omitempty"`
+
+	// Timeline, when non-empty, makes the daemon write the job's
+	// per-worker Chrome trace-event timeline (including queue wait and
+	// stream fan-out spans) to this server-side path. It participates in
+	// the job ID — the same spec with and without a timeline is two jobs
+	// — but omitempty keeps historical IDs for requests that never set
+	// it.
+	Timeline string `json:"timeline,omitempty"`
 }
 
 // Validate checks the request shape and resolves every name in the

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 
+	"marvel/internal/obs"
 	"marvel/internal/sweep"
 )
 
@@ -125,8 +126,10 @@ func (l *eventLog) snapshot() []Event {
 // serveStream writes the job's events from seq `from` as JSONL (one JSON
 // object per line) or SSE ("data:" frames) until the log closes or the
 // client goes away. Both framings flush per event, so watchers see
-// verdicts live.
-func serveStream(w http.ResponseWriter, r *http.Request, l *eventLog, from int, sse bool) {
+// verdicts live. lane, when non-nil, records one stream span per batch
+// written (tagged with the batch's starting sequence number), attributing
+// fan-out encode/flush time on the job's timeline.
+func serveStream(w http.ResponseWriter, r *http.Request, l *eventLog, from int, sse bool, lane *obs.Lane) {
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-store")
@@ -143,17 +146,24 @@ func serveStream(w http.ResponseWriter, r *http.Request, l *eventLog, from int, 
 	seq := from
 	for {
 		batch, done := l.next(r.Context(), seq)
+		var sp obs.Span
+		if len(batch) > 0 {
+			sp = lane.BeginID(obs.PhaseStream, int64(seq))
+		}
 		for _, e := range batch {
 			if sse {
 				if _, err := fmt.Fprint(w, "data: "); err != nil {
+					sp.End()
 					return
 				}
 			}
 			if err := enc.Encode(e); err != nil {
+				sp.End()
 				return
 			}
 			if sse {
 				if _, err := fmt.Fprint(w, "\n"); err != nil {
+					sp.End()
 					return
 				}
 			}
@@ -161,6 +171,7 @@ func serveStream(w http.ResponseWriter, r *http.Request, l *eventLog, from int, 
 		if flusher != nil && len(batch) > 0 {
 			flusher.Flush()
 		}
+		sp.End()
 		seq += len(batch)
 		if done {
 			return

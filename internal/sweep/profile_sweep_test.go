@@ -1,0 +1,171 @@
+// Differential and timeline-schema suite for wall-clock attribution on
+// the sweep orchestrator: profiling a sweep must not perturb a single
+// verdict, and the Chrome trace-event export it produces must satisfy
+// the format's invariants (well-formed JSON, named lanes, monotonic
+// timestamps per lane).
+package sweep_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"marvel/internal/obs"
+	"marvel/internal/sweep"
+)
+
+// profiledDemoSpec is a small mixed CPU+accel grid, so one run covers
+// both engines' span plumbing plus the orchestrator's golden and
+// journal lanes.
+func profiledDemoSpec() sweep.Spec {
+	return sweep.Spec{
+		ISAs:       []string{"riscv"},
+		Workloads:  []string{"crc32"},
+		Targets:    []string{"prf"},
+		Designs:    []string{"gemm"},
+		Components: []string{"MATRIX1"},
+		Models:     []string{"transient"},
+		Faults:     10,
+		Seed:       41,
+		ValidOnly:  true,
+		Preset:     "fast",
+	}
+}
+
+func cellDigests(t *testing.T, res *sweep.Result) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, c := range res.Cells {
+		out[c.Key] = c.Digest
+	}
+	return out
+}
+
+// TestSweepProfilingDifferentialAndTimeline runs the same grid bare and
+// profiled-with-timeline and asserts every cell digest matches, then
+// validates the emitted trace file.
+func TestSweepProfilingDifferentialAndTimeline(t *testing.T) {
+	plain, err := sweep.Run(profiledDemoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.trace.json")
+	tw, err := obs.CreateTimeline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := obs.NewProfiler()
+	prof.AttachTimeline(tw)
+
+	spec := profiledDemoSpec()
+	spec.Profile = prof
+	spec.OutDir = t.TempDir() // exercise the journal lane too
+	profiled, err := sweep.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := cellDigests(t, plain), cellDigests(t, profiled)
+	if len(got) != len(want) {
+		t.Fatalf("profiled sweep ran %d cells, bare ran %d", len(got), len(want))
+	}
+	for key, d := range want {
+		if got[key] != d {
+			t.Errorf("%s: profiled digest %s != bare digest %s", key, got[key], d)
+		}
+	}
+
+	snap := prof.Snapshot()
+	if snap.Phases == nil || snap.Lanes == nil {
+		t.Fatalf("profiled sweep recorded nothing: %+v", snap)
+	}
+	phaseSeen := map[string]bool{}
+	for _, p := range snap.Phases {
+		phaseSeen[p.Phase] = true
+	}
+	for _, phase := range []string{"golden", "faulty", "classify", "journal"} {
+		if !phaseSeen[phase] {
+			t.Errorf("profiled sweep never recorded phase %q (got %+v)", phase, snap.Phases)
+		}
+	}
+
+	validateTraceFile(t, path)
+}
+
+// validateTraceFile decodes a Chrome trace-event JSON file and checks
+// the exporter's schema invariants: only M/X/i records, complete events
+// with non-negative ts/dur and monotonically non-decreasing ts per tid,
+// and a thread_name lane for every tid that carries spans.
+func validateTraceFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file does not parse: %v\n%.400s", err, raw)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	named := map[int]string{}
+	lastTs := map[int]float64{}
+	completes := 0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			name, _ := ev.Args["name"].(string)
+			if ev.Name != "thread_name" || name == "" {
+				t.Fatalf("event %d: bad lane metadata %+v", i, ev)
+			}
+			named[ev.Tid] = name
+		case "X":
+			completes++
+			if ev.Pid != 1 || ev.Tid <= 0 || ev.Ts < 0 || ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("event %d: malformed complete event %+v", i, ev)
+			}
+			if ev.Ts < lastTs[ev.Tid] {
+				t.Fatalf("event %d: ts %v regresses on tid %d (last %v)", i, ev.Ts, ev.Tid, lastTs[ev.Tid])
+			}
+			lastTs[ev.Tid] = ev.Ts
+		case "i":
+		default:
+			t.Fatalf("event %d: unexpected ph %q", i, ev.Ph)
+		}
+	}
+	if completes == 0 {
+		t.Fatal("trace file has no complete (X) events")
+	}
+	for tid := range lastTs {
+		if named[tid] == "" {
+			t.Fatalf("tid %d carries spans but has no thread_name lane", tid)
+		}
+	}
+	// Worker lanes must be present — per-worker rows are the point of
+	// the export.
+	workerLane := false
+	for _, name := range named {
+		if len(name) > 7 && name[:7] == "worker-" {
+			workerLane = true
+		}
+	}
+	if !workerLane {
+		t.Fatalf("no worker-N lanes in trace; lanes = %v", named)
+	}
+}

@@ -132,6 +132,15 @@ type Spec struct {
 	// lock-free atomic adds, so attaching a registry does not serialize
 	// workers.
 	Metrics *obs.Registry
+
+	// Profile, when non-nil, attributes wall-clock time to phases
+	// (golden prep, ladder, fork/reset/replay/faulty/classify inside
+	// each cell's campaign, journal appends) on per-worker timeline
+	// lanes, and optionally streams Chrome trace events (the CLI's
+	// -timeline flag). Purely observational: verdicts and digests are
+	// bit-identical with profiling on or off. Excluded from the resume
+	// manifest's grid identity.
+	Profile *obs.Profiler
 }
 
 // Cell kinds.
@@ -448,6 +457,10 @@ func Run(spec Spec) (*Result, error) {
 	}
 
 	var mu sync.Mutex // guards res.Counters and the journal
+	var jlane *obs.Lane
+	if spec.Profile != nil && journal != nil {
+		jlane = spec.Profile.NewLane("journal")
+	}
 	var firstErr error
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -508,7 +521,11 @@ func Run(spec Spec) (*Result, error) {
 				}
 				var jerr error
 				if journal != nil {
+					// Appends are serialized by mu, so one shared journal
+					// lane never sees overlapping spans.
+					jsp := jlane.BeginID(obs.PhaseJournal, int64(i))
 					jerr = journal.Append(*rep)
+					jsp.End()
 				}
 				if jerr != nil && firstErr == nil {
 					firstErr = jerr
@@ -558,6 +575,10 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 	switch cell.Kind {
 	case KindCPU:
 		g, hit, err := goldens.CPUGolden(CPUGoldenKey(cell.ISA, cell.Workload, pre), func() (*CPUGolden, error) {
+			// Cache misses pay the golden build; attribute it (its own
+			// lane — concurrent cells may miss simultaneously).
+			sp := spec.Profile.NewLane("golden").Begin(obs.PhaseGolden)
+			defer sp.End()
 			return BuildCPUGolden(cell.ISA, cell.Workload, pre)
 		})
 		if err != nil {
@@ -585,6 +606,7 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			MinFaults:        spec.MinFaults,
 			MaxFaults:        spec.MaxFaults,
 			OnVerdict:        onVerdict,
+			Profile:          spec.Profile,
 		}
 		if spec.ValidOnly {
 			cfg.Domain = core.DomainValidOnly
@@ -610,6 +632,8 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 
 	case KindAccel:
 		g, hit, err := goldens.AccelGolden(AccelGoldenKey(cell.Design), func() (*AccelGolden, error) {
+			sp := spec.Profile.NewLane("golden").Begin(obs.PhaseGolden)
+			defer sp.End()
 			return BuildAccelGolden(cell.Design)
 		})
 		if err != nil {
@@ -631,6 +655,7 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			MinFaults:      spec.MinFaults,
 			MaxFaults:      spec.MaxFaults,
 			OnVerdict:      onVerdict,
+			Profile:        spec.Profile,
 		}, g.Golden)
 		if err != nil {
 			return nil, false, fc, err

@@ -172,6 +172,12 @@ type CampaignOptions struct {
 	// endpoint). Never serialized: a campaign submitted to the job
 	// service gets a per-job registry from the server instead.
 	Metrics *obs.Registry `json:"-"`
+	// Profile, when non-nil, attributes the campaign's wall-clock to
+	// phases and per-worker lanes (the CLI's -timeline flag attaches a
+	// Chrome trace-event sink to it). Purely observational: verdicts are
+	// bit-identical with and without it. Never serialized; a campaign
+	// submitted to the job service gets a per-job profiler instead.
+	Profile *obs.Profiler `json:"-"`
 }
 
 // Validate resolves every name in the options without running anything:
@@ -322,6 +328,7 @@ func RunCampaign(o CampaignOptions) (*Report, error) {
 		Confidence:       o.Confidence,
 		MinFaults:        o.MinFaults,
 		MaxFaults:        o.MaxFaults,
+		Profile:          o.Profile,
 	}
 	if len(targets) > 1 {
 		cfg.MultiTargets = targets
@@ -411,6 +418,9 @@ type AccelOptions struct {
 	// as the campaign runs (the registry behind the CLI's -debug-addr
 	// endpoint). Never serialized; see CampaignOptions.Metrics.
 	Metrics *obs.Registry `json:"-"`
+	// Profile attributes wall-clock to phases and per-worker lanes; see
+	// CampaignOptions.Profile. Never serialized.
+	Profile *obs.Profiler `json:"-"`
 }
 
 // Validate resolves every name in the options without running anything.
@@ -510,6 +520,7 @@ func RunAccelCampaign(o AccelOptions) (*AccelReport, error) {
 		Confidence:    o.Confidence,
 		MinFaults:     o.MinFaults,
 		MaxFaults:     o.MaxFaults,
+		Profile:       o.Profile,
 	}
 	if reg := o.Metrics; reg != nil {
 		cfg.OnVerdict = func(_ int, v classify.Verdict) {
@@ -622,6 +633,10 @@ type SweepOptions struct {
 	// the registry behind the CLI's -debug-addr endpoint and the
 	// -progress-jsonl writer. Never serialized.
 	Metrics *obs.Registry `json:"-"`
+	// Profile attributes the sweep's wall-clock to phases and lanes
+	// (golden prep, journal appends, plus every cell's campaign phases);
+	// see CampaignOptions.Profile. Never serialized.
+	Profile *obs.Profiler `json:"-"`
 }
 
 // Validate plans the sweep grid without running it, resolving every ISA,
@@ -783,6 +798,7 @@ func RunSweep(o SweepOptions) (*SweepReport, error) {
 		CellParallel:     o.CellParallel,
 		OutDir:           o.OutDir,
 		Metrics:          o.Metrics,
+		Profile:          o.Profile,
 	}
 	if o.OnProgress != nil {
 		spec.OnProgress = func(s sweep.Snapshot) {

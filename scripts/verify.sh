@@ -10,11 +10,14 @@
 #      sizing must be schedule-independent and a bit-identical prefix of
 #      the fixed-budget run, and must demonstrably save >= 30% of the
 #      worst-case budget at equal margin
-#   4. observability guard: tracing must be zero-alloc on the golden path
-#      and must not perturb verdict streams
+#   4. observability guard: tracing and profiling must be zero-alloc on
+#      the golden path and must not perturb verdict streams; the sweep's
+#      Chrome-trace timeline export must satisfy the format's schema
+#      invariants
 #   5. bench guard: the forking ablations and tracing-overhead benches
-#      compile and run, and the checkpoint ladder demonstrably cuts
-#      pre-injection replay at least 2x on a long-window workload
+#      compile and run, the checkpoint ladder demonstrably cuts
+#      pre-injection replay at least 2x on a long-window workload, and
+#      span profiling costs < 5% end-to-end on a parallel campaign
 #   6. explain smoke test: the CLI narrates a known-SDC fault end to end
 #   7. server race job: the campaign service's worker pool, golden LRU,
 #      event streams and drain under the race detector, with served-vs-
@@ -90,8 +93,9 @@ go test -run '^TestSweepAdaptiveResume$' -v ./internal/sweep | grep -q -- '--- P
 echo "== race: sweep orchestrator (golden cache, resume, worker budget) =="
 go test -race ./internal/sweep
 
-echo "== race: metrics registry =="
+echo "== race: metrics registry + profiler =="
 go test -race -run 'TestRegistryConcurrentAdds|TestServeDebugEndpoints' ./internal/obs
+go test -race ./internal/obs
 
 # Guard: the differential suite (sweep cell ≡ standalone campaign, traced
 # campaign ≡ untraced campaign, proven by verdict-stream digests) must
@@ -110,9 +114,28 @@ for t in TestTracingDoesNotChangeVerdicts TestExplainReproducesCampaignVerdict; 
 	}
 done
 
-echo "== observability guard: zero-alloc tracing =="
-go test -run '^TestTracerZeroAlloc$' -v ./internal/obs | grep -q -- '--- PASS: TestTracerZeroAlloc' || {
-	echo "verify: zero-alloc tracer guard did not run/pass" >&2
+echo "== observability guard: zero-alloc tracing + profiling =="
+for t in TestTracerZeroAlloc TestProfilerZeroAlloc; do
+	go test -run "^${t}\$" -v ./internal/obs | grep -q -- "--- PASS: ${t}" || {
+		echo "verify: zero-alloc observability guard: ${t} did not run/pass" >&2
+		exit 1
+	}
+done
+
+# Guard: the profiling-vs-bare differentials must exist and pass on all
+# three layers (CPU engine, accelerator engine, sweep orchestrator) —
+# they carry the proof that span boundaries sit outside simulated work,
+# and the sweep one also validates the Chrome trace-event schema.
+go test -run '^TestProfilingDoesNotChangeVerdicts$' -v ./internal/campaign | grep -q -- '--- PASS: TestProfilingDoesNotChangeVerdicts' || {
+	echo "verify: profiling differential guard (campaign) did not run/pass" >&2
+	exit 1
+}
+go test -run '^TestAccelProfilingDoesNotChangeVerdicts$' -v ./internal/accel | grep -q -- '--- PASS: TestAccelProfilingDoesNotChangeVerdicts' || {
+	echo "verify: profiling differential guard (accel) did not run/pass" >&2
+	exit 1
+}
+go test -run '^TestSweepProfilingDifferentialAndTimeline$' -v ./internal/sweep | grep -q -- '--- PASS: TestSweepProfilingDifferentialAndTimeline' || {
+	echo "verify: profiling differential + timeline schema guard (sweep) did not run/pass" >&2
 	exit 1
 }
 
@@ -131,6 +154,11 @@ echo "== bench guard: adaptive sizing savings =="
 # margin on a low-AVF cell.
 go test -run '^$' -bench '^BenchmarkCampaignAdaptive$' -benchtime 1x .
 
+echo "== bench guard: profiling overhead < 5% =="
+# BenchmarkProfilingOverhead fails (b.Fatalf) if attaching a profiler to
+# a parallel campaign costs more than 5% of end-to-end wall-clock.
+go test -run '^$' -bench '^BenchmarkProfilingOverhead$' -benchtime 1x .
+
 echo "== explain smoke test: narrate a known-SDC fault =="
 # riscv/crc32/prf seed 1 index 10 classifies as SDC on the fast preset
 # (pinned by the mask generator's pure (seed, index) derivation); the
@@ -146,6 +174,23 @@ grep -q 'divergence' "$tmp" || {
 }
 grep -q 'verdict: sdc' "$tmp" || {
 	echo "verify: explain smoke: expected an SDC verdict" >&2
+	cat "$tmp" >&2
+	exit 1
+}
+
+echo "== timeline smoke: campaign -timeline emits a loadable trace =="
+# The CLI flag must produce a Chrome trace-event file and print the
+# where-the-time-went table without perturbing the run.
+trace="$(mktemp)"
+trap 'rm -f "$tmp" "$trace"' EXIT
+go run ./cmd/marvel campaign -isa riscv -workload crc32 -target prf \
+	-preset fast -faults 20 -seed 3 -timeline "$trace" >"$tmp"
+grep -q 'traceEvents' "$trace" || {
+	echo "verify: timeline smoke: trace file has no traceEvents array" >&2
+	exit 1
+}
+grep -q 'where the time went' "$tmp" || {
+	echo "verify: timeline smoke: no attribution table on stdout" >&2
 	cat "$tmp" >&2
 	exit 1
 }
