@@ -1,0 +1,141 @@
+// Command marvel-vet runs the repository's custom static-analysis suite:
+// the determinism, maporder, rngsource, obscost and errdiscipline passes
+// that enforce the engine invariants behind bit-identical campaign
+// digests (see internal/vet).
+//
+// Usage:
+//
+//	marvel-vet [-passes p1,p2] [patterns...]
+//	marvel-vet -as <import-path> file.go...
+//	marvel-vet -list
+//
+// With no patterns (or "./..."), every package of the enclosing module
+// is checked. A pattern of the form "dir/..." restricts to that subtree;
+// a plain path restricts to that one package directory. The -as mode
+// type-checks explicit files as a synthetic package under the given
+// import path — verify.sh uses it to prove the suite still rejects a
+// seeded violation.
+//
+// Exit status is 0 when clean, 1 when diagnostics were reported, 2 on
+// usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"marvel/internal/vet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("marvel-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	passSpec := fs.String("passes", "", "comma-separated pass subset (default: all)")
+	asPath := fs.String("as", "", "type-check the argument files as a package with this import path")
+	list := fs.Bool("list", false, "list the available passes and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: marvel-vet [-passes p1,p2] [patterns...]\n")
+		fmt.Fprintf(stderr, "       marvel-vet -as <import-path> file.go...\n")
+		fmt.Fprintf(stderr, "       marvel-vet -list\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range vet.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := vet.ByName(*passSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	var pkgs []*vet.Package
+	if *asPath != "" {
+		if fs.NArg() == 0 {
+			fmt.Fprintln(stderr, "marvel-vet: -as needs at least one .go file argument")
+			return 2
+		}
+		pkg, err := loader.LoadFiles(*asPath, fs.Args()...)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		pkgs = []*vet.Package{pkg}
+	} else {
+		all, err := loader.LoadAll()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		pkgs = filterPackages(all, fs.Args(), loader.ModuleRoot)
+		if len(pkgs) == 0 {
+			fmt.Fprintln(stderr, "marvel-vet: no packages match the given patterns")
+			return 2
+		}
+	}
+
+	diags, err := vet.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "marvel-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages applies go-style patterns ("./...", "dir/...", "dir")
+// to the loaded package list. No patterns means everything.
+func filterPackages(all []*vet.Package, patterns []string, moduleRoot string) []*vet.Package {
+	if len(patterns) == 0 {
+		return all
+	}
+	var out []*vet.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "all" {
+			return all
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			continue
+		}
+		for _, p := range all {
+			match := p.Dir == abs ||
+				(recursive && strings.HasPrefix(p.Dir, abs+string(filepath.Separator)))
+			if match && !seen[p.Path] {
+				seen[p.Path] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"marvel"
+	"marvel/internal/core"
 	"marvel/internal/figures"
 	"marvel/internal/obs"
 	"marvel/internal/sweep"
@@ -404,12 +405,19 @@ func cmdSweep(args []string) error {
 			fmt.Fprint(os.Stderr, line)
 		}
 	}
+	var progressFile *os.File
+	var progressErr error
 	if *progressJSONL != "" {
 		f, err := os.Create(*progressJSONL)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		progressFile = f
+		defer func() {
+			if progressFile != nil {
+				_ = progressFile.Close() // error path: the sweep error wins
+			}
+		}()
 		enc := json.NewEncoder(f)
 		prev := spec.OnProgress
 		reg := spec.Metrics
@@ -425,7 +433,9 @@ func cmdSweep(args []string) error {
 				return
 			}
 			lastWrite = time.Now()
-			enc.Encode(progressLine{Snapshot: s, ElapsedSec: s.Elapsed.Seconds(), ETASec: s.ETA.Seconds(), Metrics: reg.Snapshot()})
+			if err := enc.Encode(progressLine{Snapshot: s, ElapsedSec: s.Elapsed.Seconds(), ETASec: s.ETA.Seconds(), Metrics: reg.Snapshot()}); err != nil && progressErr == nil {
+				progressErr = err
+			}
 		}
 	}
 
@@ -438,6 +448,16 @@ func cmdSweep(args []string) error {
 	}
 	if err := tl.finish(); err != nil {
 		return err
+	}
+	if progressFile != nil {
+		f := progressFile
+		progressFile = nil // the deferred cleanup stands down
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("progress jsonl: %w", err)
+		}
+	}
+	if progressErr != nil {
+		return fmt.Errorf("progress jsonl: %w", progressErr)
 	}
 
 	fmt.Printf("sweep: %d cells (%d executed, %d resumed) in %s\n",
@@ -464,8 +484,9 @@ func cmdSweep(args []string) error {
 		fmt.Printf("%-42s %7d %7.1f%% %7.1f%% %7.1f%% %8s\n",
 			c.Key, c.Faults, 100*c.AVF, 100*c.SDCAVF, 100*c.CrashAVF, hvf)
 	}
-	for k, w := range figures.SweepWAVF(res.Cells) {
-		fmt.Printf("wAVF %-37s %7.1f%%\n", k, 100*w)
+	wavf := figures.SweepWAVF(res.Cells)
+	for _, k := range core.SortedKeys(wavf) {
+		fmt.Printf("wAVF %-37s %7.1f%%\n", k, 100*wavf[k])
 	}
 	if *out != "" {
 		fmt.Printf("persisted to %s (re-run with the same flags to resume)\n", *out)
@@ -473,16 +494,23 @@ func cmdSweep(args []string) error {
 
 	if *csvPath != "" {
 		w := os.Stdout
+		var f *os.File
 		if *csvPath != "-" {
-			f, err := os.Create(*csvPath)
-			if err != nil {
-				return err
+			var cerr error
+			f, cerr = os.Create(*csvPath)
+			if cerr != nil {
+				return cerr
 			}
-			defer f.Close()
 			w = f
 		}
-		if err := figures.SweepCSV(w, res.Cells); err != nil {
-			return err
+		werr := figures.SweepCSV(w, res.Cells)
+		if f != nil {
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+		}
+		if werr != nil {
+			return werr
 		}
 		if *csvPath != "-" {
 			fmt.Printf("wrote %s\n", *csvPath)

@@ -90,6 +90,7 @@ func (s *Standalone) snapshot() *Standalone {
 // fresh Fork of the snapshot.
 func (s *Standalone) Reset() {
 	if s.golden == nil {
+		//marvel:allow errdiscipline API-misuse invariant guard (mirrors soc.System.Reset); campaigns only Reset forks they created
 		panic("accel: Reset on a standalone that was not created by Fork")
 	}
 	s.Host.Reset()

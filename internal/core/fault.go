@@ -14,7 +14,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand" //marvel:allow determinism Generate is the pinned legacy mask derivation: seeded, schedule-independent, and bit-for-bit frozen by the differential suites
 	"sort"
 )
 
@@ -183,7 +183,7 @@ func Generate(spec GenSpec) ([]Mask, error) {
 	if per <= 0 {
 		per = 1
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := rand.New(rand.NewSource(spec.Seed)) //marvel:allow rngsource the legacy generator's populations are pinned; new derivations use DeriveFault/MaskStream
 	masks := make([]Mask, spec.Count)
 	for i := range masks {
 		faults := make([]Fault, per)

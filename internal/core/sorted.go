@@ -1,0 +1,20 @@
+package core
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. It is the sanctioned
+// way to iterate a map wherever ordering can escape — into a slice, a
+// journal, a digest or an event stream — because Go's map iteration
+// order is deliberately randomized per run. The marvel-vet maporder pass
+// flags raw map ranges at such sites and points here.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -18,8 +18,8 @@ import (
 	"fmt"
 
 	"marvel/internal/isa"
-	"marvel/internal/obs"
 	"marvel/internal/mem"
+	"marvel/internal/obs"
 )
 
 // Config parameterizes the core. DefaultConfig reproduces the paper's

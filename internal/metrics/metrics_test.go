@@ -187,10 +187,10 @@ func TestConfidenceWilsonBoundaries(t *testing.T) {
 		n      int
 		lo, hi float64
 	}{
-		{"p0_n1", 0, 1, 0, 0.793457},           // z²/(1+z²)
-		{"p1_n1", 1, 1, 0.206543, 1},           // 1/(1+z²)
-		{"p0_n1000", 0, 1000, 0, 0.0038269},    // z²/(n+z²)
-		{"p1_n1000", 1, 1000, 0.9961731, 1},    //
+		{"p0_n1", 0, 1, 0, 0.793457},               // z²/(1+z²)
+		{"p1_n1", 1, 1, 0.206543, 1},               // 1/(1+z²)
+		{"p0_n1000", 0, 1000, 0, 0.0038269},        // z²/(n+z²)
+		{"p1_n1000", 1, 1000, 0.9961731, 1},        //
 		{"p05_n1000", 0.5, 1000, 0.46907, 0.53093}, // symmetric at p=0.5
 	}
 	const tol = 1e-4

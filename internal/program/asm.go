@@ -26,6 +26,7 @@ func (a *asmBuf) raw(b []byte) {
 // instruction-selection bug, not an input error.
 func (a *asmBuf) raw2(b []byte, ok bool) {
 	if !ok {
+		//marvel:allow errdiscipline instruction-selection invariant: a silently bad encoding would corrupt every verdict downstream
 		panic("program: unencodable instruction selected")
 	}
 	a.raw(b)

@@ -365,4 +365,3 @@ func benchProgram() *ir.Program {
 	b.Halt()
 	return b.MustProgram()
 }
-

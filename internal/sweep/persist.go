@@ -135,6 +135,7 @@ func openJournal(dir string, spec Spec, cells []Cell) (*journalWriter, map[strin
 			return nil, nil, fmt.Errorf("sweep: %s holds a different sweep (grid mismatch); use a fresh out dir", dir)
 		}
 	} else {
+		//marvel:allow determinism manifest timestamps are provenance metadata; nothing derives from them
 		m := manifest{Grid: grid, Cells: len(cells), Revision: revision(), CreatedAt: time.Now().UTC()}
 		if err := writeManifest(mPath, m); err != nil {
 			return nil, nil, err
@@ -199,7 +200,7 @@ func (j *journalWriter) WriteManifestDone(res *Result) error {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return fmt.Errorf("sweep: manifest: %w", err)
 	}
-	now := time.Now().UTC()
+	now := time.Now().UTC() //marvel:allow determinism manifest timestamps are provenance metadata; nothing derives from them
 	m.CompletedAt = &now
 	m.WallMS = res.Elapsed.Milliseconds()
 	m.CellsExecuted = res.Counters.CellsExecuted
@@ -211,7 +212,7 @@ func (j *journalWriter) WriteManifestDone(res *Result) error {
 
 func (j *journalWriter) Close() error {
 	if err := j.buf.Flush(); err != nil {
-		j.f.Close()
+		_ = j.f.Close() // the flush error wins
 		return err
 	}
 	return j.f.Close()

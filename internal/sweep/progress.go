@@ -63,7 +63,7 @@ func (t *tracker) emit() {
 		return
 	}
 	s := t.snap
-	s.Elapsed = time.Since(t.start)
+	s.Elapsed = time.Since(t.start) //marvel:allow determinism progress/ETA reporting reads the clock; verdict streams never see it
 	if s.CellsFinished > 0 && s.Elapsed > 0 {
 		s.CellsPerSec = float64(s.CellsFinished) / s.Elapsed.Seconds()
 	}

@@ -399,7 +399,7 @@ func presetByName(name string) (config.Preset, error) {
 }
 
 // Run plans and executes the sweep.
-func Run(spec Spec) (*Result, error) {
+func Run(spec Spec) (_ *Result, err error) {
 	cells, err := Plan(spec)
 	if err != nil {
 		return nil, err
@@ -429,7 +429,13 @@ func Run(spec Spec) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer journal.Close()
+		// A failed close loses the buffered journal tail and silently
+		// voids resume; surface it unless a run error already won.
+		defer func() {
+			if cerr := journal.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("sweep: closing journal: %w", cerr)
+			}
+		}()
 	}
 
 	// Per-cell budget: the adaptive cap when one is set, else the fixed
@@ -439,7 +445,7 @@ func Run(spec Spec) (*Result, error) {
 		cellBudget = spec.MaxFaults
 	}
 
-	start := time.Now()
+	start := time.Now() //marvel:allow determinism progress/ETA wall-clock; verdict streams and digests never see it
 	tr := newTracker(spec.OnProgress, spec.Metrics, len(cells), int64(cellBudget)*int64(len(cells)), start)
 	res := &Result{Cells: make([]CellReport, len(cells))}
 	res.Counters.CellsPlanned = len(cells)
@@ -544,7 +550,7 @@ func Run(spec Spec) (*Result, error) {
 		return nil, firstErr
 	}
 	res.Counters.FaultsDone = tr.faultsDone()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //marvel:allow determinism elapsed wall-clock is reporting metadata only
 	if journal != nil {
 		if err := journal.WriteManifestDone(res); err != nil {
 			return nil, err
@@ -563,7 +569,7 @@ type forkCounters struct {
 func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 	goldens GoldenCache, tr *tracker) (rep *CellReport, hit bool, fc forkCounters, err error) {
 
-	t0 := time.Now()
+	t0 := time.Now() //marvel:allow determinism per-cell wall attribution; never enters the cell's verdicts
 	onVerdict := tr.onVerdict
 	if spec.OnVerdict != nil {
 		cb, c := spec.OnVerdict, cell
@@ -621,7 +627,7 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			return nil, false, fc, err
 		}
 		r := cpuCellReport(cell, cres)
-		r.WallMS = time.Since(t0).Milliseconds()
+		r.WallMS = time.Since(t0).Milliseconds() //marvel:allow determinism wall attribution metadata
 		fc = forkCounters{
 			forks:    cres.Forking.Forks,
 			reuses:   cres.Forking.ReuseHits,
@@ -661,7 +667,7 @@ func runCell(spec Spec, pre config.Preset, cell Cell, workers int,
 			return nil, false, fc, err
 		}
 		r := accelCellReport(cell, ares)
-		r.WallMS = time.Since(t0).Milliseconds()
+		r.WallMS = time.Since(t0).Milliseconds() //marvel:allow determinism wall attribution metadata
 		fc = forkCounters{
 			forks:    ares.Forking.Forks,
 			reuses:   ares.Forking.ReuseHits,

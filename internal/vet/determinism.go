@@ -1,0 +1,57 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// DeterminismAnalyzer forbids ambient-nondeterminism sources in engine
+// packages: wall-clock reads, the math/rand generators, and
+// goroutine-identity probes. Any of these makes a verdict, mask
+// population or digest depend on when or where the code ran instead of
+// on (seed, index) alone — exactly what the differential suites exist to
+// rule out, but caught here before a campaign ever flakes.
+var DeterminismAnalyzer = &Analyzer{
+	Name:    "determinism",
+	Doc:     "forbid wall-clock, math/rand and goroutine-identity reads in engine packages",
+	Classes: ClassEngine,
+	Run:     runDeterminism,
+}
+
+// clockFuncs are the time package entry points that read or depend on the
+// wall clock or a runtime timer.
+var clockFuncs = []string{
+	"Now", "Since", "Until", "After", "AfterFunc", "Tick",
+	"NewTimer", "NewTicker", "Sleep",
+}
+
+// goroutineFuncs are runtime probes whose results depend on the
+// scheduler: stack dumps (the classic goroutine-ID trick parses
+// runtime.Stack output), caller PCs and goroutine counts.
+var goroutineFuncs = []string{"Stack", "NumGoroutine", "Caller", "Callers"}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, path := range []string{"math/rand", "math/rand/v2"} {
+			if imp, ok := fileImports(f, path); ok {
+				pass.Reportf(imp.Pos(),
+					"engine package imports %s: derive randomness from internal/core's SplitMix64 streams (MaskStream/SaltedStream/DeriveFault) instead", path)
+			}
+		}
+	}
+	walkStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := pkgFunc(pass.TypesInfo, call, "time", clockFuncs...); ok {
+			pass.Reportf(call.Pos(),
+				"engine package calls time.%s: wall-clock reads make results schedule-dependent; pass timestamps in from the caller or move the site to obs/server", name)
+		}
+		if name, ok := pkgFunc(pass.TypesInfo, call, "runtime", goroutineFuncs...); ok {
+			pass.Reportf(call.Pos(),
+				"engine package calls runtime.%s: goroutine-identity and scheduler probes are schedule-dependent", name)
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,97 @@
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces an allowlist directive comment:
+//
+//	//marvel:allow determinism,rngsource reason the exemption is sound
+//
+// The directive names one or more passes (comma-separated, no spaces)
+// followed by a mandatory free-text reason. It suppresses those passes'
+// diagnostics on the directive's own line and on the line directly below
+// it, so it works both as a trailing comment on the offending line and as
+// a standalone comment above it.
+const allowPrefix = "//marvel:allow"
+
+// allowSet maps filename -> line -> set of pass names allowed there.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) add(file string, line int, pass string) {
+	lines := s[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		s[file] = lines
+	}
+	passes := lines[line]
+	if passes == nil {
+		passes = map[string]bool{}
+		lines[line] = passes
+	}
+	passes[pass] = true
+}
+
+func (s allowSet) covers(d Diagnostic) bool {
+	return s[d.Position.Filename][d.Position.Line][d.Pass]
+}
+
+// parseAllowDirectives scans a package's comments for marvel:allow
+// directives. Malformed directives — an unknown pass name or a missing
+// reason — are returned as diagnostics so they fail the run instead of
+// silently allowlisting nothing (or too much).
+func parseAllowDirectives(pkg *Package) (allowSet, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	allows := allowSet{}
+	var diags []Diagnostic
+	bad := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pass:     "directive",
+			Position: pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+					bad(pos, "malformed marvel:allow directive: want %q", allowPrefix+" pass[,pass] reason")
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad(pos, "marvel:allow directive needs a reason after the pass list")
+					continue
+				}
+				var passes []string
+				ok := true
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						bad(pos, "marvel:allow names unknown pass %q", name)
+						ok = false
+						break
+					}
+					passes = append(passes, name)
+				}
+				if !ok {
+					continue
+				}
+				for _, p := range passes {
+					allows.add(pos.Filename, pos.Line, p)
+					allows.add(pos.Filename, pos.Line+1, p)
+				}
+			}
+		}
+	}
+	return allows, diags
+}

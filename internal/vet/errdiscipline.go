@@ -1,0 +1,113 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ErrDisciplineAnalyzer enforces two error-handling invariants:
+//
+//   - engine packages never panic (outside the documented Must* idiom) —
+//     a panicking worker tears down a whole campaign mid-stream and
+//     leaves journals torn where an error verdict would have been
+//     recorded and replayable;
+//   - no package discards the error return of a journal / stream /
+//     timeline / encoder write — a silently failed append voids the
+//     journal's resume and digest guarantees. An explicit `_ =` discard
+//     is accepted as a deliberate, reviewable decision.
+var ErrDisciplineAnalyzer = &Analyzer{
+	Name:    "errdiscipline",
+	Doc:     "no panics in engine packages; no discarded writer/journal/stream errors",
+	Classes: ClassAll,
+	Run:     runErrDiscipline,
+}
+
+// writerTypeRe matches named types whose error returns must not be
+// dropped: writers, journals, sinks, encoders, streams, timelines and
+// files. strings.Builder / bytes.Buffer deliberately don't match — their
+// Write methods cannot fail.
+var writerTypeRe = regexp.MustCompile(
+	`Writer$|Journal|Sink$|Encoder$|Stream|Timeline|^File$|Flusher$`)
+
+func runErrDiscipline(pass *Pass) error {
+	walkStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDroppedWriterError(pass, call)
+			}
+		case *ast.DeferStmt:
+			checkDroppedWriterError(pass, n.Call)
+		case *ast.GoStmt:
+			checkDroppedWriterError(pass, n.Call)
+		case *ast.CallExpr:
+			if pass.Class != ClassEngine {
+				return true
+			}
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if !isBuiltinUse(pass, id) {
+				return true // a user-defined panic function, not the builtin
+			}
+			if fn := enclosingFuncName(stack); strings.HasPrefix(fn, "Must") {
+				return true // documented panic-on-bug idiom
+			}
+			pass.Reportf(n.Pos(),
+				"panic in an engine package tears down the campaign mid-stream; return an error (or wrap the site in a Must* helper)")
+		}
+		return true
+	})
+	return nil
+}
+
+// checkDroppedWriterError flags a statement-position call that returns an
+// error from a writer-shaped receiver.
+func checkDroppedWriterError(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return
+	}
+	// Classify by the type the call site holds; fall back to the method's
+	// own receiver (e.g. a method promoted from an embedded writer).
+	recv := namedType(pass.TypesInfo.TypeOf(sel.X))
+	if recv == nil {
+		recv = namedType(sig.Recv().Type())
+	}
+	if recv == nil || !writerTypeRe.MatchString(recv.Obj().Name()) {
+		return
+	}
+	// hash.Hash and friends embed io.Writer but document that Write never
+	// returns an error; digest code writes to them constantly.
+	if p := recv.Obj().Pkg(); p != nil && (p.Path() == "hash" || strings.HasPrefix(p.Path(), "hash/")) {
+		return
+	}
+	qual := recv.Obj().Name()
+	if p := recv.Obj().Pkg(); p != nil {
+		qual = p.Name() + "." + qual
+	}
+	pass.Reportf(call.Pos(),
+		"discarded error from (%s).%s: a failed journal/stream/timeline write must be handled (or explicitly `_ =`-discarded with a reason)", qual, fn.Name())
+}
+
+func returnsError(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if named, ok := types.Unalias(t).(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

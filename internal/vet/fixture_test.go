@@ -1,0 +1,108 @@
+package vet
+
+// The fixture harness: every file under testdata/ is a standalone
+// single-file package annotated with `// want "regexp"` comments on the
+// lines where a pass must report (several wants per line are allowed).
+// A fixture with no want comments asserts the pass stays silent — the
+// negative fixtures proving class scoping and the marvel:allow directive
+// work are exactly that.
+//
+// The file's pretend import path defaults to an engine package and can
+// be overridden with a leading `//vet:path <import-path>` comment, so
+// one fixture can exercise class-scoped behaviour.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const defaultFixturePath = "marvel/internal/campaign"
+
+var (
+	wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	// Want regexps may be double- or backtick-quoted.
+	wantArgRe  = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+	fixPathRe  = regexp.MustCompile(`(?m)^//vet:path\s+(\S+)\s*$`)
+	testLoader *Loader
+)
+
+func loader(t *testing.T) *Loader {
+	t.Helper()
+	if testLoader == nil {
+		l, err := NewLoader(".")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		testLoader = l
+	}
+	return testLoader
+}
+
+// runFixture checks one analyzer against one testdata file.
+func runFixture(t *testing.T, a *Analyzer, filename string) {
+	t.Helper()
+	full := filepath.Join("testdata", filename)
+	src, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	importPath := defaultFixturePath
+	if m := fixPathRe.FindSubmatch(src); m != nil {
+		importPath = string(m[1])
+	}
+
+	// Collect want expectations: line -> list of regexps.
+	wants := map[int][]*regexp.Regexp{}
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+			pat := arg[1]
+			if pat == "" {
+				pat = arg[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", filename, i+1, pat, err)
+			}
+			wants[i+1] = append(wants[i+1], re)
+		}
+	}
+
+	l := loader(t)
+	pkg, err := l.LoadFiles(importPath, full)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", filename, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, filename, err)
+	}
+
+	matched := map[*regexp.Regexp]bool{}
+	for _, d := range diags {
+		res := wants[d.Position.Line]
+		ok := false
+		for _, re := range res {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", filename, d)
+		}
+	}
+	for line, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", filename, line, re)
+			}
+		}
+	}
+}

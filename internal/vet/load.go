@@ -1,0 +1,276 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("marvel/internal/core")
+	Dir   string // absolute source directory
+	Class Class
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks the module's packages using only the
+// standard library: module-internal imports are resolved recursively from
+// source, standard-library imports through go/importer (compiled export
+// data, falling back to the source importer when unavailable). Test files
+// are excluded — the invariants govern what `go build` ships.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	stdSrc  types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader locates the enclosing module (walking up from dir to go.mod)
+// and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("vet: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("vet: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.Default(),
+		stdSrc:     importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadAll loads every package in the module, sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if files, err := goFilesIn(path); err == nil && len(files) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Load loads one module package by import path, memoized.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg := l.pkgs[path]; pkg != nil {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("vet: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(path, l.ModulePath)
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	files, err := goFilesIn(dir)
+	if err != nil {
+		return nil, fmt.Errorf("vet: %s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("vet: no buildable Go files in %s", dir)
+	}
+	pkg, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadFiles type-checks an explicit file list as one synthetic package
+// under the given import path. This powers fixture tests and marvel-vet's
+// single-file mode (`marvel-vet -as marvel/internal/campaign bad.go`).
+func (l *Loader) LoadFiles(importPath string, filenames ...string) (*Package, error) {
+	return l.check(importPath, filepath.Dir(filenames[0]), filenames)
+}
+
+func (l *Loader) check(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: loaderImporter{l},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("vet: type-checking %s: %v", path, typeErrs[0])
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Class: Classify(path),
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// loaderImporter resolves module-internal imports through the loader and
+// everything else through the standard importers.
+type loaderImporter struct{ l *Loader }
+
+func (i loaderImporter) Import(path string) (*types.Package, error) {
+	l := i.l
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	// No compiled export data (stripped toolchain): type-check the
+	// dependency from source instead.
+	return l.stdSrc.Import(path)
+}
+
+// goFilesIn lists a directory's buildable (non-test, non-ignored) Go
+// files in lexical order.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		if ignored, err := buildIgnored(full); err != nil {
+			return nil, err
+		} else if ignored {
+			continue
+		}
+		out = append(out, full)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// buildIgnored reports whether the file opts out of the build with a
+// `//go:build ignore` constraint. The repo uses no other constraints, so
+// a full constraint evaluator is not warranted.
+func buildIgnored(filename string) (bool, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if strings.HasPrefix(line, "//go:build") && strings.Contains(line, "ignore") {
+				return true, nil
+			}
+			continue
+		}
+		break // reached package clause
+	}
+	return false, nil
+}

@@ -1,0 +1,161 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags `range` loops over maps whose bodies let Go's
+// randomized iteration order escape into ordered state: appending to a
+// slice that outlives the loop, writing to a journal/digest/stream, or
+// sending on a channel. Any of these makes output ordering differ from
+// run to run — fatal for verdict digests, golden CSVs and journal
+// replay. The fix is core.SortedKeys (iterate the sorted key slice);
+// appends that are explicitly sorted right after the loop are recognized
+// and exempt.
+var MapOrderAnalyzer = &Analyzer{
+	Name:    "maporder",
+	Doc:     "map iteration order must not reach slices, writers, digests or channels",
+	Classes: ClassAll,
+	Run:     runMapOrder,
+}
+
+// orderSinks are method/function names that persist ordering: stream and
+// digest writers, event emitters, and printers.
+var orderSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Emit": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	walkStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rng, stack)
+		return true
+	})
+	return nil
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside map iteration publishes nondeterministic order; iterate core.SortedKeys(m) instead")
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltinUse(pass, id) {
+				if dest, outside := appendEscapes(pass, n, rng); outside && !sortedAfter(pass, rng, stack, dest) {
+					name := "a slice declared outside the loop"
+					if dest != nil {
+						name = dest.Name()
+					}
+					pass.Reportf(n.Pos(),
+						"append to %s inside map iteration records nondeterministic order; iterate core.SortedKeys(m) instead", name)
+				}
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && orderSinks[sel.Sel.Name] {
+				if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+					pass.Reportf(n.Pos(),
+						"%s inside map iteration emits in nondeterministic order; iterate core.SortedKeys(m) instead", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// appendEscapes inspects an append call inside rng's body: does its
+// result land in a variable declared outside the loop? Returns that
+// variable (nil for selector/field destinations, which always escape).
+func appendEscapes(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt) (*types.Var, bool) {
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	switch dst := call.Args[0].(type) {
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[dst].(*types.Var)
+		if !ok {
+			return nil, false
+		}
+		declaredInside := v.Pos() >= rng.Body.Pos() && v.Pos() < rng.Body.End()
+		return v, !declaredInside
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return nil, true
+	}
+	return nil, false
+}
+
+// sortFuncs are the sorting entry points that restore a deterministic
+// order after collection.
+var sortFuncs = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true, "sort.Strings": true, "sort.Ints": true,
+	"sort.Float64s": true,
+	"slices.Sort":   true, "slices.SortFunc": true,
+	"slices.SortStable": true, "slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether dest is sorted by a statement following the
+// range loop in the same block — the collect-then-sort idiom, which is
+// deterministic and exempt.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, dest *types.Var) bool {
+	if dest == nil {
+		return false
+	}
+	var block *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b
+			break
+		}
+	}
+	if block == nil {
+		return false
+	}
+	past := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rng) {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !sortFuncs[exprKey(sel.X)+"."+sel.Sel.Name] {
+				return true
+			}
+			if id, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.Uses[id] == dest {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

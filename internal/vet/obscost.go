@@ -1,0 +1,278 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const obsPath = "marvel/internal/obs"
+
+// ObsCostAnalyzer enforces the zero-cost-observability contract at call
+// sites. The obs layer's design is that an engine hot path pays exactly
+// one nil check when tracing/profiling is off and zero allocations when
+// it is on without a sink; that only holds if call sites keep the
+// discipline:
+//
+//   - every obs.Tracer emission is dominated by a nil check on the
+//     tracer value (the interface is nil when tracing is off);
+//   - a Lane.Begin/BeginID result is bound and ended — a discarded span
+//     never reaches End, so its phase silently loses time;
+//   - obs.Span stays a value: taking its address or capturing it in a
+//     closure forces a heap allocation on the hot path;
+//   - no fmt.Sprint* / fmt.Errorf inside a span bracket — formatting
+//     inflates the measured phase with observer cost.
+//
+// The obs package itself is exempt: it implements the machinery.
+var ObsCostAnalyzer = &Analyzer{
+	Name:    "obscost",
+	Doc:     "tracer/span call sites must follow the nil-guarded zero-alloc value-span pattern",
+	Classes: ClassEngine | ClassSupport,
+	Run:     runObsCost,
+}
+
+func runObsCost(pass *Pass) error {
+	if pass.PkgPath == obsPath {
+		return nil
+	}
+	info := pass.TypesInfo
+	walkStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkTracerGuard(pass, n, stack)
+			checkSpanBracket(pass, n, stack)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" && isNamed(info.TypeOf(n.X), obsPath, "Span") {
+				pass.Reportf(n.Pos(),
+					"taking the address of an obs.Span defeats the zero-alloc value-span pattern; keep the span a value")
+			}
+		case *ast.FuncLit:
+			checkSpanCapture(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkTracerGuard requires calls through the obs.Tracer interface to be
+// dominated by a nil check on the tracer expression.
+func checkTracerGuard(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if !isNamed(recv, obsPath, "Tracer") {
+		return
+	}
+	key := exprKey(sel.X)
+	if key == "" {
+		pass.Reportf(call.Pos(),
+			"obs.Tracer call on a non-trivial expression; bind the tracer to a variable and guard it with a nil check")
+		return
+	}
+	if !tracerGuarded(pass, stack, key) {
+		pass.Reportf(call.Pos(),
+			"obs.Tracer call not dominated by a `%s != nil` guard; untraced runs must pay one nil check and nothing else", key)
+	}
+}
+
+// tracerGuarded reports whether the call site runs only when key is
+// non-nil. On top of the structural idioms in nilGuarded (enclosing
+// `if key != nil`, earlier `if key == nil { return }`), it follows one
+// level of derived booleans: `traced := key != nil && …; if traced { … }`
+// guards the body.
+func tracerGuarded(pass *Pass, stack []ast.Node, key string) bool {
+	if nilGuarded(stack, key) {
+		return true
+	}
+	child := ast.Node(nil)
+	for i := len(stack) - 1; i >= 0; i-- {
+		if ifStmt, ok := stack[i].(*ast.IfStmt); ok && child == ifStmt.Body {
+			if condImpliesNonNil(pass, stack[:i+1], ifStmt.Cond, key) {
+				return true
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// condImpliesNonNil reports whether cond being true implies key != nil,
+// looking through &&-conjuncts and single-level boolean variables whose
+// initializer carries a `key != nil` conjunct.
+func condImpliesNonNil(pass *Pass, stack []ast.Node, cond ast.Expr, key string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condImpliesNonNil(pass, stack, c.X, key)
+	case *ast.BinaryExpr:
+		if c.Op.String() == "&&" {
+			return condImpliesNonNil(pass, stack, c.X, key) ||
+				condImpliesNonNil(pass, stack, c.Y, key)
+		}
+		nonNil, found := nilCheck(c, key)
+		return found && nonNil
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[c]
+		if obj == nil {
+			return false
+		}
+		// Find the outermost function and look for `obj := <expr with a
+		// key != nil conjunct>`.
+		var fnBody ast.Node
+		for _, n := range stack {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fnBody = n.Body
+			case *ast.FuncLit:
+				if fnBody == nil {
+					fnBody = n.Body
+				}
+			}
+		}
+		if fnBody == nil {
+			return false
+		}
+		implied := false
+		ast.Inspect(fnBody, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || implied {
+				return !implied
+			}
+			lhs, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok || (pass.TypesInfo.Defs[lhs] != obj && pass.TypesInfo.Uses[lhs] != obj) {
+				return true
+			}
+			if nonNil, found := nilCheck(assign.Rhs[0], key); found && nonNil {
+				implied = true
+			}
+			return true
+		})
+		return implied
+	}
+	return false
+}
+
+// spanCall reports whether call returns an obs.Span (Lane.Begin/BeginID
+// and any future span constructor).
+func spanCall(pass *Pass, call *ast.CallExpr) bool {
+	return isNamed(pass.TypesInfo.TypeOf(call), obsPath, "Span")
+}
+
+// checkSpanBracket checks a span-creating call: its result must be used
+// (a discarded span never Ends), formatting must stay out of its
+// arguments, and fmt.Sprint*/Errorf must not run between Begin and the
+// matching End in the same block.
+func checkSpanBracket(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if !spanCall(pass, call) {
+		return
+	}
+	if len(stack) > 0 {
+		if _, discarded := stack[len(stack)-1].(*ast.ExprStmt); discarded {
+			pass.Reportf(call.Pos(),
+				"span discarded: bind the result of Begin/BeginID and call End, or the phase loses this time")
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		reportFmtCalls(pass, arg, "formatting in a span constructor argument runs before the phase is measured; precompute it outside the bracket")
+	}
+	// Locate `sp := lane.Begin(...)` / its enclosing statement, then scan
+	// forward in the same block for the matching sp.End() and flag
+	// formatting in between. A deferred End extends the bracket to the
+	// whole function; only same-block brackets are scanned.
+	if len(stack) < 2 {
+		return
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 {
+		return
+	}
+	spanIdent, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	spanObj := pass.TypesInfo.Defs[spanIdent]
+	if spanObj == nil {
+		spanObj = pass.TypesInfo.Uses[spanIdent]
+	}
+	block, ok := stack[len(stack)-2].(*ast.BlockStmt)
+	if !ok {
+		return
+	}
+	inBracket := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(assign) {
+			inBracket = true
+			continue
+		}
+		if !inBracket {
+			continue
+		}
+		if isSpanEnd(pass, stmt, spanObj) {
+			return
+		}
+		reportFmtCalls(pass, stmt, "fmt call inside a span bracket charges formatting to the measured phase; move it before Begin or after End")
+	}
+}
+
+// isSpanEnd reports whether stmt ends the span: `sp.End()` or
+// `defer sp.End()`. A deferred End extends the bracket to the whole
+// function, which the pass deliberately does not police — the deferral
+// is itself the signal that the span wraps everything that follows.
+func isSpanEnd(pass *Pass, stmt ast.Stmt, spanObj types.Object) bool {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && spanObj != nil && pass.TypesInfo.Uses[id] == spanObj
+}
+
+// reportFmtCalls flags fmt.Sprint*/Errorf calls anywhere under n.
+func reportFmtCalls(pass *Pass, n ast.Node, msg string) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := pkgFunc(pass.TypesInfo, call, "fmt",
+			"Sprintf", "Sprint", "Sprintln", "Errorf"); ok {
+			pass.Reportf(call.Pos(), "%s (fmt.%s)", msg, name)
+		}
+		return true
+	})
+}
+
+// checkSpanCapture flags closures that capture an obs.Span declared
+// outside them: the capture forces the span (and its lane pointer) onto
+// the heap, breaking the zero-alloc contract.
+func checkSpanCapture(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !isNamed(v.Type(), obsPath, "Span") {
+			return true
+		}
+		if _, isPtr := types.Unalias(v.Type()).(*types.Pointer); isPtr {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			pass.Reportf(id.Pos(),
+				"closure captures obs.Span %q declared outside it, forcing a heap allocation; end the span in the declaring scope", id.Name)
+		}
+		return true
+	})
+}

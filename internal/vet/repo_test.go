@@ -1,0 +1,31 @@
+package vet
+
+import "testing"
+
+// TestRepositoryClean type-checks the whole module and runs the full
+// marvel-vet suite over it, demanding zero diagnostics. This is the
+// tier-1 hook: any new invariant violation (or newly malformed allow
+// directive) fails plain `go test ./...` without the CLI being invoked.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("LoadAll found only %d packages; the walk is broken", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

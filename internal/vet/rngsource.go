@@ -1,0 +1,58 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// RNGSourceAnalyzer enforces the engines' single-source-of-randomness
+// rule: every fault-mask or stream derivation flows through
+// internal/core's SplitMix64 facilities (DeriveFault, MaskStream,
+// SaltedStream). Constructing any other generator in engine code — a
+// math/rand source, crypto/rand reads, or hash/maphash (whose Seed is
+// process-random by design) — forks the derivation away from the pure
+// (seed, index) function that makes campaigns bit-reproducible under
+// arbitrary parallelism.
+var RNGSourceAnalyzer = &Analyzer{
+	Name:    "rngsource",
+	Doc:     "fault/stream derivation must flow through internal/core's SplitMix64 streams",
+	Classes: ClassEngine,
+	Run:     runRNGSource,
+}
+
+// randConstructors are the generator entry points across math/rand and
+// math/rand/v2. The top-level convenience functions (Intn, Int63, ...)
+// draw from the package's global source and count as constructions too.
+var randConstructors = []string{
+	"New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8",
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n", "Int64", "Int64N",
+	"Uint32", "Uint64", "Uint64N", "UintN", "IntN", "N",
+	"Float32", "Float64", "ExpFloat64", "NormFloat64",
+	"Perm", "Shuffle", "Seed",
+}
+
+func runRNGSource(pass *Pass) error {
+	for _, f := range pass.Files {
+		if imp, ok := fileImports(f, "hash/maphash"); ok {
+			pass.Reportf(imp.Pos(),
+				"engine package imports hash/maphash: maphash seeds are process-random; use core.SplitMix64 (or hash/fnv for digests) instead")
+		}
+	}
+	walkStack(pass, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, path := range []string{"math/rand", "math/rand/v2"} {
+			if name, ok := pkgFunc(pass.TypesInfo, call, path, randConstructors...); ok {
+				pass.Reportf(call.Pos(),
+					"engine package constructs a %s generator (%s.%s): derive per-mask streams with core.MaskStream/SaltedStream or coordinates with core.DeriveFault", path, path, name)
+			}
+		}
+		if name, ok := pkgFunc(pass.TypesInfo, call, "crypto/rand", "Read", "Int", "Prime", "Text"); ok {
+			pass.Reportf(call.Pos(),
+				"engine package reads crypto/rand.%s: OS entropy is unreproducible; campaigns must derive all randomness from the campaign seed via internal/core", name)
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,23 @@
+// Fixture for the determinism pass: engine packages must not read the
+// wall clock, math/rand, or goroutine identity.
+package fixture
+
+import (
+	"math/rand" // want "engine package imports math/rand"
+	"runtime"
+	"time"
+)
+
+func clocky() time.Duration {
+	start := time.Now()          // want `calls time\.Now`
+	time.Sleep(time.Millisecond) // want `calls time\.Sleep`
+	return time.Since(start)     // want `calls time\.Since`
+}
+
+func ambient() int {
+	runtime.NumGoroutine() // want `calls runtime\.NumGoroutine`
+	return rand.Intn(8)
+}
+
+// Durations as plain values are fine: only clock reads are flagged.
+func format(d time.Duration) string { return d.String() }

@@ -1,0 +1,13 @@
+// Negative fixture: a well-formed marvel:allow directive suppresses the
+// named pass on its own line and the line directly below. There are no
+// want comments — the harness asserts total silence.
+package fixture
+
+import "time"
+
+func stamp() time.Duration {
+	t0 := time.Now() //marvel:allow determinism fixture exercises the trailing-directive form
+	//marvel:allow determinism fixture exercises the standalone-directive-above form
+	d := time.Since(t0)
+	return d
+}

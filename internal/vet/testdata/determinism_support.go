@@ -1,0 +1,10 @@
+//vet:path marvel/internal/figures
+
+// Class-scope negative fixture: under a support import path the
+// determinism pass must not run at all — wall-clock reads are legitimate
+// outside the engines. No want comments.
+package fixture
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

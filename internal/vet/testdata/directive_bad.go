@@ -1,0 +1,14 @@
+// Fixture: malformed marvel:allow directives — a missing reason, an
+// unknown pass name — must surface as diagnostics and suppress nothing.
+// Checked by TestMalformedDirectives rather than want comments: a
+// trailing comment cannot follow a line-comment directive.
+package fixture
+
+import "time"
+
+func stamp() time.Duration {
+	//marvel:allow determinism
+	t := time.Now()
+	//marvel:allow clocks wall-clock reads are fine here
+	return time.Since(t)
+}

@@ -1,0 +1,47 @@
+// Fixture for the errdiscipline pass: no panics in engine code, no
+// silently dropped writer/journal errors.
+package fixture
+
+import (
+	"os"
+	"strings"
+)
+
+type Journal struct{ n int }
+
+func (j *Journal) Append(rec string) error {
+	j.n++
+	return nil
+}
+
+func dropped(j *Journal) {
+	j.Append("cell") // want `discarded error from \(fixture\.Journal\)\.Append`
+}
+
+func deliberate(j *Journal) {
+	_ = j.Append("cell") // no want: explicit discard is a reviewable decision
+}
+
+func checked(j *Journal) error { return j.Append("cell") }
+
+func boom(x int) int {
+	if x < 0 {
+		panic("negative") // want "panic in an engine package"
+	}
+	return x
+}
+
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty") // no want: documented Must* idiom
+	}
+	return len(s)
+}
+
+func dropClose(f *os.File) {
+	defer f.Close() // want `discarded error from \(os\.File\)\.Close`
+}
+
+func builder(b *strings.Builder) {
+	b.WriteString("ok") // no want: strings.Builder writes cannot fail
+}

@@ -1,0 +1,15 @@
+//vet:path marvel/cmd/fixture
+
+// Class-scope fixture: binaries may panic — the no-panic rule is
+// engine-only — but still must not drop writer errors.
+package fixture
+
+import "os"
+
+func fatal() {
+	panic("cmd code may panic") // no want: the panic rule is engine-only
+}
+
+func drop(f *os.File) {
+	f.Sync() // want `discarded error from \(os\.File\)\.Sync`
+}

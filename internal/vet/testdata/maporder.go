@@ -1,0 +1,54 @@
+// Fixture for the maporder pass: Go's randomized map iteration order
+// must not escape into slices, writers or channels.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func escapes(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map iteration"
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // no want: sorted right after the loop
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func emits(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "Fprintf inside map iteration"
+	}
+}
+
+func sends(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+func local(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		parts := []int{}
+		parts = append(parts, v) // no want: parts lives only inside the body
+		n += len(parts)
+	}
+	return n
+}
+
+func overSlice(s []string, w io.Writer) {
+	for _, v := range s {
+		fmt.Fprintln(w, v) // no want: slice iteration is deterministic
+	}
+}

@@ -1,0 +1,62 @@
+// Fixture for the obscost pass: tracer and span call sites must keep
+// the nil-guarded, zero-alloc, value-span discipline.
+package fixture
+
+import (
+	"fmt"
+
+	"marvel/internal/obs"
+)
+
+func unguarded(tr obs.Tracer) {
+	tr.Emit(obs.Event{Cycle: 1}) // want "not dominated by a `tr != nil` guard"
+}
+
+func guarded(tr obs.Tracer) {
+	if tr != nil {
+		tr.Emit(obs.Event{Cycle: 1}) // no want: enclosing nil check
+	}
+}
+
+func earlyReturn(tr obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	tr.Emit(obs.Event{Cycle: 2}) // no want: early-return bail
+}
+
+func derived(tr obs.Tracer, verbose bool) {
+	watch := tr != nil && verbose
+	if watch {
+		tr.Emit(obs.Event{Cycle: 3}) // no want: derived-boolean guard
+	}
+}
+
+func discarded(l *obs.Lane) {
+	l.Begin(obs.PhaseFork) // want "span discarded"
+}
+
+func bracketFmt(l *obs.Lane, n int) string {
+	sp := l.Begin(obs.PhaseClassify)
+	s := fmt.Sprintf("cell %d", n) // want "fmt call inside a span bracket"
+	sp.End()
+	return s
+}
+
+func deferredEnd(l *obs.Lane, n int) string {
+	sp := l.Begin(obs.PhaseClassify)
+	defer sp.End()
+	return fmt.Sprintf("cell %d", n) // no want: a deferred End closes the bracket
+}
+
+func captured(l *obs.Lane) func() {
+	sp := l.Begin(obs.PhaseJournal)
+	return func() {
+		sp.End() // want `closure captures obs\.Span "sp"`
+	}
+}
+
+func addressed(l *obs.Lane) *obs.Span {
+	sp := l.Begin(obs.PhaseReset)
+	return &sp // want "taking the address of an obs.Span"
+}

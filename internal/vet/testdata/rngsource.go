@@ -1,0 +1,24 @@
+// Fixture for the rngsource pass: engine randomness must derive from
+// internal/core's SplitMix64 streams, never ad-hoc generators.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"hash/maphash" // want "imports hash/maphash"
+	"math/rand"
+)
+
+func adHoc(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // want `\(math/rand\.New\)` `\(math/rand\.NewSource\)`
+	return r.Intn(10)
+}
+
+func global() float64 {
+	return rand.Float64() // want `math/rand\.Float64`
+}
+
+func entropy(buf []byte) {
+	crand.Read(buf) // want `crypto/rand\.Read`
+}
+
+var _ maphash.Hash

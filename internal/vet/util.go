@@ -1,0 +1,223 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses every file of the pass, calling fn with each node
+// and the stack of its ancestors (outermost first, not including n).
+// Returning false prunes the subtree.
+func walkStack(pass *Pass, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// pkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. "time".Now), resolved through the type checker so
+// renamed imports are seen through.
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return "", false
+	}
+	// Package-level selector: the X must be a package name, not a value.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := info.Uses[id].(*types.PkgName); !isPkg {
+			return "", false
+		}
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// enclosingFuncName returns the name of the innermost enclosing function
+// declaration on the stack ("" inside a function literal or at top level).
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return ""
+		case *ast.FuncDecl:
+			return n.Name.Name
+		}
+	}
+	return ""
+}
+
+// exprKey renders an expression as a stable string key for guard
+// matching: identifiers and dotted selector chains only; anything else
+// (calls, index expressions) yields "" and never matches.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	}
+	return ""
+}
+
+// nilCheck inspects a condition for a nil comparison against key,
+// reporting (isNonNil, found). Conjunctions are searched recursively —
+// `tr != nil && deep` still guards — but disjunctions are not, since
+// `a || tr != nil` proves nothing on its own.
+func nilCheck(cond ast.Expr, key string) (nonNil, found bool) {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return nilCheck(c.X, key)
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "&&":
+			if nn, ok := nilCheck(c.X, key); ok {
+				return nn, true
+			}
+			return nilCheck(c.Y, key)
+		case "!=", "==":
+			var other ast.Expr
+			if exprKey(c.X) == key {
+				other = c.Y
+			} else if exprKey(c.Y) == key {
+				other = c.X
+			} else {
+				return false, false
+			}
+			if id, ok := other.(*ast.Ident); ok && id.Name == "nil" {
+				return c.Op.String() == "!=", true
+			}
+		}
+	}
+	return false, false
+}
+
+// nilGuarded reports whether the node whose ancestor stack is given runs
+// only when the expression named key is non-nil. Two idioms count:
+//
+//   - an enclosing `if key != nil { ... }` (or the else branch of
+//     `if key == nil`), including through init statements
+//     (`if tr := cfg.Tracer; tr != nil`);
+//   - an earlier statement in an enclosing block of the form
+//     `if key == nil { return/continue/break/panic }`.
+func nilGuarded(stack []ast.Node, key string) bool {
+	child := ast.Node(nil)
+	for i := len(stack) - 1; i >= 0; i-- {
+		n := stack[i]
+		if ifStmt, ok := n.(*ast.IfStmt); ok {
+			if nonNil, found := nilCheck(ifStmt.Cond, key); found {
+				if nonNil && child == ifStmt.Body {
+					return true
+				}
+				if !nonNil && child != nil && child == ifStmt.Else {
+					return true
+				}
+			}
+		}
+		if block, ok := n.(*ast.BlockStmt); ok && child != nil {
+			for _, stmt := range block.List {
+				if stmt == child {
+					break
+				}
+				if bails(stmt, key) {
+					return true
+				}
+			}
+		}
+		child = n
+	}
+	return false
+}
+
+// bails reports whether stmt is `if key == nil { <terminating> }`.
+func bails(stmt ast.Stmt, key string) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok || ifStmt.Else != nil || len(ifStmt.Body.List) == 0 {
+		return false
+	}
+	nonNil, found := nilCheck(ifStmt.Cond, key)
+	if !found || nonNil {
+		return false
+	}
+	switch last := ifStmt.Body.List[len(ifStmt.Body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isBuiltinUse reports whether id resolves to a predeclared builtin
+// (append, panic, ...) rather than a shadowing user definition. The type
+// checker records builtins as *types.Builtin in Uses, not as nil.
+func isBuiltinUse(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// fileImports reports whether the file imports path, returning the import
+// spec when it does.
+func fileImports(f *ast.File, path string) (*ast.ImportSpec, bool) {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return imp, true
+		}
+	}
+	return nil, false
+}

@@ -14,7 +14,7 @@ package workloads
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //marvel:allow determinism workload inputs are synthesized from fixed seeds; golden digests pin every byte
 
 	"marvel/internal/program/ir"
 )
@@ -122,7 +122,7 @@ func putU64(b []byte, v uint64) {
 // rng returns the deterministic generator used to synthesize inputs; each
 // workload passes a distinct seed so inputs differ between benchmarks but
 // never between runs.
-func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) } //marvel:allow rngsource input synthesis, not fault derivation; seeded per workload and pinned by golden digests
 
 // loadIdx8 emits a byte load at base[i].
 func loadIdx8(b *ir.Builder, base, i ir.Val) ir.Val {

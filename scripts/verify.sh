@@ -1,6 +1,10 @@
 #!/bin/sh
 # verify.sh — the repository's full verification gauntlet:
-#   1. tier-1: build + vet + full test suite
+#   1. tier-1: build + vet + gofmt cleanliness + full test suite
+#   1b. marvel-vet lint job: the custom static-analysis suite
+#       (determinism, maporder, rngsource, obscost, errdiscipline) must
+#       pass on the whole tree, and — guard-the-guard — must demonstrably
+#       fail on a seeded violation
 #   2. race jobs: the CPU and accelerator campaigns' parallel paths under
 #      the race detector (including traced campaigns, atomic ForkStats
 #      and the checkpoint-ladder differential suite)
@@ -27,10 +31,36 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: build + vet + tests =="
+echo "== tier-1: build + vet + gofmt + tests =="
 go build ./...
 go vet ./...
+dirty="$(gofmt -l .)"
+[ -z "$dirty" ] || {
+	echo "verify: gofmt: files need formatting:" >&2
+	echo "$dirty" >&2
+	exit 1
+}
 go test ./...
+
+echo "== marvel-vet: custom static-analysis suite =="
+go run ./cmd/marvel-vet ./...
+
+# Guard the guard: seed a determinism violation into a scratch file and
+# demand marvel-vet rejects it when analyzed under an engine import path.
+vetdir="$(mktemp -d)"
+cat >"$vetdir/bad.go" <<'EOF'
+package campaign
+
+import "time"
+
+func skew() time.Time { return time.Now() }
+EOF
+if go run ./cmd/marvel-vet -as marvel/internal/campaign "$vetdir/bad.go" >/dev/null 2>&1; then
+	rm -rf "$vetdir"
+	echo "verify: marvel-vet accepted a seeded time.Now violation" >&2
+	exit 1
+fi
+rm -rf "$vetdir"
 
 echo "== race: parallel campaign determinism =="
 go test -race -run 'TestCampaignWorkerCountInvariance|TestForkCloneEquivalence' ./internal/campaign
